@@ -1,0 +1,210 @@
+//! The Table 3 security matrix: every in-scope attack against every
+//! storage option.
+//!
+//! For each storage alternative (iRAM, locked L2 cache — plus DRAM as
+//! the undefended baseline the table implies), a secret is placed via
+//! the corresponding mechanism and all three attacks are mounted on the
+//! *same* simulated device state. An entry is "Safe" iff the attack
+//! recovered neither the secret bytes nor any AES key schedule.
+
+use crate::busmon::BusMonitor;
+use crate::coldboot;
+use crate::dmaattack::dma_dump;
+use crate::AttackReport;
+use sentry_core::config::OnSocBackend;
+use sentry_core::onsoc::OnSocStore;
+use sentry_soc::addr::{DRAM_BASE, IRAM_BASE, IRAM_SIZE};
+use sentry_soc::dram::PowerEvent;
+use sentry_soc::Soc;
+
+/// The storage alternatives evaluated by Table 3 (plus the DRAM
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageOption {
+    /// Undefended DRAM — every attack succeeds.
+    Dram,
+    /// On-SoC iRAM with TrustZone DMA protection.
+    Iram,
+    /// A locked L2 cache way.
+    LockedL2,
+}
+
+impl std::fmt::Display for StorageOption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageOption::Dram => write!(f, "DRAM"),
+            StorageOption::Iram => write!(f, "iRAM"),
+            StorageOption::LockedL2 => write!(f, "Locked L2 Cache"),
+        }
+    }
+}
+
+const SECRET: &[u8] = b"VOLATILE-ROOT-KEY-0123456789ABCD";
+
+/// Build a device with the secret placed in the given storage.
+fn place_secret(option: StorageOption) -> Result<(Soc, u64), sentry_core::SentryError> {
+    let mut soc = Soc::tegra3_small();
+    // The secret is replicated across the page, as key material
+    // typically is (key + expanded schedule + copies in callers): the
+    // attacks only need one surviving copy.
+    let page: Vec<u8> = SECRET.iter().copied().cycle().take(2048).collect();
+    let addr = match option {
+        StorageOption::Dram => {
+            let addr = DRAM_BASE + (40 << 20);
+            soc.mem_write(addr, &page)?;
+            // Steady state: assume the lines were evicted at some point,
+            // as they would be on a busy system.
+            soc.cache_maintenance_flush();
+            addr
+        }
+        StorageOption::Iram => {
+            let mut store = OnSocStore::new(OnSocBackend::Iram, &mut soc)?;
+            let slot = store.alloc_page(&mut soc)?;
+            soc.mem_write(slot, &page)?;
+            slot
+        }
+        StorageOption::LockedL2 => {
+            let mut store =
+                OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc)?;
+            let slot = store.alloc_page(&mut soc)?;
+            soc.mem_write(slot, &page)?;
+            slot
+        }
+    };
+    Ok((soc, addr))
+}
+
+/// Mount a cold boot attack (reflash tap) against the storage option.
+///
+/// # Errors
+///
+/// Propagates SoC errors from the power cycle.
+pub fn cold_boot_cell(option: StorageOption) -> Result<AttackReport, sentry_core::SentryError> {
+    let (mut soc, _addr) = place_secret(option)?;
+    let findings = coldboot::attack(&mut soc, PowerEvent::ReflashTap, SECRET)
+        .map_err(sentry_core::SentryError::Soc)?;
+    Ok(if findings.recovered_anything() {
+        AttackReport::broken(
+            "cold boot",
+            option.to_string(),
+            format!("{} pattern hits after reflash", findings.pattern_hits.len()),
+        )
+    } else {
+        AttackReport::safe(
+            "cold boot",
+            option.to_string(),
+            "nothing survived the reset + firmware zeroing",
+        )
+    })
+}
+
+/// Mount a bus monitoring attack: record all traffic while the device
+/// re-reads and re-writes the secret, then grep the log.
+///
+/// # Errors
+///
+/// Propagates SoC errors.
+pub fn bus_monitor_cell(option: StorageOption) -> Result<AttackReport, sentry_core::SentryError> {
+    let (mut soc, addr) = place_secret(option)?;
+    let mon = BusMonitor::attach_new(&mut soc.bus);
+    // The device keeps using the secret while the probe listens.
+    let mut buf = vec![0u8; SECRET.len()];
+    for _ in 0..16 {
+        soc.mem_read(addr, &mut buf)?;
+        soc.mem_write(addr, &buf)?;
+    }
+    if option == StorageOption::Dram {
+        // A busy system's cache pressure eventually writes DRAM lines
+        // back; model one eviction cycle.
+        soc.cache_maintenance_flush();
+        soc.mem_read(addr, &mut buf)?;
+    }
+    let hits = mon.find_in_traffic(SECRET);
+    Ok(if hits.is_empty() {
+        AttackReport::safe(
+            "bus monitoring",
+            option.to_string(),
+            format!(
+                "{} transactions observed, secret never crossed the bus",
+                mon.len()
+            ),
+        )
+    } else {
+        AttackReport::broken(
+            "bus monitoring",
+            option.to_string(),
+            format!("secret observed in {} transactions", hits.len()),
+        )
+    })
+}
+
+/// Mount a DMA attack: sweep DRAM and iRAM through a DMA controller.
+///
+/// # Errors
+///
+/// Propagates SoC errors.
+pub fn dma_cell(option: StorageOption) -> Result<AttackReport, sentry_core::SentryError> {
+    let (mut soc, _addr) = place_secret(option)?;
+    let dram_size = soc.dram.size();
+    let mut dump = dma_dump(&mut soc, DRAM_BASE, dram_size, 4096);
+    let iram = dma_dump(&mut soc, IRAM_BASE, IRAM_SIZE, 4096);
+    dump.data.extend(iram.data);
+    dump.denied.extend(iram.denied);
+    let hits = dump.search(SECRET);
+    Ok(if hits.is_empty() {
+        AttackReport::safe(
+            "DMA attack",
+            option.to_string(),
+            format!(
+                "{} bytes swept ({} ranges TrustZone-denied), secret absent",
+                dump.bytes_read(),
+                dump.denied.len()
+            ),
+        )
+    } else {
+        AttackReport::broken(
+            "DMA attack",
+            option.to_string(),
+            format!("secret at {:#x}", hits[0]),
+        )
+    })
+}
+
+/// Produce the full Table 3 matrix.
+///
+/// # Errors
+///
+/// Propagates SoC errors.
+pub fn table3() -> Result<Vec<AttackReport>, sentry_core::SentryError> {
+    let mut rows = Vec::new();
+    for option in [
+        StorageOption::Dram,
+        StorageOption::Iram,
+        StorageOption::LockedL2,
+    ] {
+        rows.push(cold_boot_cell(option)?);
+        rows.push(bus_monitor_cell(option)?);
+        rows.push(dma_cell(option)?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let rows = table3().unwrap();
+        for report in &rows {
+            let expect_safe = report.target != "DRAM";
+            assert_eq!(
+                !report.recovered, expect_safe,
+                "{} vs {}: {:?}",
+                report.attack, report.target, report.evidence
+            );
+        }
+        // Nine cells: 3 attacks x 3 storage options.
+        assert_eq!(rows.len(), 9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Related-work baselines (§9.1): register-only AES schemes.
+//!
+//! AESSE, TRESOR, and Simmons' scheme keep the AES *key* (and sometimes
+//! the round keys) in CPU/debug registers, out of DRAM's reach — but
+//! their lookup tables stay in ordinary memory: "most of these previous
+//! solutions fail to guard access-protected state and thus are subject
+//! to bus monitoring attacks". This module implements that design point
+//! so the claim can be demonstrated rather than asserted:
+//! [`RegisterOnlyAes`] holds all *secret* state in host values (playing
+//! the role of registers) while its round tables and S-boxes live in
+//! simulated DRAM, fetched uncached per lookup.
+
+use sentry_crypto::tables::TABLE_BYTES;
+use sentry_crypto::{sbox, tables};
+use sentry_soc::{Soc, SocError};
+
+/// A TRESOR-style AES-128: secrets in registers, tables in DRAM.
+#[derive(Debug)]
+pub struct RegisterOnlyAes {
+    /// Round keys, held in "registers" (host memory; never written to
+    /// the simulated DRAM — this part of the scheme works).
+    round_keys: Vec<u32>,
+    /// DRAM base where the Te table lives.
+    table_base: u64,
+    /// DRAM base of the S-box.
+    sbox_base: u64,
+}
+
+impl RegisterOnlyAes {
+    /// Install the scheme: key schedule in registers, tables at
+    /// `table_region` in DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM write errors.
+    pub fn install(soc: &mut Soc, table_region: u64, key: &[u8; 16]) -> Result<Self, SocError> {
+        let schedule = sentry_crypto::key_schedule::KeySchedule::expand(key)
+            .expect("16-byte key");
+        // The tables are public data, so writing them to DRAM is "safe"
+        // — contents-wise.
+        let mut te_bytes = Vec::with_capacity(TABLE_BYTES);
+        for w in tables::te() {
+            te_bytes.extend_from_slice(&w.to_be_bytes());
+        }
+        soc.mem_write_uncached(table_region, &te_bytes)?;
+        soc.mem_write_uncached(table_region + TABLE_BYTES as u64, sbox::sbox())?;
+        Ok(RegisterOnlyAes {
+            round_keys: schedule.enc_words().to_vec(),
+            table_base: table_region,
+            sbox_base: table_region + TABLE_BYTES as u64,
+        })
+    }
+
+    fn te(&self, soc: &mut Soc, index: u8) -> u32 {
+        let mut b = [0u8; 4];
+        soc.mem_read_uncached(self.table_base + 4 * u64::from(index), &mut b)
+            .expect("table region mapped");
+        u32::from_be_bytes(b)
+    }
+
+    fn sub(&self, soc: &mut Soc, index: u8) -> u8 {
+        let mut b = [0u8; 1];
+        soc.mem_read_uncached(self.sbox_base + u64::from(index), &mut b)
+            .expect("table region mapped");
+        b[0]
+    }
+
+    /// Encrypt one block. The computation uses register-resident round
+    /// keys, but every table lookup crosses the memory bus.
+    pub fn encrypt_block(&self, soc: &mut Soc, block: &mut [u8; 16]) {
+        let rk = &self.round_keys;
+        let mut s = [0u32; 4];
+        for (c, slot) in s.iter_mut().enumerate() {
+            *slot = u32::from_be_bytes([
+                block[4 * c],
+                block[4 * c + 1],
+                block[4 * c + 2],
+                block[4 * c + 3],
+            ]) ^ rk[c];
+        }
+        let mut t = [0u32; 4];
+        for round in 1..10 {
+            for c in 0..4 {
+                t[c] = self.te(soc, (s[c] >> 24) as u8)
+                    ^ self.te(soc, ((s[(c + 1) % 4] >> 16) & 0xff) as u8).rotate_right(8)
+                    ^ self.te(soc, ((s[(c + 2) % 4] >> 8) & 0xff) as u8).rotate_right(16)
+                    ^ self.te(soc, (s[(c + 3) % 4] & 0xff) as u8).rotate_right(24)
+                    ^ rk[4 * round + c];
+            }
+            s = t;
+        }
+        for c in 0..4 {
+            t[c] = (u32::from(self.sub(soc, (s[c] >> 24) as u8)) << 24)
+                | (u32::from(self.sub(soc, ((s[(c + 1) % 4] >> 16) & 0xff) as u8)) << 16)
+                | (u32::from(self.sub(soc, ((s[(c + 2) % 4] >> 8) & 0xff) as u8)) << 8)
+                | u32::from(self.sub(soc, (s[(c + 3) % 4] & 0xff) as u8));
+            t[c] ^= rk[40 + c];
+        }
+        for (c, word) in t.iter().enumerate() {
+            block[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::busmon::BusMonitor;
+    use crate::coldboot;
+    use sentry_soc::addr::DRAM_BASE;
+    use sentry_soc::dram::PowerEvent;
+
+    const TABLE_REGION: u64 = DRAM_BASE + (36 << 20);
+
+    #[test]
+    fn register_only_aes_is_functionally_correct() {
+        let mut soc = Soc::tegra3_small();
+        let key = [0u8; 16];
+        let aes = RegisterOnlyAes::install(&mut soc, TABLE_REGION, &key).unwrap();
+        let mut block: [u8; 16] = *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
+        // FIPS-197 Appendix C.1 with the incrementing key.
+        let aes2 = RegisterOnlyAes::install(
+            &mut soc,
+            TABLE_REGION,
+            &core::array::from_fn(|i| i as u8),
+        )
+        .unwrap();
+        aes2.encrypt_block(&mut soc, &mut block);
+        assert_eq!(
+            block,
+            *b"\x69\xc4\xe0\xd8\x6a\x7b\x04\x30\xd8\xcd\xb7\x80\x70\xb4\xc5\x5a"
+        );
+        drop(aes);
+    }
+
+    #[test]
+    fn tresor_survives_cold_boot_for_the_key_itself() {
+        // The part of the related work that *does* hold: no key
+        // schedule in DRAM, so aeskeyfind comes up empty.
+        let mut soc = Soc::tegra3_small();
+        let key = [0xABu8; 16];
+        let aes = RegisterOnlyAes::install(&mut soc, TABLE_REGION, &key).unwrap();
+        let mut block = [0u8; 16];
+        aes.encrypt_block(&mut soc, &mut block);
+        soc.power_cycle(PowerEvent::ReflashTap).unwrap();
+        let dram = coldboot::dump_dram(&mut soc);
+        assert!(coldboot::find_aes128_key_schedules(&dram).is_empty());
+    }
+
+    #[test]
+    fn tresor_leaks_access_patterns_to_a_bus_monitor() {
+        // The paper's §9.1 critique, demonstrated: the Te-lookup index
+        // sequence is fully visible and key-dependent.
+        let trace = |key: [u8; 16]| {
+            let mut soc = Soc::tegra3_small();
+            let aes = RegisterOnlyAes::install(&mut soc, TABLE_REGION, &key).unwrap();
+            let mon = BusMonitor::attach_new(&mut soc.bus);
+            let mut block = [0u8; 16];
+            aes.encrypt_block(&mut soc, &mut block);
+            mon.table_access_indices(TABLE_REGION, 256, 4)
+        };
+        let a = trace([0u8; 16]);
+        let b = trace([1u8; 16]);
+        assert_eq!(a.len(), 9 * 16, "all main-round lookups observed");
+        assert_ne!(a, b, "trace is key-dependent: the side channel is live");
+    }
+}

@@ -1,0 +1,145 @@
+//! The threat model of §3, Table 1, as a typed enumeration.
+//!
+//! Keeping the scope machine-readable lets the experiment harness print
+//! Table 1 and lets tests assert that every in-scope attack has an
+//! implementation in this crate (no silently-dropped threat).
+
+/// An attack class from the paper's threat-model discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Exploit RAM data remanence across a reset (§3.1).
+    ColdBoot,
+    /// Passive probe on the memory bus (§3.1).
+    BusMonitoring,
+    /// Rogue/compromised DMA peripheral (§3.1).
+    DmaAttack,
+    /// Malware / software compromise of the running system (§3.2).
+    SoftwareAttack,
+    /// Timing/power side channels of the crypto implementation (§3.2).
+    PhysicalSideChannel,
+    /// Injecting or modifying code (bus write override etc., §3.2).
+    CodeInjection,
+    /// Debug-port extraction (§3.2).
+    Jtag,
+    /// Decapping/electron-microscope analysis of the SoC (§3.2).
+    SophisticatedPhysical,
+}
+
+/// Scope of an attack class in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Sentry defends against it; implemented in this crate.
+    InScope,
+    /// Explicitly out of scope, with the paper's rationale.
+    OutOfScope(&'static str),
+}
+
+impl AttackClass {
+    /// All classes, in Table 1 order.
+    #[must_use]
+    pub fn all() -> [AttackClass; 8] {
+        [
+            AttackClass::ColdBoot,
+            AttackClass::BusMonitoring,
+            AttackClass::DmaAttack,
+            AttackClass::SoftwareAttack,
+            AttackClass::PhysicalSideChannel,
+            AttackClass::CodeInjection,
+            AttackClass::Jtag,
+            AttackClass::SophisticatedPhysical,
+        ]
+    }
+
+    /// Table 1's classification.
+    #[must_use]
+    pub fn scope(self) -> Scope {
+        match self {
+            AttackClass::ColdBoot | AttackClass::BusMonitoring | AttackClass::DmaAttack => {
+                Scope::InScope
+            }
+            AttackClass::SoftwareAttack => Scope::OutOfScope(
+                "requires running compromised software; Sentry targets attacks on a device in the attacker's hands",
+            ),
+            AttackClass::PhysicalSideChannel => Scope::OutOfScope(
+                "timing/power analysis needs high sophistication without code execution on the device",
+            ),
+            AttackClass::CodeInjection => Scope::OutOfScope(
+                "bus-override writes are electrically unsound; expert estimate: several $100k minimum",
+            ),
+            AttackClass::Jtag => Scope::OutOfScope(
+                "preventable: depopulated connectors, hardware fuses, authenticated JTAG",
+            ),
+            AttackClass::SophisticatedPhysical => Scope::OutOfScope(
+                "electron-microscope extraction takes specialized equipment and months",
+            ),
+        }
+    }
+
+    /// Human-readable name matching Table 1's rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackClass::ColdBoot => "cold boot",
+            AttackClass::BusMonitoring => "bus monitoring",
+            AttackClass::DmaAttack => "DMA attacks",
+            AttackClass::SoftwareAttack => "software attacks (malware)",
+            AttackClass::PhysicalSideChannel => "physical side-channel attacks",
+            AttackClass::CodeInjection => "code-injection",
+            AttackClass::Jtag => "JTAG attacks",
+            AttackClass::SophisticatedPhysical => "sophisticated physical attacks",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_three_in_scope_and_five_out() {
+        let in_scope: Vec<_> = AttackClass::all()
+            .into_iter()
+            .filter(|a| a.scope() == Scope::InScope)
+            .collect();
+        assert_eq!(
+            in_scope,
+            vec![
+                AttackClass::ColdBoot,
+                AttackClass::BusMonitoring,
+                AttackClass::DmaAttack
+            ]
+        );
+        assert_eq!(AttackClass::all().len() - in_scope.len(), 5);
+    }
+
+    #[test]
+    fn every_in_scope_class_has_an_implementation() {
+        // Compile-time linkage: the three in-scope classes map to the
+        // three attack modules of this crate.
+        for class in AttackClass::all() {
+            if class.scope() == Scope::InScope {
+                match class {
+                    AttackClass::ColdBoot => {
+                        let _ = crate::coldboot::table2;
+                    }
+                    AttackClass::BusMonitoring => {
+                        let _ = crate::busmon::BusMonitor::attach_new;
+                    }
+                    AttackClass::DmaAttack => {
+                        let _ = crate::dmaattack::dma_dump;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_scope_rationales_are_present() {
+        for class in AttackClass::all() {
+            if let Scope::OutOfScope(why) = class.scope() {
+                assert!(!why.is_empty(), "{}", class.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks of the AES implementations (host
+//! wall-clock performance of the library itself, complementing the
+//! simulated-time results of `exp_fig11`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sentry_crypto::modes::{cbc_decrypt, cbc_encrypt};
+use sentry_crypto::{Aes, AesRef, AesStateLayout, KeySize, TrackedAes, VecStore};
+use std::hint::black_box;
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes_block");
+    group.sample_size(20);
+    let key = [0x42u8; 16];
+    let fast = Aes::new(&key).unwrap();
+    let reference = AesRef::new(&key).unwrap();
+    group.bench_function("table_driven", |b| {
+        let mut block = [7u8; 16];
+        b.iter(|| {
+            fast.encrypt_block(black_box(&mut block));
+        });
+    });
+    group.bench_function("reference_spec", |b| {
+        let mut block = [7u8; 16];
+        b.iter(|| {
+            reference.encrypt_block(black_box(&mut block));
+        });
+    });
+    group.bench_function("tracked_vecstore", |b| {
+        let layout = AesStateLayout::for_key_size(KeySize::Aes128);
+        let mut store = VecStore::new(layout.total_bytes());
+        let tracked = TrackedAes::init(&mut store, &key).unwrap();
+        let mut block = [7u8; 16];
+        b.iter(|| {
+            tracked.encrypt_block(&mut store, black_box(&mut block));
+        });
+    });
+    group.finish();
+}
+
+fn bench_cbc_pages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes_cbc_4k_page");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(4096));
+    let aes = Aes::new(&[1u8; 32]).unwrap();
+    let iv = [0u8; 16];
+    for keysize in [16usize, 24, 32] {
+        let aes = Aes::new(&vec![1u8; keysize]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("encrypt", keysize * 8),
+            &keysize,
+            |b, _| {
+                let mut page = vec![0xAAu8; 4096];
+                b.iter(|| cbc_encrypt(&aes, &iv, black_box(&mut page)));
+            },
+        );
+    }
+    group.bench_function("decrypt_aes256", |b| {
+        let mut page = vec![0xAAu8; 4096];
+        b.iter(|| cbc_decrypt(&aes, &iv, black_box(&mut page)));
+    });
+    group.finish();
+}
+
+fn bench_key_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_schedule");
+    group.sample_size(30);
+    for ks in KeySize::all() {
+        let key = vec![9u8; ks.key_len()];
+        group.bench_with_input(BenchmarkId::new("expand", ks.to_string()), &key, |b, key| {
+            b.iter(|| Aes::new(black_box(key)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block, bench_cbc_pages, bench_key_schedule);
+criterion_main!(benches);

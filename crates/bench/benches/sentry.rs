@@ -1,0 +1,64 @@
+//! Criterion benchmarks of Sentry's end-to-end operations: the
+//! lock/unlock cycle and background paging. These measure the host cost
+//! of running the full machinery (useful for keeping the simulator
+//! usable); the *simulated* costs are what the exp_* binaries report.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sentry_core::{Sentry, SentryConfig};
+use sentry_kernel::Kernel;
+use sentry_soc::addr::PAGE_SIZE;
+use sentry_soc::Soc;
+use std::hint::black_box;
+
+const APP_PAGES: u64 = 64; // 256 KB app
+
+fn sentry_with_app() -> (Sentry, u32) {
+    let kernel = Kernel::new(Soc::tegra3_small());
+    let mut sentry = Sentry::new(kernel, SentryConfig::tegra3_locked_l2(2)).unwrap();
+    let pid = sentry.kernel.spawn("bench-app");
+    sentry.mark_sensitive(pid).unwrap();
+    let data = vec![0x77u8; PAGE_SIZE as usize];
+    for vpn in 0..APP_PAGES {
+        sentry.write(pid, vpn * PAGE_SIZE, &data).unwrap();
+    }
+    (sentry, pid)
+}
+
+fn bench_lock_unlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifecycle");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(APP_PAGES * PAGE_SIZE));
+    group.bench_function("lock_unlock_cycle_256k_app", |b| {
+        b.iter_with_setup(sentry_with_app, |(mut sentry, _pid)| {
+            sentry.on_lock().unwrap();
+            sentry.on_unlock().unwrap();
+            black_box(sentry.stats);
+        });
+    });
+    group.finish();
+}
+
+fn bench_background_paging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("background_paging");
+    group.sample_size(10);
+    group.bench_function("fault_decrypt_page_in", |b| {
+        b.iter_with_setup(
+            || {
+                let (mut sentry, pid) = sentry_with_app();
+                sentry.on_lock().unwrap();
+                (sentry, pid)
+            },
+            |(mut sentry, pid)| {
+                let mut buf = [0u8; 64];
+                for vpn in 0..16u64 {
+                    sentry.read(pid, vpn * PAGE_SIZE, &mut buf).unwrap();
+                }
+                black_box(sentry.pager.stats);
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lock_unlock, bench_background_paging);
+criterion_main!(benches);

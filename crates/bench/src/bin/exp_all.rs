@@ -1,0 +1,66 @@
+//! Run every reproduction experiment in sequence — the one-shot
+//! "regenerate the paper's evaluation" entry point.
+//!
+//! Each table/figure also has its own binary (`exp_table2`,
+//! `exp_fig9`, …) for iterating on a single experiment.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_table2",
+    "exp_table3",
+    "exp_table4",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_fig6to8",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_pl310_validate",
+    "exp_strawman",
+    "exp_zeroing",
+    "exp_ablation_ways",
+    "exp_ablation_lazy",
+    "exp_ablation_tables",
+    "exp_freezer",
+    "exp_sidechannel",
+    "exp_related_work",
+    "exp_daily_battery",
+];
+
+fn main() {
+    // Prefer an already-built sibling binary; otherwise go through
+    // cargo so `cargo run --bin exp_all` works from a cold target dir.
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory").to_path_buf();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let release = bin_dir.ends_with("release");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n────────────────────────────── {exp} ──────────────────────────────");
+        let sibling = bin_dir.join(exp);
+        let status = if sibling.exists() {
+            Command::new(sibling).status()
+        } else {
+            let mut cmd = Command::new(&cargo);
+            cmd.args(["run", "--quiet", "-p", "sentry-bench", "--bin", exp]);
+            if release {
+                cmd.arg("--release");
+            }
+            cmd.status()
+        }
+        .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            failures.push(*exp);
+        }
+    }
+    println!("\n{} experiments run, {} failed", EXPERIMENTS.len(), failures.len());
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

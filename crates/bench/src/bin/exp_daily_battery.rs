@@ -1,0 +1,66 @@
+//! The paper's headline, measured end to end: "Sentry consumes about 2%
+//! of a device's battery life to protect an application assuming the
+//! user unlocks the device 150 times a day."
+//!
+//! A [`sentry_core::DeviceAgent`] drives 150 real lock → PIN-unlock →
+//! glance cycles through the full machinery for a Maps-sized app and
+//! reports the measured energy, alongside the analytic bound.
+
+use sentry_bench::print_table;
+use sentry_core::{DeviceAgent, Sentry, SentryConfig};
+use sentry_energy::{AesVariant, EnergyModel, CYCLES_PER_DAY};
+use sentry_kernel::Kernel;
+use sentry_soc::addr::PAGE_SIZE;
+use sentry_soc::{Platform, Soc, SocConfig};
+
+fn main() {
+    let kernel = Kernel::new(Soc::new(
+        SocConfig::new(Platform::Nexus4).with_dram_size(256 << 20),
+    ));
+    let mut sentry = Sentry::new(kernel, SentryConfig::nexus4()).expect("sentry installs");
+    let pid = sentry.kernel.spawn("maps");
+    sentry.mark_sensitive(pid).expect("pid exists");
+
+    // A Maps-sized app: 48 MB resident; each glance touches ~6 MB.
+    let pages = 48 * 256u64;
+    let fill = vec![0x5Au8; PAGE_SIZE as usize];
+    for vpn in 0..pages {
+        sentry.write(pid, vpn * PAGE_SIZE, &fill).expect("populate");
+    }
+    let glance: Vec<u64> = (0..6 * 256u64).collect();
+
+    let mut agent = DeviceAgent::new(sentry, "4521");
+    let day = agent
+        .simulate_day(pid, &glance, CYCLES_PER_DAY)
+        .expect("day simulates");
+
+    let energy = EnergyModel::nexus4();
+    let analytic =
+        energy.daily_battery_fraction(AesVariant::CryptoApi, 48 << 20, 38 << 20, CYCLES_PER_DAY);
+
+    print_table(
+        "Daily battery cost of protecting one app (150 lock/unlock cycles)",
+        &["Quantity", "Value"],
+        &[
+            vec!["cycles".into(), day.cycles.to_string()],
+            vec![
+                "GB encrypted / day".into(),
+                format!("{:.2}", day.bytes_encrypted as f64 / 1e9),
+            ],
+            vec![
+                "GB decrypted / day".into(),
+                format!("{:.2}", day.bytes_decrypted as f64 / 1e9),
+            ],
+            vec!["energy (J)".into(), format!("{:.1}", day.joules)],
+            vec![
+                "battery / day (measured)".into(),
+                format!("{:.2}%", day.battery_fraction * 100.0),
+            ],
+            vec![
+                "battery / day (paper's conservative bound)".into(),
+                format!("{:.2}%", analytic * 100.0),
+            ],
+        ],
+    );
+    println!("\nMeasured is below the bound because lazy decryption means untouched\npages stay encrypted across cycles — they are never re-encrypted.");
+}

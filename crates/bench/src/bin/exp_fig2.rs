@@ -1,0 +1,25 @@
+//! Figure 2: performance overhead upon device unlock (resume).
+//!
+//! For each sensitive app, the time to resume after unlock and the
+//! megabytes decrypted to do so (eager DMA regions + on-demand resume
+//! set). Paper values: ~0.2 s/small for Contacts up to ~1.5 s/38 MB
+//! for Google Maps, "roughly proportional to the amount of data to be
+//! decrypted".
+
+use sentry_bench::{mb, print_table, secs};
+use sentry_workloads::{app_catalog, run_app_cycle};
+
+fn main() {
+    let rows: Vec<Vec<String>> = app_catalog()
+        .iter()
+        .map(|app| {
+            let r = run_app_cycle(app).expect("cycle runs");
+            vec![r.name.to_string(), secs(r.resume_secs), mb(r.resume_mb)]
+        })
+        .collect();
+    print_table(
+        "Figure 2: device-unlock (resume) overhead",
+        &["App", "Time (s)", "MB decrypted"],
+        &rows,
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 3: performance overhead at runtime (scripted app tasks).
+//!
+//! Each app runs its scripted task sequence right after unlock,
+//! decrypting remaining pages on demand. Paper overheads: Contacts
+//! 4.3%, Maps 1.2%, Twitter 1.3%, MP3 0.2%.
+
+use sentry_bench::{mb, pct, print_table, secs};
+use sentry_workloads::{app_catalog, run_app_cycle};
+
+fn main() {
+    let paper = [4.3, 1.2, 1.3, 0.2];
+    let rows: Vec<Vec<String>> = app_catalog()
+        .iter()
+        .zip(paper.iter())
+        .map(|(app, paper_pct)| {
+            let r = run_app_cycle(app).expect("cycle runs");
+            vec![
+                r.name.to_string(),
+                secs(r.runtime_overhead * app.script_secs),
+                mb(r.runtime_mb),
+                pct(r.runtime_overhead),
+                format!("{paper_pct}%"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3: runtime overhead during scripted tasks",
+        &["App", "Added time (s)", "MB decrypted", "Overhead", "Paper"],
+        &rows,
+    );
+}

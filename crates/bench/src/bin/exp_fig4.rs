@@ -1,0 +1,22 @@
+//! Figure 4: performance overhead upon device lock.
+//!
+//! Encrypt-on-lock of each app's sensitive memory. Paper: 0.7–2 s per
+//! app, proportional to the megabytes encrypted (up to 48 MB for Maps).
+
+use sentry_bench::{mb, print_table, secs};
+use sentry_workloads::{app_catalog, run_app_cycle};
+
+fn main() {
+    let rows: Vec<Vec<String>> = app_catalog()
+        .iter()
+        .map(|app| {
+            let r = run_app_cycle(app).expect("cycle runs");
+            vec![r.name.to_string(), secs(r.lock_secs), mb(r.lock_mb)]
+        })
+        .collect();
+    print_table(
+        "Figure 4: device-lock (encrypt) overhead",
+        &["App", "Time (s)", "MB encrypted"],
+        &rows,
+    );
+}

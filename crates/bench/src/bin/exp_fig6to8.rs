@@ -1,0 +1,42 @@
+//! Figures 6–8: performance of background computation while locked.
+//!
+//! alpine, vlock, and xmms2 run in the background of the locked Tegra
+//! prototype with 256 KB and 512 KB of locked L2 cache, compared to the
+//! no-Sentry baseline. The paper's anchors: alpine is 2.74x slower with
+//! 256 KB; xmms2 keeps a 48% overhead even with 512 KB.
+
+use sentry_bench::{print_table, secs};
+use sentry_workloads::{background_catalog, run_background};
+
+fn main() {
+    for spec in background_catalog() {
+        let base = run_background(&spec, 0).expect("baseline runs");
+        let small = run_background(&spec, 256).expect("256 KB runs");
+        let large = run_background(&spec, 512).expect("512 KB runs");
+        let rows = vec![
+            vec![
+                "Without Sentry".to_string(),
+                secs(base.kernel_secs),
+                "1.00x".to_string(),
+                base.faults.to_string(),
+            ],
+            vec![
+                "With Sentry (256KB)".to_string(),
+                secs(small.kernel_secs),
+                format!("{:.2}x", small.kernel_secs / base.kernel_secs),
+                small.faults.to_string(),
+            ],
+            vec![
+                "With Sentry (512KB)".to_string(),
+                secs(large.kernel_secs),
+                format!("{:.2}x", large.kernel_secs / base.kernel_secs),
+                large.faults.to_string(),
+            ],
+        ];
+        print_table(
+            &format!("Figures 6-8: background computation, {}", spec.name),
+            &["Configuration", "Time in kernel (s)", "Factor", "Pager faults"],
+            &rows,
+        );
+    }
+}

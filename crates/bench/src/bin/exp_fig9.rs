@@ -1,0 +1,41 @@
+//! Figure 9: dm-crypt throughput under filebench.
+//!
+//! randread and randrw, each cached and with direct I/O, across
+//! {No Crypto, Generic AES, Sentry}. The paper's shapes: the buffer
+//! cache masks encryption for randread; direct I/O exposes it; randrw
+//! loses about half its throughput to encryption even when cached; and
+//! Sentry tracks generic AES closely.
+
+use sentry_bench::print_table;
+use sentry_workloads::{run_filebench, CryptoSetup, FilebenchSpec, Workload};
+
+fn main() {
+    for workload in [Workload::RandRead, Workload::RandRw] {
+        for direct in [false, true] {
+            let spec = FilebenchSpec::new(workload, direct);
+            let rows: Vec<Vec<String>> = [
+                CryptoSetup::NoCrypto,
+                CryptoSetup::GenericAes,
+                CryptoSetup::Sentry,
+            ]
+            .iter()
+            .map(|&crypto| {
+                let r = run_filebench(&spec, crypto).expect("filebench runs");
+                vec![
+                    crypto.to_string(),
+                    format!("{:.1}", r.mb_per_sec),
+                    r.cache_hits.to_string(),
+                ]
+            })
+            .collect();
+            print_table(
+                &format!(
+                    "Figure 9: {workload}{}",
+                    if direct { " (direct I/O)" } else { "" }
+                ),
+                &["Setup", "MB/s", "Cache hits"],
+                &rows,
+            );
+        }
+    }
+}

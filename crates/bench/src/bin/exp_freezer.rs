@@ -1,0 +1,43 @@
+//! Extension: the FROST household-freezer attack surface.
+//!
+//! Müller & Spreitzenbarth's FROST (cited throughout §1/§3) cools the
+//! phone before resetting it, slowing DRAM decay enough to recover
+//! data. The remanence model reproduces the temperature dependence;
+//! this sweep shows why Sentry's on-SoC storage matters even against a
+//! *cooled* cold boot: iRAM is zeroed by firmware regardless of
+//! temperature.
+
+use sentry_attacks::coldboot::remanence_trial;
+use sentry_bench::{pct, print_table};
+use sentry_soc::dram::{PowerEvent, RemanenceModel};
+use sentry_soc::{Platform, Soc, SocConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for temp_c in [20.0, 5.0, -15.0] {
+        for secs in [0.5, 2.0, 10.0] {
+            let cfg = SocConfig::new(Platform::Tegra3).with_dram_size(64 << 20);
+            let mut soc = Soc::new(SocConfig {
+                remanence: RemanenceModel {
+                    temperature_c: temp_c,
+                    ..RemanenceModel::default()
+                },
+                ..cfg
+            });
+            let out = remanence_trial(&mut soc, PowerEvent::HardReset { seconds: secs }, 50_000)
+                .expect("trial runs");
+            rows.push(vec![
+                format!("{temp_c:.0} °C"),
+                format!("{secs:.1} s"),
+                pct(out.dram_fraction),
+                pct(out.iram_fraction),
+            ]);
+        }
+    }
+    print_table(
+        "Extension: cooled cold boot (FROST) — DRAM survival vs temperature",
+        &["Temperature", "Power-off", "DRAM preserved", "iRAM preserved"],
+        &rows,
+    );
+    println!("\nA freezer rescues DRAM contents across multi-second resets —\nbut iRAM still reads 0%: the signed firmware zeroes it at power-on,\nindependent of physics. On-SoC storage defeats FROST.");
+}

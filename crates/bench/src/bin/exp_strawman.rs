@@ -1,0 +1,31 @@
+//! The §7 full-memory-encryption strawman.
+//!
+//! Encrypting all of DRAM at every suspend is what a naive design would
+//! do: the paper measured over a minute and over 70 J per 2 GB cycle,
+//! depleting the battery after only ~410 suspend/resume cycles — the
+//! motivation for selective encryption.
+
+use sentry_bench::print_table;
+use sentry_energy::EnergyModel;
+
+fn main() {
+    let m = EnergyModel::nexus4();
+    let rows: Vec<Vec<String>> = [1u64 << 30, 2 << 30, 4 << 30]
+        .iter()
+        .map(|&bytes| {
+            let s = m.strawman(bytes);
+            vec![
+                format!("{} GB", bytes >> 30),
+                format!("{:.1}", s.seconds_per_encrypt),
+                format!("{:.1}", s.joules_per_encrypt),
+                s.cycles_to_deplete.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "§7 strawman: full-memory encryption per suspend (paper @2GB: >60 s, >70 J, 410 cycles)",
+        &["DRAM", "Seconds", "Joules", "Cycles to empty battery"],
+        &rows,
+    );
+    println!("\nHardware trend: DRAM keeps growing while battery does not —\nselective encryption is the only sustainable design.");
+}

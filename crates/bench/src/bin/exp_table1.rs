@@ -1,0 +1,25 @@
+//! Table 1: summary of the threat model.
+
+use sentry_attacks::threat_model::{AttackClass, Scope};
+use sentry_bench::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = AttackClass::all()
+        .into_iter()
+        .map(|class| match class.scope() {
+            Scope::InScope => vec![
+                class.name().to_string(),
+                "IN SCOPE".into(),
+                "implemented: see crates/attacks".into(),
+            ],
+            Scope::OutOfScope(why) => {
+                vec![class.name().to_string(), "out of scope".into(), why.into()]
+            }
+        })
+        .collect();
+    print_table(
+        "Table 1: summary of the threat model",
+        &["Attack class", "Scope", "Rationale / status"],
+        &rows,
+    );
+}

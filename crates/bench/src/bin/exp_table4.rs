@@ -1,0 +1,60 @@
+//! Table 4: the breakdown of AES state in bytes, by sensitivity class.
+//!
+//! Regenerated from the *actual* memory layout used by AES On SoC
+//! (`sentry_crypto::AesStateLayout`), side by side with the paper's
+//! published byte counts. The one deliberate difference: our round-key
+//! cache stores both encryption and decryption schedules explicitly
+//! (the equivalent inverse cipher), so the "Round Keys" row is larger
+//! than the paper's OpenSSL-style accounting.
+
+use sentry_bench::print_table;
+use sentry_crypto::{AesStateLayout, KeySize, Sensitivity};
+
+fn main() {
+    let layouts: Vec<AesStateLayout> = KeySize::all()
+        .iter()
+        .map(|ks| AesStateLayout::for_key_size(*ks))
+        .collect();
+
+    let mut rows = Vec::new();
+    for component in layouts[0].components() {
+        let mut row = vec![component.name.to_string()];
+        for layout in &layouts {
+            let c = layout.component(component.name);
+            row.push(format!(
+                "{}{}",
+                c.bytes,
+                c.paper_bytes
+                    .filter(|&p| p != c.bytes)
+                    .map(|p| format!(" (paper {p})"))
+                    .unwrap_or_default()
+            ));
+        }
+        row.push(component.sensitivity.to_string());
+        rows.push(row);
+    }
+    print_table(
+        "Table 4: AES state in bytes",
+        &["Component", "AES-128", "AES-192", "AES-256", "Sensitivity"],
+        &rows,
+    );
+
+    println!("\nTotals (AES-128):");
+    let l128 = &layouts[0];
+    for s in [
+        Sensitivity::Secret,
+        Sensitivity::AccessProtected,
+        Sensitivity::Public,
+    ] {
+        println!(
+            "  {s:<17} ours {:>5} B   paper {:>5} B",
+            l128.total_for(s),
+            l128.paper_total_for(s)
+        );
+    }
+    println!(
+        "  On-SoC footprint: {} B (fits one 4 KiB page: {})",
+        l128.on_soc_bytes(),
+        l128.total_bytes() <= 4096
+    );
+}

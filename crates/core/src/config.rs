@@ -1,0 +1,104 @@
+//! Sentry configuration.
+
+/// Which on-SoC storage backs Sentry's secrets (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnSocBackend {
+    /// iRAM: the 192 KiB of on-SoC SRAM not reserved by firmware.
+    /// Available on both prototype platforms.
+    Iram,
+    /// Locked L2 cache ways: up to `max_ways` of the 8 ways (128 KiB
+    /// each). Requires firmware access (Tegra 3 only).
+    LockedL2 {
+        /// Maximum ways Sentry may lock (1–7; one way must remain for
+        /// the rest of the system).
+        max_ways: usize,
+    },
+}
+
+/// Full Sentry configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentryConfig {
+    /// Where secrets live on the SoC.
+    pub backend: OnSocBackend,
+    /// Whether sensitive apps may run in the background while locked
+    /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
+    /// Without it, sensitive apps are parked unschedulable on lock (the
+    /// Nexus 4 prototype).
+    pub background_support: bool,
+    /// Optional cap on the pager's on-SoC page slots. `Some(1)` plus the
+    /// AES state page reproduces the paper's minimum-footprint
+    /// configuration — "the minimum amount of on-SoC memory required to
+    /// implement Sentry is only two pages" (§7) — at the cost of very
+    /// frequent page faults.
+    pub slot_limit: Option<usize>,
+}
+
+impl SentryConfig {
+    /// The paper's Tegra 3 configuration: locked L2 cache ways and full
+    /// background support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_ways` is 0 or 8 — at least one way must stay
+    /// unlocked for the rest of the system (§4.5).
+    #[must_use]
+    pub fn tegra3_locked_l2(max_ways: usize) -> Self {
+        assert!((1..=7).contains(&max_ways), "lockable ways must be 1..=7");
+        SentryConfig {
+            backend: OnSocBackend::LockedL2 { max_ways },
+            background_support: true,
+            slot_limit: None,
+        }
+    }
+
+    /// A Tegra 3 configuration using iRAM instead of cache locking.
+    #[must_use]
+    pub fn tegra3_iram() -> Self {
+        SentryConfig {
+            backend: OnSocBackend::Iram,
+            background_support: true,
+            slot_limit: None,
+        }
+    }
+
+    /// The paper's Nexus 4 configuration: iRAM key storage, no cache
+    /// locking (locked firmware), no background support — sensitive apps
+    /// are parked while the device is locked.
+    #[must_use]
+    pub fn nexus4() -> Self {
+        SentryConfig {
+            backend: OnSocBackend::Iram,
+            background_support: false,
+            slot_limit: None,
+        }
+    }
+
+    /// Cap the pager's on-SoC page slots (see
+    /// [`SentryConfig::slot_limit`]).
+    #[must_use]
+    pub fn with_slot_limit(mut self, slots: usize) -> Self {
+        self.slot_limit = Some(slots);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_prototypes() {
+        let t = SentryConfig::tegra3_locked_l2(2);
+        assert_eq!(t.backend, OnSocBackend::LockedL2 { max_ways: 2 });
+        assert!(t.background_support);
+        let n = SentryConfig::nexus4();
+        assert_eq!(n.backend, OnSocBackend::Iram);
+        assert!(!n.background_support);
+    }
+
+    #[test]
+    #[should_panic(expected = "lockable ways")]
+    fn locking_all_eight_ways_is_rejected() {
+        let _ = SentryConfig::tegra3_locked_l2(8);
+    }
+}

@@ -1,0 +1,300 @@
+//! The encrypted-DRAM pager (§5, Figure 1).
+//!
+//! While the device is locked, a sensitive background application's
+//! pages live encrypted in DRAM. Every PTE has its `young` bit cleared,
+//! so the first access to a page traps; the pager then:
+//!
+//! 1. copies the encrypted page from its DRAM frame into an on-SoC page
+//!    slot (a locked L2 cache way or iRAM),
+//! 2. decrypts it in place with AES On SoC,
+//! 3. repoints the PTE at the on-SoC copy and sets `young`.
+//!
+//! When the on-SoC slots are full, the pager evicts in FIFO order: the
+//! victim page is re-encrypted in place and copied back to its home
+//! DRAM frame, and its PTE is re-armed to trap. Plaintext therefore
+//! exists only on the SoC; DRAM (and hence every in-scope attack) sees
+//! ciphertext only.
+
+use crate::error::SentryError;
+use crate::onsoc::OnSocStore;
+use sentry_kernel::fault::PageFault;
+use sentry_kernel::pagetable::Backing;
+use sentry_kernel::Kernel;
+use sentry_soc::addr::PAGE_SIZE;
+
+/// Per-page IV: bound to the (pid, vpn) pair so every page encrypts
+/// differently under the volatile root key.
+#[must_use]
+pub fn page_iv(pid: u32, vpn: u64) -> [u8; 16] {
+    let mut iv = [0u8; 16];
+    iv[..4].copy_from_slice(&pid.to_le_bytes());
+    iv[4..12].copy_from_slice(&vpn.to_le_bytes());
+    iv[12..].copy_from_slice(b"SNTR");
+    iv
+}
+
+/// Pager statistics, consumed by the background-computation experiments
+/// (Figures 6–8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Faults handled by the pager.
+    pub faults: u64,
+    /// Pages decrypted into on-SoC slots.
+    pub pageins: u64,
+    /// Pages re-encrypted back to DRAM.
+    pub pageouts: u64,
+    /// Bytes decrypted.
+    pub bytes_decrypted: u64,
+    /// Bytes encrypted.
+    pub bytes_encrypted: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    addr: u64,
+    occupant: Option<(u32, u64)>,
+}
+
+/// The encrypted-DRAM pager.
+#[derive(Debug, Default)]
+pub struct Pager {
+    slots: Vec<Slot>,
+    /// FIFO of occupied slot indices, oldest first.
+    resident: std::collections::VecDeque<usize>,
+    slot_limit: Option<usize>,
+    /// Statistics.
+    pub stats: PagerStats,
+}
+
+impl Pager {
+    /// A pager with an optional cap on on-SoC page slots.
+    #[must_use]
+    pub fn new(slot_limit: Option<usize>) -> Self {
+        Pager {
+            slot_limit,
+            ..Pager::default()
+        }
+    }
+
+    /// Number of on-SoC slots currently held.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of pages currently resident on-SoC.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Handle a fault on an encrypted page of a sensitive background
+    /// process (Figure 1's three steps, plus eviction when full).
+    ///
+    /// # Errors
+    ///
+    /// [`SentryError::OnSocExhausted`] if no slot can be obtained at
+    /// all; kernel/SoC errors from the copies.
+    pub fn handle_fault(
+        &mut self,
+        store: &mut OnSocStore,
+        kernel: &mut Kernel,
+        fault: &PageFault,
+    ) -> Result<(), SentryError> {
+        kernel.soc.clock.advance(kernel.soc.costs.page_fault_ns);
+        self.stats.faults += 1;
+
+        // Inspect the faulting PTE.
+        let pte = *kernel
+            .proc(fault.pid)?
+            .page_table
+            .get(fault.vpn)
+            .ok_or(SentryError::Unresolvable {
+                pid: fault.pid,
+                vpn: fault.vpn,
+            })?;
+
+        match pte.backing {
+            Backing::OnSoc(_) => {
+                // Already resident; just re-arm.
+                set_young(kernel, fault.pid, fault.vpn, true)?;
+                Ok(())
+            }
+            Backing::Dram(frame) if pte.encrypted => {
+                let slot_idx = self.acquire_slot(store, kernel)?;
+                self.page_in(kernel, slot_idx, fault.pid, fault.vpn, frame)
+            }
+            Backing::Dram(_) => {
+                // Unencrypted page (e.g. shared with a non-sensitive
+                // app): nothing to decrypt, just re-arm.
+                set_young(kernel, fault.pid, fault.vpn, true)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Obtain a free slot, locking more on-SoC storage if allowed and
+    /// evicting the oldest resident page otherwise.
+    fn acquire_slot(
+        &mut self,
+        store: &mut OnSocStore,
+        kernel: &mut Kernel,
+    ) -> Result<usize, SentryError> {
+        if let Some(i) = self.slots.iter().position(|s| s.occupant.is_none()) {
+            return Ok(i);
+        }
+        let may_grow = self.slot_limit.is_none_or(|lim| self.slots.len() < lim);
+        if may_grow {
+            match store.alloc_page(&mut kernel.soc) {
+                Ok(addr) => {
+                    self.slots.push(Slot {
+                        addr,
+                        occupant: None,
+                    });
+                    return Ok(self.slots.len() - 1);
+                }
+                Err(SentryError::OnSocExhausted) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let victim = self
+            .resident
+            .pop_front()
+            .ok_or(SentryError::OnSocExhausted)?;
+        self.evict(kernel, victim)?;
+        Ok(victim)
+    }
+
+    /// Figure 1 in reverse: encrypt the slot's page in place and copy it
+    /// back to its home DRAM frame; re-arm the trap.
+    fn evict(&mut self, kernel: &mut Kernel, slot_idx: usize) -> Result<(), SentryError> {
+        let slot = self.slots[slot_idx];
+        let (pid, vpn) = slot.occupant.expect("evicting an empty slot");
+
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        kernel.soc.mem_read(slot.addr, &mut page)?;
+
+        let home = {
+            let pte = kernel
+                .proc(pid)?
+                .page_table
+                .get(vpn)
+                .ok_or(SentryError::Unresolvable { pid, vpn })?;
+            pte.home_frame.ok_or(SentryError::Unresolvable { pid, vpn })?
+        };
+
+        // Encrypt in place (on the SoC), then copy out to DRAM.
+        let iv = page_iv(pid, vpn);
+        let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
+        crypto
+            .preferred_mut()
+            .map_err(SentryError::Kernel)?
+            .encrypt(soc, &iv, &mut page)
+            .map_err(SentryError::Kernel)?;
+        soc.clock.advance(soc.costs.page_copy_ns);
+        soc.mem_write(home, &page)?;
+
+        let proc = kernel.proc_mut(pid)?;
+        let pte = proc
+            .page_table
+            .get_mut(vpn)
+            .ok_or(SentryError::Unresolvable { pid, vpn })?;
+        pte.backing = Backing::Dram(home);
+        pte.home_frame = None;
+        pte.encrypted = true;
+        pte.young = false;
+        pte.dirty = false;
+        proc.stats.bytes_encrypted += PAGE_SIZE;
+
+        self.slots[slot_idx].occupant = None;
+        self.stats.pageouts += 1;
+        self.stats.bytes_encrypted += PAGE_SIZE;
+        Ok(())
+    }
+
+    /// Figure 1 forward: copy the encrypted page on-SoC and decrypt it
+    /// in place.
+    fn page_in(
+        &mut self,
+        kernel: &mut Kernel,
+        slot_idx: usize,
+        pid: u32,
+        vpn: u64,
+        frame: u64,
+    ) -> Result<(), SentryError> {
+        let slot_addr = self.slots[slot_idx].addr;
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+
+        // Step 1: copy the encrypted page into the on-SoC slot.
+        kernel.soc.mem_read(frame, &mut page)?;
+        kernel.soc.clock.advance(kernel.soc.costs.page_copy_ns);
+
+        // Step 2: decrypt in place.
+        let iv = page_iv(pid, vpn);
+        let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
+        crypto
+            .preferred_mut()
+            .map_err(SentryError::Kernel)?
+            .decrypt(soc, &iv, &mut page)
+            .map_err(SentryError::Kernel)?;
+        soc.mem_write(slot_addr, &page)?;
+
+        // Step 3: repoint the PTE and set young.
+        let proc = kernel.proc_mut(pid)?;
+        let pte = proc
+            .page_table
+            .get_mut(vpn)
+            .ok_or(SentryError::Unresolvable { pid, vpn })?;
+        pte.backing = Backing::OnSoc(slot_addr);
+        pte.home_frame = Some(frame);
+        pte.young = true;
+        proc.stats.bytes_decrypted += PAGE_SIZE;
+
+        self.slots[slot_idx].occupant = Some((pid, vpn));
+        self.resident.push_back(slot_idx);
+        self.stats.pageins += 1;
+        self.stats.bytes_decrypted += PAGE_SIZE;
+        Ok(())
+    }
+
+    /// Evict every resident page (Sentry's lock path runs this so all
+    /// sensitive state is encrypted in DRAM before the device sleeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eviction errors.
+    pub fn evict_all(&mut self, kernel: &mut Kernel) -> Result<(), SentryError> {
+        while let Some(slot_idx) = self.resident.pop_front() {
+            self.evict(kernel, slot_idx)?;
+        }
+        Ok(())
+    }
+
+    /// Release all on-SoC slots back to the store (after
+    /// [`Pager::evict_all`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates wipe errors.
+    pub fn release_slots(
+        &mut self,
+        store: &mut OnSocStore,
+        kernel: &mut Kernel,
+    ) -> Result<(), SentryError> {
+        debug_assert!(self.resident.is_empty(), "evict_all first");
+        for slot in self.slots.drain(..) {
+            store.free_page(&mut kernel.soc, slot.addr)?;
+        }
+        Ok(())
+    }
+}
+
+fn set_young(kernel: &mut Kernel, pid: u32, vpn: u64, young: bool) -> Result<(), SentryError> {
+    let proc = kernel.proc_mut(pid).map_err(SentryError::Kernel)?;
+    let pte = proc
+        .page_table
+        .get_mut(vpn)
+        .ok_or(SentryError::Unresolvable { pid, vpn })?;
+    pte.young = young;
+    Ok(())
+}

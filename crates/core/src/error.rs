@@ -1,0 +1,92 @@
+//! Sentry error types.
+
+use sentry_kernel::KernelError;
+use sentry_soc::SocError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by Sentry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SentryError {
+    /// An error from the kernel layer.
+    Kernel(KernelError),
+    /// An error from the SoC layer.
+    Soc(SocError),
+    /// On-SoC storage (iRAM or lockable cache ways) is exhausted.
+    OnSocExhausted,
+    /// The operation applies only to processes marked sensitive.
+    NotSensitive {
+        /// The offending pid.
+        pid: u32,
+    },
+    /// An access faulted on a page Sentry has no way to resolve (e.g., a
+    /// locked foreground app touched while the device is locked on a
+    /// platform without background support).
+    Unresolvable {
+        /// The faulting pid.
+        pid: u32,
+        /// The faulting virtual page number.
+        vpn: u64,
+    },
+    /// The operation requires the device to be in the other lock state.
+    WrongState {
+        /// What the operation needed.
+        expected_locked: bool,
+    },
+}
+
+impl fmt::Display for SentryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SentryError::Kernel(e) => write!(f, "kernel: {e}"),
+            SentryError::Soc(e) => write!(f, "soc: {e}"),
+            SentryError::OnSocExhausted => write!(f, "on-SoC storage exhausted"),
+            SentryError::NotSensitive { pid } => {
+                write!(f, "process {pid} is not marked sensitive")
+            }
+            SentryError::Unresolvable { pid, vpn } => {
+                write!(f, "unresolvable fault: pid {pid}, vpn {vpn:#x}")
+            }
+            SentryError::WrongState { expected_locked } => write!(
+                f,
+                "device must be {} for this operation",
+                if *expected_locked { "locked" } else { "unlocked" }
+            ),
+        }
+    }
+}
+
+impl Error for SentryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SentryError::Kernel(e) => Some(e),
+            SentryError::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for SentryError {
+    fn from(e: KernelError) -> Self {
+        SentryError::Kernel(e)
+    }
+}
+
+impl From<SocError> for SentryError {
+    fn from(e: SocError) -> Self {
+        SentryError::Soc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: SentryError = SocError::CacheLockingUnavailable.into();
+        assert!(e.to_string().contains("soc"));
+        assert!(Error::source(&e).is_some());
+        assert!(SentryError::OnSocExhausted.to_string().contains("exhausted"));
+    }
+}

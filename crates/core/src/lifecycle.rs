@@ -1,0 +1,769 @@
+//! The Sentry lifecycle: encrypt-on-lock, decrypt-on-unlock, background
+//! execution, and the fault dispatcher.
+//!
+//! Sentry's main observation (§2): protecting memory while the device is
+//! *unlocked* is pointless — anyone holding an unlocked device can read
+//! the data through the UI. So Sentry encrypts the memory of sensitive
+//! applications when the screen locks, decrypts on demand after unlock
+//! (lazily, to keep resume latency and energy low, §7), and — on
+//! platforms with cache locking — lets sensitive apps keep running in
+//! the background with their working set confined to the SoC.
+
+use crate::aes_onsoc::build_engine;
+use crate::config::SentryConfig;
+use crate::encdram::{page_iv, Pager};
+use crate::error::SentryError;
+use crate::keys::VolatileRootKey;
+use crate::onsoc::OnSocStore;
+use sentry_kernel::fault::PageFault;
+use sentry_kernel::pagetable::{Backing, Sharing};
+use sentry_kernel::{Kernel, KernelError, Pid};
+use sentry_soc::addr::PAGE_SIZE;
+
+/// Whether the device screen is locked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Screen on, user authenticated. Sentry adds (almost) no overhead.
+    Unlocked,
+    /// Screen locked: sensitive state is ciphertext in DRAM.
+    Locked,
+}
+
+/// What a lock transition did (drives Figures 4 and 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockReport {
+    /// Total simulated time of the transition, nanoseconds.
+    pub duration_ns: u64,
+    /// Bytes encrypted.
+    pub bytes_encrypted: u64,
+    /// Time spent waiting for the freed-page zeroing drain.
+    pub zero_drain_ns: u64,
+    /// Pages skipped because they are shared with non-sensitive apps.
+    pub skipped_shared_pages: u64,
+}
+
+/// What an unlock transition did eagerly (DMA regions; Figure 2's
+/// lazy remainder shows up in [`LifecycleStats`] as apps resume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnlockReport {
+    /// Total simulated time of the eager part, nanoseconds.
+    pub duration_ns: u64,
+    /// Bytes of DMA-region memory decrypted eagerly.
+    pub eager_bytes_decrypted: u64,
+}
+
+/// Cumulative on-demand (post-unlock) decryption statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Lock transitions performed.
+    pub locks: u64,
+    /// Unlock transitions performed.
+    pub unlocks: u64,
+    /// On-demand page decryptions since the last reset.
+    pub ondemand_faults: u64,
+    /// Bytes decrypted on demand since the last reset.
+    pub ondemand_bytes: u64,
+    /// Simulated time spent in on-demand decryption since the last
+    /// reset.
+    pub ondemand_ns: u64,
+}
+
+/// The Sentry system: the kernel plus Sentry's storage, pager, and keys.
+#[derive(Debug)]
+pub struct Sentry {
+    /// The underlying kernel (and through it, the SoC).
+    pub kernel: Kernel,
+    /// On-SoC storage.
+    pub store: OnSocStore,
+    /// The encrypted-DRAM pager.
+    pub pager: Pager,
+    /// Configuration.
+    pub config: SentryConfig,
+    /// Cumulative statistics.
+    pub stats: LifecycleStats,
+    state: DeviceState,
+    volatile_key: VolatileRootKey,
+}
+
+impl Sentry {
+    /// Install Sentry into `kernel`: set up on-SoC storage, generate the
+    /// volatile root key on-SoC, build AES On SoC keyed with it, and
+    /// register the engine with the Crypto API at high priority.
+    ///
+    /// # Errors
+    ///
+    /// Propagates on-SoC allocation failures (e.g., requesting the
+    /// locked-L2 backend on a platform whose firmware disables cache
+    /// locking).
+    pub fn new(mut kernel: Kernel, config: SentryConfig) -> Result<Self, SentryError> {
+        let mut store = OnSocStore::new(config.backend, &mut kernel.soc)?;
+        let key_page = store.alloc_page(&mut kernel.soc)?;
+        let volatile_key =
+            VolatileRootKey::generate(&mut kernel.soc, key_page, 0xB007_0000 ^ key_page)?;
+        let key = volatile_key.read(&mut kernel.soc)?;
+        let engine = build_engine(&mut store, &mut kernel.soc, &key)?;
+        kernel.crypto.register(Box::new(engine));
+        Ok(Sentry {
+            kernel,
+            store,
+            pager: Pager::new(config.slot_limit),
+            config,
+            stats: LifecycleStats::default(),
+            state: DeviceState::Unlocked,
+            volatile_key,
+        })
+    }
+
+    /// Current lock state.
+    #[must_use]
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// The volatile root key handle (on-SoC address).
+    #[must_use]
+    pub fn volatile_key(&self) -> VolatileRootKey {
+        self.volatile_key
+    }
+
+    /// Mark a process sensitive — the settings-menu toggle of §7.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownPid`] via [`SentryError::Kernel`].
+    pub fn mark_sensitive(&mut self, pid: Pid) -> Result<(), SentryError> {
+        self.kernel.proc_mut(pid)?.sensitive = true;
+        Ok(())
+    }
+
+    fn sensitive_pids(&self) -> Vec<Pid> {
+        self.kernel
+            .procs
+            .values()
+            .filter(|p| p.sensitive)
+            .map(|p| p.pid)
+            .collect()
+    }
+
+    /// Encrypt a single page in place in DRAM with the volatile key.
+    fn crypt_page_in_dram(
+        kernel: &mut Kernel,
+        pid: Pid,
+        vpn: u64,
+        frame: u64,
+        encrypt: bool,
+    ) -> Result<(), SentryError> {
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        kernel.soc.mem_read(frame, &mut page)?;
+        let iv = page_iv(pid, vpn);
+        let Kernel { soc, crypto, .. } = kernel;
+        let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
+        if encrypt {
+            engine.encrypt(soc, &iv, &mut page).map_err(SentryError::Kernel)?;
+        } else {
+            engine.decrypt(soc, &iv, &mut page).map_err(SentryError::Kernel)?;
+        }
+        soc.mem_write(frame, &page)?;
+        Ok(())
+    }
+
+    /// Transition to the locked state (§7): drain the freed-page zeroing
+    /// thread, page out any on-SoC resident pages, then walk every
+    /// sensitive process's page table and encrypt its DRAM pages —
+    /// skipping pages shared with non-sensitive applications. On
+    /// platforms without background support, sensitive processes are
+    /// parked unschedulable.
+    ///
+    /// # Errors
+    ///
+    /// [`SentryError::WrongState`] if already locked; propagated memory
+    /// and cipher errors otherwise.
+    pub fn on_lock(&mut self) -> Result<LockReport, SentryError> {
+        if self.state == DeviceState::Locked {
+            return Err(SentryError::WrongState {
+                expected_locked: false,
+            });
+        }
+        let t0 = self.kernel.soc.clock.now_ns();
+        let zero_drain_ns = self.kernel.drain_zero_thread()?;
+        self.pager.evict_all(&mut self.kernel)?;
+
+        let mut bytes = 0u64;
+        let mut skipped = 0u64;
+        for pid in self.sensitive_pids() {
+            let targets: Vec<(u64, u64)> = {
+                let proc = self.kernel.proc(pid)?;
+                proc.page_table
+                    .iter()
+                    .filter_map(|(vpn, pte)| match pte.backing {
+                        Backing::Dram(frame)
+                            if !pte.encrypted
+                                && pte.sharing != Sharing::SharedWithNonSensitive =>
+                        {
+                            Some((vpn, frame))
+                        }
+                        _ => None,
+                    })
+                    // Frames mapped by several processes are classified
+                    // and encrypted once, below — never per mapping.
+                    .filter(|(_, frame)| self.kernel.sharers_of(*frame).is_none())
+                    .collect()
+            };
+            skipped += self
+                .kernel
+                .proc(pid)?
+                .page_table
+                .vpns_where(|p| p.sharing == Sharing::SharedWithNonSensitive)
+                .len() as u64;
+
+            for (vpn, frame) in targets {
+                Self::crypt_page_in_dram(&mut self.kernel, pid, vpn, frame, true)?;
+                let proc = self.kernel.proc_mut(pid)?;
+                let pte = proc.page_table.get_mut(vpn).expect("walked above");
+                pte.encrypted = true;
+                pte.young = false;
+                pte.dirty = false;
+                proc.stats.bytes_encrypted += PAGE_SIZE;
+                bytes += PAGE_SIZE;
+            }
+            if !self.config.background_support {
+                self.kernel.proc_mut(pid)?.schedulable = false;
+            }
+        }
+
+        // §7 shared-page policy, applied to *actual* shared frames: a
+        // frame shared only among sensitive processes is encrypted —
+        // exactly once — and every mapper's PTE is re-armed; a frame
+        // shared with any non-sensitive process is assumed non-secret
+        // and skipped (its mappings are tagged accordingly).
+        let shared: Vec<(u64, Vec<(Pid, u64)>)> = self
+            .kernel
+            .shared_frames
+            .iter()
+            .filter(|(_, sharers)| sharers.len() > 1)
+            .map(|(&frame, sharers)| (frame, sharers.clone()))
+            .collect();
+        for (frame, sharers) in shared {
+            let all_sensitive = sharers.iter().all(|&(pid, _)| {
+                self.kernel.procs.get(&pid).is_some_and(|p| p.sensitive)
+            });
+            let any_sensitive = sharers.iter().any(|&(pid, _)| {
+                self.kernel.procs.get(&pid).is_some_and(|p| p.sensitive)
+            });
+            if !any_sensitive {
+                continue;
+            }
+            if all_sensitive {
+                let already = sharers.iter().any(|&(pid, vpn)| {
+                    self.kernel
+                        .procs
+                        .get(&pid)
+                        .and_then(|p| p.page_table.get(vpn))
+                        .is_some_and(|pte| pte.encrypted)
+                });
+                if !already {
+                    let (pid0, vpn0) = sharers[0];
+                    Self::crypt_page_in_dram(&mut self.kernel, pid0, vpn0, frame, true)?;
+                    bytes += PAGE_SIZE;
+                }
+                for &(pid, vpn) in &sharers {
+                    if let Some(pte) = self
+                        .kernel
+                        .procs
+                        .get_mut(&pid)
+                        .and_then(|p| p.page_table.get_mut(vpn))
+                    {
+                        pte.encrypted = true;
+                        pte.young = false;
+                        pte.dirty = false;
+                        pte.sharing = Sharing::SharedSensitiveOnly;
+                    }
+                }
+            } else {
+                skipped += 1;
+                for &(pid, vpn) in &sharers {
+                    if let Some(pte) = self
+                        .kernel
+                        .procs
+                        .get_mut(&pid)
+                        .and_then(|p| p.page_table.get_mut(vpn))
+                    {
+                        pte.sharing = Sharing::SharedWithNonSensitive;
+                    }
+                }
+            }
+        }
+
+        self.state = DeviceState::Locked;
+        self.stats.locks += 1;
+        Ok(LockReport {
+            duration_ns: self.kernel.soc.clock.now_ns() - t0,
+            bytes_encrypted: bytes,
+            zero_drain_ns,
+            skipped_shared_pages: skipped,
+        })
+    }
+
+    /// Transition to the unlocked state: un-park sensitive processes and
+    /// eagerly decrypt DMA regions (devices access them by physical
+    /// address and never fault, §7). Everything else decrypts lazily on
+    /// first touch.
+    ///
+    /// # Errors
+    ///
+    /// [`SentryError::WrongState`] if already unlocked; propagated
+    /// memory and cipher errors otherwise.
+    pub fn on_unlock(&mut self) -> Result<UnlockReport, SentryError> {
+        if self.state == DeviceState::Unlocked {
+            return Err(SentryError::WrongState {
+                expected_locked: true,
+            });
+        }
+        let t0 = self.kernel.soc.clock.now_ns();
+        let mut eager = 0u64;
+        for pid in self.sensitive_pids() {
+            self.kernel.proc_mut(pid)?.schedulable = true;
+            let dma_pages: Vec<(u64, u64)> = self
+                .kernel
+                .proc(pid)?
+                .page_table
+                .iter()
+                .filter_map(|(vpn, pte)| match pte.backing {
+                    Backing::Dram(frame) if pte.encrypted && pte.dma_region => {
+                        Some((vpn, frame))
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (vpn, frame) in dma_pages {
+                Self::crypt_page_in_dram(&mut self.kernel, pid, vpn, frame, false)?;
+                let proc = self.kernel.proc_mut(pid)?;
+                let pte = proc.page_table.get_mut(vpn).expect("walked above");
+                pte.encrypted = false;
+                pte.young = true;
+                proc.stats.bytes_decrypted += PAGE_SIZE;
+                eager += PAGE_SIZE;
+            }
+        }
+        self.state = DeviceState::Unlocked;
+        self.stats.unlocks += 1;
+        Ok(UnlockReport {
+            duration_ns: self.kernel.soc.clock.now_ns() - t0,
+            eager_bytes_decrypted: eager,
+        })
+    }
+
+    /// Resolve a page fault according to the device state (the §5/§7
+    /// dispatcher).
+    fn handle_fault(&mut self, fault: &PageFault) -> Result<(), SentryError> {
+        let sensitive = self.kernel.proc(fault.pid)?.sensitive;
+        match self.state {
+            DeviceState::Locked => {
+                if sensitive && self.config.background_support {
+                    self.pager
+                        .handle_fault(&mut self.store, &mut self.kernel, fault)
+                } else {
+                    // Foreground apps are parked while locked; a fault
+                    // here is a programming error in the caller.
+                    Err(SentryError::Unresolvable {
+                        pid: fault.pid,
+                        vpn: fault.vpn,
+                    })
+                }
+            }
+            DeviceState::Unlocked => {
+                let t0 = self.kernel.soc.clock.now_ns();
+                self.kernel
+                    .soc
+                    .clock
+                    .advance(self.kernel.soc.costs.page_fault_ns);
+                let pte = *self
+                    .kernel
+                    .proc(fault.pid)?
+                    .page_table
+                    .get(fault.vpn)
+                    .ok_or(SentryError::Unresolvable {
+                        pid: fault.pid,
+                        vpn: fault.vpn,
+                    })?;
+                match pte.backing {
+                    Backing::Dram(frame) if pte.encrypted => {
+                        // On-demand decryption in the fault handler (§7).
+                        // Shared frames were encrypted under the first
+                        // sharer's IV; decrypt with the same one.
+                        let (iv_pid, iv_vpn) = self
+                            .kernel
+                            .sharers_of(frame)
+                            .and_then(|s| s.first().copied())
+                            .unwrap_or((fault.pid, fault.vpn));
+                        Self::crypt_page_in_dram(&mut self.kernel, iv_pid, iv_vpn, frame, false)?;
+                        // Re-arm every mapping of the frame, not just the
+                        // faulting one — a second sharer must not decrypt
+                        // the now-plaintext page again.
+                        if let Some(sharers) = self
+                            .kernel
+                            .sharers_of(frame)
+                            .map(<[(u32, u64)]>::to_vec)
+                        {
+                            for (spid, svpn) in sharers {
+                                if let Some(spte) = self
+                                    .kernel
+                                    .procs
+                                    .get_mut(&spid)
+                                    .and_then(|p| p.page_table.get_mut(svpn))
+                                {
+                                    spte.encrypted = false;
+                                    spte.young = true;
+                                }
+                            }
+                        }
+                        let proc = self.kernel.proc_mut(fault.pid)?;
+                        let pte = proc.page_table.get_mut(fault.vpn).expect("present");
+                        pte.encrypted = false;
+                        pte.young = true;
+                        proc.stats.bytes_decrypted += PAGE_SIZE;
+                        self.stats.ondemand_faults += 1;
+                        self.stats.ondemand_bytes += PAGE_SIZE;
+                        self.stats.ondemand_ns += self.kernel.soc.clock.now_ns() - t0;
+                        Ok(())
+                    }
+                    _ => {
+                        // A leftover trap (e.g., a page still on-SoC from
+                        // a background stint): just re-arm.
+                        let proc = self.kernel.proc_mut(fault.pid)?;
+                        let pte = proc
+                            .page_table
+                            .get_mut(fault.vpn)
+                            .expect("present");
+                        pte.young = true;
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process read with transparent fault handling.
+    ///
+    /// The access proceeds page by page, as hardware would: a fault on
+    /// page *n* never forces pages before *n* to be re-touched, so even
+    /// a single on-SoC slot makes forward progress (the two-page minimum
+    /// configuration of §7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unresolvable faults and memory errors.
+    pub fn read(&mut self, pid: Pid, vaddr: u64, buf: &mut [u8]) -> Result<(), SentryError> {
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let cur = vaddr + done as u64;
+            let n = ((PAGE_SIZE - cur % PAGE_SIZE) as usize).min(len - done);
+            self.access_one_page(pid, cur, |kernel| -> Result<(), KernelError> {
+                kernel.read(pid, cur, &mut buf[done..done + n])
+            })?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Process write with transparent fault handling; see
+    /// [`Sentry::read`] for the paging discipline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unresolvable faults and memory errors.
+    pub fn write(&mut self, pid: Pid, vaddr: u64, data: &[u8]) -> Result<(), SentryError> {
+        let len = data.len();
+        let mut done = 0usize;
+        while done < len {
+            let cur = vaddr + done as u64;
+            let n = ((PAGE_SIZE - cur % PAGE_SIZE) as usize).min(len - done);
+            self.access_one_page(pid, cur, |kernel| -> Result<(), KernelError> {
+                kernel.write(pid, cur, &data[done..done + n])
+            })?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Retry a single-page access across fault resolutions. A page needs
+    /// at most a handful of retries (resolve trap → hit); more indicates
+    /// a livelock and is surfaced as unresolvable.
+    fn access_one_page(
+        &mut self,
+        pid: Pid,
+        vaddr: u64,
+        mut op: impl FnMut(&mut Kernel) -> Result<(), KernelError>,
+    ) -> Result<(), SentryError> {
+        for _ in 0..4 {
+            match op(&mut self.kernel) {
+                Ok(()) => return Ok(()),
+                Err(KernelError::Fault(f)) => self.handle_fault(&f)?,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(SentryError::Unresolvable {
+            pid,
+            vpn: vaddr / PAGE_SIZE,
+        })
+    }
+
+    /// Touch one byte of every page in `vpns` (drives resume and
+    /// scripted-run experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access errors.
+    pub fn touch_pages(&mut self, pid: Pid, vpns: &[u64]) -> Result<(), SentryError> {
+        for &vpn in vpns {
+            let mut b = [0u8; 1];
+            self.read(pid, vpn * PAGE_SIZE, &mut b)?;
+        }
+        Ok(())
+    }
+
+    /// Reset the on-demand counters (between experiment phases).
+    pub fn reset_ondemand_stats(&mut self) {
+        self.stats.ondemand_faults = 0;
+        self.stats.ondemand_bytes = 0;
+        self.stats.ondemand_ns = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentry_soc::Soc;
+
+    fn tegra_sentry() -> Sentry {
+        Sentry::new(
+            Kernel::new(Soc::tegra3_small()),
+            SentryConfig::tegra3_locked_l2(2),
+        )
+        .unwrap()
+    }
+
+    fn nexus_sentry() -> Sentry {
+        Sentry::new(Kernel::new(Soc::nexus4_small()), SentryConfig::nexus4()).unwrap()
+    }
+
+    #[test]
+    fn lock_unlock_roundtrip_preserves_data() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("twitter");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..200u8).cycle().take(3 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+
+        let lock = s.on_lock().unwrap();
+        assert!(lock.bytes_encrypted >= 3 * 4096);
+        s.on_unlock().unwrap();
+
+        let mut back = vec![0u8; data.len()];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert!(s.stats.ondemand_faults >= 3, "lazy decryption must fault");
+    }
+
+    #[test]
+    fn locked_dram_holds_ciphertext_not_plaintext() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("contacts");
+        s.mark_sensitive(pid).unwrap();
+        let secret = b"alice's phone number: 555-0199..................";
+        s.write(pid, 0x4000, &secret.repeat(85)).unwrap();
+        s.on_lock().unwrap();
+
+        // Flush the cache so DRAM reflects memory state, then scan all of
+        // DRAM for the plaintext.
+        s.kernel.soc.cache_maintenance_flush();
+        let needle = b"alice's phone number";
+        for (_addr, frame) in s.kernel.soc.dram.iter_frames() {
+            assert!(
+                !frame
+                    .windows(needle.len())
+                    .any(|w| w == needle.as_slice()),
+                "plaintext found in DRAM after lock"
+            );
+        }
+    }
+
+    #[test]
+    fn non_sensitive_apps_are_untouched() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("calculator");
+        s.write(pid, 0, b"not secret").unwrap();
+        let report = s.on_lock().unwrap();
+        assert_eq!(report.bytes_encrypted, 0);
+        // Still directly readable (no faults).
+        let mut buf = [0u8; 10];
+        s.read(pid, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"not secret");
+    }
+
+    #[test]
+    fn shared_with_non_sensitive_pages_are_skipped() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("maps");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[1u8; 4096]).unwrap();
+        s.write(pid, 4096, &[2u8; 4096]).unwrap();
+        s.kernel
+            .proc_mut(pid)
+            .unwrap()
+            .page_table
+            .get_mut(1)
+            .unwrap()
+            .sharing = Sharing::SharedWithNonSensitive;
+        let report = s.on_lock().unwrap();
+        assert_eq!(report.bytes_encrypted, 4096);
+        assert_eq!(report.skipped_shared_pages, 1);
+    }
+
+    #[test]
+    fn dma_regions_decrypt_eagerly_on_unlock() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("maps");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[7u8; 2 * 4096]).unwrap();
+        s.kernel
+            .proc_mut(pid)
+            .unwrap()
+            .page_table
+            .get_mut(0)
+            .unwrap()
+            .dma_region = true;
+        s.on_lock().unwrap();
+        let report = s.on_unlock().unwrap();
+        assert_eq!(report.eager_bytes_decrypted, 4096);
+        // The DMA page is immediately accessible without a fault; the
+        // other page still traps.
+        assert!(!s.kernel.proc(pid).unwrap().page_table.get(0).unwrap().traps());
+        assert!(s.kernel.proc(pid).unwrap().page_table.get(1).unwrap().traps());
+    }
+
+    #[test]
+    fn nexus_parks_sensitive_apps_while_locked() {
+        let mut s = nexus_sentry();
+        let pid = s.kernel.spawn("mail");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, b"inbox").unwrap();
+        s.on_lock().unwrap();
+        assert!(!s.kernel.proc(pid).unwrap().schedulable);
+        // Background access fails: no background support on Nexus 4.
+        let mut buf = [0u8; 5];
+        assert!(matches!(
+            s.read(pid, 0, &mut buf),
+            Err(SentryError::Unresolvable { .. })
+        ));
+        s.on_unlock().unwrap();
+        assert!(s.kernel.proc(pid).unwrap().schedulable);
+        s.read(pid, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"inbox");
+    }
+
+    #[test]
+    fn background_access_pages_through_locked_cache() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("xmms2");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..=255u8).cycle().take(8 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        s.on_lock().unwrap();
+
+        // Read everything back while locked: the pager decrypts into
+        // locked-way slots.
+        let mut back = vec![0u8; data.len()];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert!(s.pager.stats.pageins >= 8);
+
+        // DRAM still holds no plaintext.
+        s.kernel.soc.cache_maintenance_flush();
+        let needle = &data[..64];
+        for (_addr, frame) in s.kernel.soc.dram.iter_frames() {
+            assert!(!frame.windows(64).any(|w| w == needle));
+        }
+    }
+
+    #[test]
+    fn background_write_survives_eviction_and_unlock() {
+        let mut s = Sentry::new(
+            Kernel::new(Soc::tegra3_small()),
+            SentryConfig::tegra3_locked_l2(1).with_slot_limit(2),
+        )
+        .unwrap();
+        let pid = s.kernel.spawn("alpine");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[0u8; 6 * 4096]).unwrap();
+        s.on_lock().unwrap();
+
+        // Write new mail into page 0 while locked, then touch enough
+        // other pages to force page 0's eviction.
+        s.write(pid, 100, b"new mail arrived").unwrap();
+        for vpn in 1..6u64 {
+            s.touch_pages(pid, &[vpn]).unwrap();
+        }
+        assert!(s.pager.stats.pageouts >= 1, "eviction must have happened");
+
+        s.on_unlock().unwrap();
+        let mut buf = [0u8; 16];
+        s.read(pid, 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"new mail arrived");
+    }
+
+    #[test]
+    fn double_lock_is_rejected() {
+        let mut s = tegra_sentry();
+        s.on_lock().unwrap();
+        assert!(matches!(
+            s.on_lock(),
+            Err(SentryError::WrongState { expected_locked: false })
+        ));
+        s.on_unlock().unwrap();
+        assert!(matches!(
+            s.on_unlock(),
+            Err(SentryError::WrongState { expected_locked: true })
+        ));
+    }
+
+    #[test]
+    fn minimum_two_page_configuration_works() {
+        // §7: "the minimum amount of on-SoC memory required to implement
+        // Sentry is only two pages" — one for AES state, one page slot.
+        // (Plus the volatile key page in our accounting.)
+        let mut s = Sentry::new(
+            Kernel::new(Soc::tegra3_small()),
+            SentryConfig::tegra3_locked_l2(1).with_slot_limit(1),
+        )
+        .unwrap();
+        let pid = s.kernel.spawn("tiny");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..16u8).cycle().take(4 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        s.on_lock().unwrap();
+        let mut back = vec![0u8; data.len()];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(s.pager.slot_count(), 1, "slot cap respected");
+        assert!(
+            s.pager.stats.pageouts >= 3,
+            "one slot means constant eviction: {:?}",
+            s.pager.stats
+        );
+    }
+
+    #[test]
+    fn zero_thread_drains_before_lock() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("app");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, b"freed secret").unwrap();
+        s.kernel.free_page(pid, 0).unwrap();
+        assert!(s.kernel.frames.dirty_count() > 0);
+        let report = s.on_lock().unwrap();
+        assert!(report.zero_drain_ns > 0);
+        assert_eq!(s.kernel.frames.dirty_count(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The §7 shared-page policy over *real* shared frames.
+//!
+//! "If a memory page is shared with an application deemed non-sensitive,
+//! Sentry assumes that the contents of this memory page are not secret
+//! and skips encrypting it. However, if the page is shared only between
+//! sensitive applications, Sentry encrypts the page."
+
+use sentry_core::{Sentry, SentryConfig};
+use sentry_kernel::pagetable::Sharing;
+use sentry_kernel::Kernel;
+use sentry_soc::addr::PAGE_SIZE;
+use sentry_soc::Soc;
+
+const SHARED_DATA: &[u8] = b"shared session token: 9f3a2c";
+
+fn sentry() -> Sentry {
+    Sentry::new(
+        Kernel::new(Soc::tegra3_small()),
+        SentryConfig::tegra3_locked_l2(2),
+    )
+    .unwrap()
+}
+
+#[test]
+fn page_shared_between_sensitive_apps_is_encrypted_once() {
+    let mut s = sentry();
+    let a = s.kernel.spawn("mail");
+    let b = s.kernel.spawn("calendar");
+    s.mark_sensitive(a).unwrap();
+    s.mark_sensitive(b).unwrap();
+
+    s.write(a, 0, SHARED_DATA).unwrap();
+    s.kernel.map_shared(a, 0, b, 7).unwrap();
+
+    // Both views see the same bytes.
+    let mut buf = vec![0u8; SHARED_DATA.len()];
+    s.read(b, 7 * PAGE_SIZE, &mut buf).unwrap();
+    assert_eq!(buf, SHARED_DATA);
+
+    let report = s.on_lock().unwrap();
+    // Exactly one page encrypted for the shared frame (not two).
+    assert_eq!(report.bytes_encrypted, PAGE_SIZE);
+    assert_eq!(report.skipped_shared_pages, 0);
+
+    // No plaintext in DRAM.
+    s.kernel.soc.cache_maintenance_flush();
+    for (_addr, frame) in s.kernel.soc.dram.iter_frames() {
+        assert!(!frame.windows(12).any(|w| w == &SHARED_DATA[..12]));
+    }
+
+    // After unlock, either sharer's first touch decrypts for both.
+    s.on_unlock().unwrap();
+    s.read(b, 7 * PAGE_SIZE, &mut buf).unwrap();
+    assert_eq!(buf, SHARED_DATA);
+    let mut via_a = vec![0u8; SHARED_DATA.len()];
+    s.read(a, 0, &mut via_a).unwrap();
+    assert_eq!(via_a, SHARED_DATA, "second sharer must not double-decrypt");
+    assert_eq!(
+        s.kernel.proc(a).unwrap().page_table.get(0).unwrap().sharing,
+        Sharing::SharedSensitiveOnly
+    );
+}
+
+#[test]
+fn page_shared_with_non_sensitive_app_is_skipped() {
+    let mut s = sentry();
+    let a = s.kernel.spawn("mail");
+    let b = s.kernel.spawn("keyboard-extension"); // not sensitive
+    s.mark_sensitive(a).unwrap();
+
+    s.write(a, 0, SHARED_DATA).unwrap();
+    s.write(a, PAGE_SIZE, b"private mail body pages.........").unwrap();
+    s.kernel.map_shared(a, 0, b, 0).unwrap();
+
+    let report = s.on_lock().unwrap();
+    // Only the private page was encrypted; the shared one was skipped
+    // and tagged.
+    assert_eq!(report.bytes_encrypted, PAGE_SIZE);
+    assert_eq!(report.skipped_shared_pages, 1);
+    assert_eq!(
+        s.kernel.proc(a).unwrap().page_table.get(0).unwrap().sharing,
+        Sharing::SharedWithNonSensitive
+    );
+
+    // The non-sensitive app can keep using the page while locked —
+    // it never traps.
+    let mut buf = vec![0u8; SHARED_DATA.len()];
+    s.kernel.read(b, 0, &mut buf).unwrap();
+    assert_eq!(buf, SHARED_DATA);
+}
+
+#[test]
+fn repeated_cycles_keep_shared_pages_consistent() {
+    let mut s = sentry();
+    let a = s.kernel.spawn("a");
+    let b = s.kernel.spawn("b");
+    s.mark_sensitive(a).unwrap();
+    s.mark_sensitive(b).unwrap();
+    s.write(a, 0, SHARED_DATA).unwrap();
+    s.kernel.map_shared(a, 0, b, 3).unwrap();
+
+    for cycle in 0..4u8 {
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+        // Alternate which sharer touches first.
+        let mut buf = vec![0u8; SHARED_DATA.len()];
+        if cycle % 2 == 0 {
+            s.read(a, 0, &mut buf).unwrap();
+        } else {
+            s.read(b, 3 * PAGE_SIZE, &mut buf).unwrap();
+        }
+        assert_eq!(buf, SHARED_DATA, "cycle {cycle}");
+    }
+}
+
+#[test]
+fn writes_through_one_mapping_are_visible_through_the_other() {
+    let mut s = sentry();
+    let a = s.kernel.spawn("a");
+    let b = s.kernel.spawn("b");
+    s.write(a, 0, b"before").unwrap();
+    s.kernel.map_shared(a, 0, b, 0).unwrap();
+    s.write(b, 0, b"after!").unwrap();
+    let mut buf = [0u8; 6];
+    s.read(a, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"after!");
+}

@@ -1,0 +1,385 @@
+//! Single-block AES encryption and decryption.
+//!
+//! Two implementations are provided:
+//!
+//! * [`AesRef`] — a straight transcription of FIPS-197 (SubBytes,
+//!   ShiftRows, MixColumns as separate steps). Slow, but obviously
+//!   correct; used as the oracle for the fast path.
+//! * [`Aes`] — the table-driven implementation Sentry actually runs, with
+//!   the compact rotating T-tables described in [`crate::tables`]. This is
+//!   the code whose *state placement* matters: when its tables and round
+//!   keys live in DRAM it is the paper's "generic AES", and when they are
+//!   confined to the SoC (see [`crate::tracked`]) it is "AES On SoC".
+
+use crate::key_schedule::KeySchedule;
+use crate::{sbox, tables, KeyError, KeySize, BLOCK_SIZE};
+
+/// A 128-bit AES block.
+pub type Block = [u8; BLOCK_SIZE];
+
+/// Fast, table-driven AES context.
+#[derive(Debug, Clone)]
+pub struct Aes {
+    schedule: KeySchedule,
+}
+
+impl Aes {
+    /// Expand `key` and build an encryption/decryption context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::InvalidLength`] for keys that are not 16, 24,
+    /// or 32 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, KeyError> {
+        Ok(Aes {
+            schedule: KeySchedule::expand(key)?,
+        })
+    }
+
+    /// The key size of this context.
+    #[must_use]
+    pub fn key_size(&self) -> KeySize {
+        self.schedule.size()
+    }
+
+    /// Borrow the expanded key schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &KeySchedule {
+        &self.schedule
+    }
+
+    /// Encrypt a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut Block) {
+        let te = tables::te();
+        let sb = sbox::sbox();
+        let rk = self.schedule.enc_words();
+        let rounds = self.schedule.size().rounds();
+
+        let mut s = load_columns(block);
+        for c in 0..4 {
+            s[c] ^= rk[c];
+        }
+
+        let mut t = [0u32; 4];
+        for round in 1..rounds {
+            for c in 0..4 {
+                t[c] = te[(s[c] >> 24) as usize]
+                    ^ te[((s[(c + 1) % 4] >> 16) & 0xff) as usize].rotate_right(8)
+                    ^ te[((s[(c + 2) % 4] >> 8) & 0xff) as usize].rotate_right(16)
+                    ^ te[(s[(c + 3) % 4] & 0xff) as usize].rotate_right(24)
+                    ^ rk[4 * round + c];
+            }
+            s = t;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        for c in 0..4 {
+            t[c] = (u32::from(sb[(s[c] >> 24) as usize]) << 24)
+                | (u32::from(sb[((s[(c + 1) % 4] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(sb[((s[(c + 2) % 4] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(sb[(s[(c + 3) % 4] & 0xff) as usize]);
+            t[c] ^= rk[4 * rounds + c];
+        }
+        store_columns(&t, block);
+    }
+
+    /// Decrypt a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut Block) {
+        let td = tables::td();
+        let isb = sbox::inv_sbox();
+        let rk = self.schedule.dec_words();
+        let rounds = self.schedule.size().rounds();
+
+        let mut s = load_columns(block);
+        for c in 0..4 {
+            s[c] ^= rk[c];
+        }
+
+        let mut t = [0u32; 4];
+        for round in 1..rounds {
+            for c in 0..4 {
+                t[c] = td[(s[c] >> 24) as usize]
+                    ^ td[((s[(c + 3) % 4] >> 16) & 0xff) as usize].rotate_right(8)
+                    ^ td[((s[(c + 2) % 4] >> 8) & 0xff) as usize].rotate_right(16)
+                    ^ td[(s[(c + 1) % 4] & 0xff) as usize].rotate_right(24)
+                    ^ rk[4 * round + c];
+            }
+            s = t;
+        }
+        for c in 0..4 {
+            t[c] = (u32::from(isb[(s[c] >> 24) as usize]) << 24)
+                | (u32::from(isb[((s[(c + 3) % 4] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(isb[((s[(c + 2) % 4] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(isb[(s[(c + 1) % 4] & 0xff) as usize]);
+            t[c] ^= rk[4 * rounds + c];
+        }
+        store_columns(&t, block);
+    }
+}
+
+fn load_columns(block: &Block) -> [u32; 4] {
+    let mut s = [0u32; 4];
+    for (c, chunk) in block.chunks_exact(4).enumerate() {
+        s[c] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    s
+}
+
+fn store_columns(s: &[u32; 4], block: &mut Block) {
+    for (c, word) in s.iter().enumerate() {
+        block[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+    }
+}
+
+/// Reference AES: a direct transcription of the FIPS-197 round steps.
+///
+/// About two orders of magnitude slower than [`Aes`]. Exists as a
+/// correctness oracle, and models the "sequential, no lookup tables"
+/// implementation style the paper contrasts against (AESSE's first
+/// version, 100x slowdown).
+#[derive(Debug, Clone)]
+pub struct AesRef {
+    schedule: KeySchedule,
+}
+
+impl AesRef {
+    /// Expand `key` and build a reference context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::InvalidLength`] for invalid key lengths.
+    pub fn new(key: &[u8]) -> Result<Self, KeyError> {
+        Ok(AesRef {
+            schedule: KeySchedule::expand(key)?,
+        })
+    }
+
+    /// Encrypt a block in place using the spec's round steps.
+    pub fn encrypt_block(&self, block: &mut Block) {
+        let rounds = self.schedule.size().rounds();
+        let rk = self.schedule.enc_words();
+        add_round_key(block, &rk[0..4]);
+        for round in 1..rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &rk[4 * round..4 * round + 4]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &rk[4 * rounds..4 * rounds + 4]);
+    }
+
+    /// Decrypt a block in place using the spec's inverse round steps.
+    pub fn decrypt_block(&self, block: &mut Block) {
+        let rounds = self.schedule.size().rounds();
+        let rk = self.schedule.enc_words();
+        add_round_key(block, &rk[4 * rounds..4 * rounds + 4]);
+        for round in (1..rounds).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &rk[4 * round..4 * round + 4]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &rk[0..4]);
+    }
+}
+
+// The state is kept in FIPS input order: byte index 4*c + r holds row r of
+// column c.
+
+fn add_round_key(block: &mut Block, rk: &[u32]) {
+    for (c, word) in rk.iter().enumerate() {
+        let bytes = word.to_be_bytes();
+        for r in 0..4 {
+            block[4 * c + r] ^= bytes[r];
+        }
+    }
+}
+
+fn sub_bytes(block: &mut Block) {
+    for b in block.iter_mut() {
+        *b = sbox::sub_byte(*b);
+    }
+}
+
+fn inv_sub_bytes(block: &mut Block) {
+    for b in block.iter_mut() {
+        *b = sbox::inv_sub_byte(*b);
+    }
+}
+
+fn shift_rows(block: &mut Block) {
+    let orig = *block;
+    for r in 1..4 {
+        for c in 0..4 {
+            block[4 * c + r] = orig[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(block: &mut Block) {
+    let orig = *block;
+    for r in 1..4 {
+        for c in 0..4 {
+            block[4 * ((c + r) % 4) + r] = orig[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(block: &mut Block) {
+    use crate::gf::{mul3, xtime};
+    for c in 0..4 {
+        let col = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+        block[4 * c] = xtime(col[0]) ^ mul3(col[1]) ^ col[2] ^ col[3];
+        block[4 * c + 1] = col[0] ^ xtime(col[1]) ^ mul3(col[2]) ^ col[3];
+        block[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ mul3(col[3]);
+        block[4 * c + 3] = mul3(col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(block: &mut Block) {
+    use crate::gf::mul;
+    for c in 0..4 {
+        let col = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+        block[4 * c] = mul(col[0], 14) ^ mul(col[1], 11) ^ mul(col[2], 13) ^ mul(col[3], 9);
+        block[4 * c + 1] = mul(col[0], 9) ^ mul(col[1], 14) ^ mul(col[2], 11) ^ mul(col[3], 13);
+        block[4 * c + 2] = mul(col[0], 13) ^ mul(col[1], 9) ^ mul(col[2], 14) ^ mul(col[3], 11);
+        block[4 * c + 3] = mul(col[0], 11) ^ mul(col[1], 13) ^ mul(col[2], 9) ^ mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> Block {
+        let mut out = [0u8; 16];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// FIPS-197 Appendix C known-answer vectors: same plaintext and the
+    /// incrementing key for all three key sizes.
+    const PT: &str = "00112233445566778899aabbccddeeff";
+    const VECTORS: &[(&str, &str)] = &[
+        (
+            "000102030405060708090a0b0c0d0e0f",
+            "69c4e0d86a7b0430d8cdb78070b4c55a",
+        ),
+        (
+            "000102030405060708090a0b0c0d0e0f1011121314151617",
+            "dda97ca4864cdfe06eaf70a0ec0d7191",
+        ),
+        (
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+            "8ea2b7ca516745bfeafc49904b496089",
+        ),
+    ];
+
+    #[test]
+    fn fast_aes_matches_fips_appendix_c() {
+        for (key, ct) in VECTORS {
+            let aes = Aes::new(&hex(key)).unwrap();
+            let mut block = hex16(PT);
+            aes.encrypt_block(&mut block);
+            assert_eq!(block, hex16(ct), "encrypt failed for key {key}");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, hex16(PT), "decrypt failed for key {key}");
+        }
+    }
+
+    #[test]
+    fn reference_aes_matches_fips_appendix_c() {
+        for (key, ct) in VECTORS {
+            let aes = AesRef::new(&hex(key)).unwrap();
+            let mut block = hex16(PT);
+            aes.encrypt_block(&mut block);
+            assert_eq!(block, hex16(ct), "ref encrypt failed for key {key}");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, hex16(PT), "ref decrypt failed for key {key}");
+        }
+    }
+
+    #[test]
+    fn fips_appendix_b_worked_example() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = hex16("3243f6a8885a308d313198a2e0370734");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex16("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fast_and_reference_agree_on_random_inputs() {
+        // Deterministic pseudo-random coverage across key sizes.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for ks in crate::KeySize::all() {
+            let mut key = vec![0u8; ks.key_len()];
+            for _ in 0..25 {
+                for b in &mut key {
+                    *b = next() as u8;
+                }
+                let fast = Aes::new(&key).unwrap();
+                let reference = AesRef::new(&key).unwrap();
+                let mut pt = [0u8; 16];
+                for b in &mut pt {
+                    *b = next() as u8;
+                }
+                let mut a = pt;
+                let mut b = pt;
+                fast.encrypt_block(&mut a);
+                reference.encrypt_block(&mut b);
+                assert_eq!(a, b, "{ks} encrypt divergence");
+                fast.decrypt_block(&mut a);
+                assert_eq!(a, pt, "{ks} roundtrip failure");
+                reference.decrypt_block(&mut b);
+                assert_eq!(b, pt);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_rows_inverse() {
+        let mut block: Block = core::array::from_fn(|i| i as u8);
+        let orig = block;
+        shift_rows(&mut block);
+        assert_ne!(block, orig);
+        inv_shift_rows(&mut block);
+        assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverse() {
+        let mut block: Block = core::array::from_fn(|i| (31 * i + 7) as u8);
+        let orig = block;
+        mix_columns(&mut block);
+        inv_mix_columns(&mut block);
+        assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn mix_columns_spec_example() {
+        // FIPS-197 / common test column: db 13 53 45 -> 8e 4d a1 bc.
+        let mut block = [0u8; 16];
+        block[0..4].copy_from_slice(&[0xdb, 0x13, 0x53, 0x45]);
+        mix_columns(&mut block);
+        assert_eq!(&block[0..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Block cipher modes of operation: ECB, CBC, and CTR.
+//!
+//! Sentry uses CBC — the default AES mode on Android and Linux at the time
+//! of the paper — for both the encrypted-DRAM pager and dm-crypt. All mode
+//! functions here operate on whole blocks; callers (the pager works in
+//! 4 KiB pages, dm-crypt in 512-byte sectors) always supply block-aligned
+//! buffers.
+
+use crate::block::{Aes, AesRef, Block};
+use crate::BLOCK_SIZE;
+
+/// A single-block cipher, the building block for the modes below.
+///
+/// Implemented by both the fast and the reference AES so the modes can be
+/// cross-checked between them.
+pub trait BlockCipher {
+    /// Encrypt one 16-byte block in place.
+    fn encrypt_block(&self, block: &mut Block);
+    /// Decrypt one 16-byte block in place.
+    fn decrypt_block(&self, block: &mut Block);
+}
+
+impl BlockCipher for Aes {
+    fn encrypt_block(&self, block: &mut Block) {
+        Aes::encrypt_block(self, block);
+    }
+    fn decrypt_block(&self, block: &mut Block) {
+        Aes::decrypt_block(self, block);
+    }
+}
+
+impl BlockCipher for AesRef {
+    fn encrypt_block(&self, block: &mut Block) {
+        AesRef::encrypt_block(self, block);
+    }
+    fn decrypt_block(&self, block: &mut Block) {
+        AesRef::decrypt_block(self, block);
+    }
+}
+
+/// Assert that `data` is a whole number of blocks.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of 16. Sentry only ever
+/// encrypts page- and sector-sized buffers, so a partial block indicates a
+/// logic error rather than a recoverable condition.
+fn check_aligned(data: &[u8]) {
+    assert!(
+        data.len().is_multiple_of(BLOCK_SIZE),
+        "buffer length {} is not a multiple of the AES block size",
+        data.len()
+    );
+}
+
+/// Encrypt `data` in place in ECB mode.
+///
+/// ECB is provided for completeness and microbenchmarks only; it leaks
+/// equal-plaintext-block structure and is never used by Sentry proper.
+///
+/// # Panics
+///
+/// Panics if `data` is not block-aligned.
+pub fn ecb_encrypt<C: BlockCipher>(cipher: &C, data: &mut [u8]) {
+    check_aligned(data);
+    for chunk in data.chunks_exact_mut(BLOCK_SIZE) {
+        let block: &mut Block = chunk.try_into().expect("chunk is block sized");
+        cipher.encrypt_block(block);
+    }
+}
+
+/// Decrypt `data` in place in ECB mode.
+///
+/// # Panics
+///
+/// Panics if `data` is not block-aligned.
+pub fn ecb_decrypt<C: BlockCipher>(cipher: &C, data: &mut [u8]) {
+    check_aligned(data);
+    for chunk in data.chunks_exact_mut(BLOCK_SIZE) {
+        let block: &mut Block = chunk.try_into().expect("chunk is block sized");
+        cipher.decrypt_block(block);
+    }
+}
+
+/// Encrypt `data` in place in CBC mode with the given initialization
+/// vector.
+///
+/// # Panics
+///
+/// Panics if `data` is not block-aligned.
+pub fn cbc_encrypt<C: BlockCipher>(cipher: &C, iv: &Block, data: &mut [u8]) {
+    check_aligned(data);
+    let mut chain = *iv;
+    for chunk in data.chunks_exact_mut(BLOCK_SIZE) {
+        for (b, c) in chunk.iter_mut().zip(chain.iter()) {
+            *b ^= c;
+        }
+        let block: &mut Block = chunk.try_into().expect("chunk is block sized");
+        cipher.encrypt_block(block);
+        chain = *block;
+    }
+}
+
+/// Decrypt `data` in place in CBC mode with the given initialization
+/// vector.
+///
+/// # Panics
+///
+/// Panics if `data` is not block-aligned.
+pub fn cbc_decrypt<C: BlockCipher>(cipher: &C, iv: &Block, data: &mut [u8]) {
+    check_aligned(data);
+    let mut chain = *iv;
+    for chunk in data.chunks_exact_mut(BLOCK_SIZE) {
+        let ct: Block = chunk.try_into().expect("chunk is block sized");
+        let block: &mut Block = chunk.try_into().expect("chunk is block sized");
+        cipher.decrypt_block(block);
+        for (b, c) in block.iter_mut().zip(chain.iter()) {
+            *b ^= c;
+        }
+        chain = ct;
+    }
+}
+
+/// Encrypt or decrypt `data` in place in CTR mode (the operations are
+/// identical). The counter occupies the last 8 bytes of the nonce block,
+/// big-endian, starting from `initial_counter`.
+///
+/// Unlike CBC, CTR handles arbitrary (non-block-aligned) lengths.
+pub fn ctr_xor<C: BlockCipher>(cipher: &C, nonce: &[u8; 8], initial_counter: u64, data: &mut [u8]) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(BLOCK_SIZE) {
+        let mut keystream: Block = [0u8; BLOCK_SIZE];
+        keystream[..8].copy_from_slice(nonce);
+        keystream[8..].copy_from_slice(&counter.to_be_bytes());
+        cipher.encrypt_block(&mut keystream);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Aes;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn cbc_matches_nist_sp800_38a_f2_1() {
+        // NIST SP 800-38A F.2.1 CBC-AES128 encryption vectors.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv: Block = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut data = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710",
+        ));
+        let expected = hex(concat!(
+            "7649abac8119b246cee98e9b12e9197d",
+            "5086cb9b507219ee95db113a917678b2",
+            "73bed6b8e3c1743b7116e69e22229516",
+            "3ff1caa1681fac09120eca307586e1a7",
+        ));
+        let aes = Aes::new(&key).unwrap();
+        cbc_encrypt(&aes, &iv, &mut data);
+        assert_eq!(data, expected);
+        cbc_decrypt(&aes, &iv, &mut data);
+        assert_eq!(
+            &data[..16],
+            &hex("6bc1bee22e409f96e93d7e117393172a")[..]
+        );
+    }
+
+    #[test]
+    fn ctr_matches_nist_sp800_38a_f5_1() {
+        // NIST SP 800-38A F.5.1 CTR-AES128. The standard's full 16-byte
+        // counter block f0f1..ff splits into our 8-byte nonce and 8-byte
+        // big-endian counter.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let nonce: [u8; 8] = hex("f0f1f2f3f4f5f6f7").try_into().unwrap();
+        let counter = u64::from_be_bytes(hex("f8f9fafbfcfdfeff").try_into().unwrap());
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
+        let aes = Aes::new(&key).unwrap();
+        ctr_xor(&aes, &nonce, counter, &mut data);
+        assert_eq!(data, hex("874d6191b620e3261bef6864990db6ce"));
+    }
+
+    #[test]
+    fn ecb_roundtrip_and_structure_leak() {
+        let aes = Aes::new(&[7u8; 16]).unwrap();
+        let mut data = vec![0xABu8; 64];
+        ecb_encrypt(&aes, &mut data);
+        // ECB leaks structure: identical plaintext blocks yield identical
+        // ciphertext blocks.
+        assert_eq!(&data[0..16], &data[16..32]);
+        ecb_decrypt(&aes, &mut data);
+        assert_eq!(data, vec![0xABu8; 64]);
+    }
+
+    #[test]
+    fn cbc_hides_equal_blocks() {
+        let aes = Aes::new(&[7u8; 16]).unwrap();
+        let iv = [3u8; 16];
+        let mut data = vec![0xABu8; 64];
+        cbc_encrypt(&aes, &iv, &mut data);
+        assert_ne!(&data[0..16], &data[16..32]);
+    }
+
+    #[test]
+    fn ctr_handles_partial_blocks() {
+        let aes = Aes::new(&[9u8; 16]).unwrap();
+        let mut data = vec![0x5Au8; 21];
+        let orig = data.clone();
+        ctr_xor(&aes, &[0u8; 8], 0, &mut data);
+        assert_ne!(data, orig);
+        ctr_xor(&aes, &[0u8; 8], 0, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn cbc_rejects_unaligned() {
+        let aes = Aes::new(&[0u8; 16]).unwrap();
+        let mut data = vec![0u8; 17];
+        cbc_encrypt(&aes, &[0u8; 16], &mut data);
+    }
+
+    #[test]
+    fn modes_agree_between_fast_and_reference() {
+        let key = [0x42u8; 24];
+        let fast = Aes::new(&key).unwrap();
+        let reference = AesRef::new(&key).unwrap();
+        let iv = [0x17u8; 16];
+        let mut a = (0..96u8).collect::<Vec<_>>();
+        let mut b = a.clone();
+        cbc_encrypt(&fast, &iv, &mut a);
+        cbc_encrypt(&reference, &iv, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,385 @@
+//! A Linux-CryptoAPI-like cipher registry.
+//!
+//! The paper ports AES On SoC into the kernel's Crypto API and registers
+//! it "with a higher priority than the default AES implementation. Thus,
+//! if both the generic AES and our AES are loaded, the crypto system
+//! will favor ours" (§7). Legacy consumers — dm-crypt here — ask the
+//! registry for "aes-cbc" and transparently get the safe engine.
+//!
+//! The registry also records *where each engine's key material lives*,
+//! which is what the attack experiments interrogate: the generic
+//! software AES keeps its key schedule in kernel heap (DRAM), the
+//! hardware accelerator in device registers fed over the bus, and AES On
+//! SoC in iRAM or a locked cache way.
+
+use crate::error::KernelError;
+use crate::layout::CRYPTO_KEYS_BASE;
+use sentry_crypto::modes::{cbc_decrypt, cbc_encrypt};
+use sentry_crypto::Aes;
+use sentry_soc::Soc;
+
+/// Where an engine's sensitive key state resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyResidency {
+    /// Kernel heap in DRAM — recoverable by memory attacks.
+    Dram,
+    /// On-SoC iRAM.
+    Iram,
+    /// A locked L2 cache way.
+    LockedL2,
+    /// Device registers of the crypto accelerator (on-chip, but data
+    /// still crosses the bus).
+    AccelRegisters,
+}
+
+/// A block cipher implementation registered with the kernel.
+pub trait CipherEngine {
+    /// Registry name, e.g. `"aes-cbc-generic"`.
+    fn name(&self) -> &'static str;
+    /// Selection priority; highest wins.
+    fn priority(&self) -> i32;
+    /// Where the key schedule lives.
+    fn key_residency(&self) -> KeyResidency;
+    /// Install a key.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; typically invalid key length.
+    fn set_key(&mut self, soc: &mut Soc, key: &[u8]) -> Result<(), KernelError>;
+    /// CBC-encrypt `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no key is installed.
+    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError>;
+    /// CBC-decrypt `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no key is installed.
+    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError>;
+}
+
+/// The registry.
+#[derive(Default)]
+pub struct CryptoApi {
+    engines: Vec<Box<dyn CipherEngine>>,
+}
+
+impl std::fmt::Debug for CryptoApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CryptoApi")
+            .field(
+                "engines",
+                &self
+                    .engines
+                    .iter()
+                    .map(|e| (e.name(), e.priority()))
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl CryptoApi {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        CryptoApi::default()
+    }
+
+    /// Register an engine.
+    pub fn register(&mut self, engine: Box<dyn CipherEngine>) {
+        self.engines.push(engine);
+        self.engines.sort_by_key(|e| std::cmp::Reverse(e.priority()));
+    }
+
+    /// The preferred (highest-priority) engine.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoCipher`] if the registry is empty.
+    pub fn preferred_mut(&mut self) -> Result<&mut (dyn CipherEngine + 'static), KernelError> {
+        self.engines
+            .first_mut()
+            .map(|b| b.as_mut())
+            .ok_or(KernelError::NoCipher)
+    }
+
+    /// The preferred engine, immutably.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoCipher`] if the registry is empty.
+    pub fn preferred(&self) -> Result<&(dyn CipherEngine + 'static), KernelError> {
+        self.engines
+            .first()
+            .map(|b| b.as_ref())
+            .ok_or(KernelError::NoCipher)
+    }
+
+    /// Find an engine by name.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownCipher`] if no engine has that name.
+    pub fn by_name_mut(&mut self, name: &str) -> Result<&mut (dyn CipherEngine + 'static), KernelError> {
+        self.engines
+            .iter_mut()
+            .find(|e| e.name() == name)
+            .map(|b| b.as_mut())
+            .ok_or_else(|| KernelError::UnknownCipher(name.to_string()))
+    }
+
+    /// Names and priorities of all registered engines, highest first.
+    #[must_use]
+    pub fn listing(&self) -> Vec<(&'static str, i32)> {
+        self.engines.iter().map(|e| (e.name(), e.priority())).collect()
+    }
+}
+
+/// The kernel's default software AES ("generic AES" in the paper's
+/// figures): fast, but its key and expanded key schedule live in kernel
+/// heap — i.e., DRAM — where every attack in the threat model can reach
+/// them.
+pub struct GenericAesEngine {
+    aes: Option<Aes>,
+    /// DRAM slot index for this engine's key material.
+    slot: u64,
+}
+
+impl std::fmt::Debug for GenericAesEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenericAesEngine")
+            .field("keyed", &self.aes.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GenericAesEngine {
+    /// Default priority of the in-kernel generic AES.
+    pub const PRIORITY: i32 = 100;
+
+    /// Create an unkeyed engine using DRAM key slot `slot`.
+    #[must_use]
+    pub fn new(slot: u64) -> Self {
+        GenericAesEngine { aes: None, slot }
+    }
+
+    /// The DRAM address where this engine's key material lives — what a
+    /// cold-boot attacker greps for.
+    #[must_use]
+    pub fn key_material_addr(&self) -> u64 {
+        CRYPTO_KEYS_BASE + self.slot * 4096
+    }
+
+    fn cbc_cost_ns(soc: &Soc, bytes: usize) -> u64 {
+        // Per 16-byte block: the arithmetic plus a handful of
+        // cache-resident state touches.
+        (bytes as u64 / 16) * (soc.costs.aes_block_compute_ns + 4 * soc.costs.cache_hit_ns)
+    }
+
+    fn ready(&self) -> Result<&Aes, KernelError> {
+        self.aes
+            .as_ref()
+            .ok_or_else(|| KernelError::UnknownCipher("generic AES: no key installed".into()))
+    }
+}
+
+impl CipherEngine for GenericAesEngine {
+    fn name(&self) -> &'static str {
+        "aes-cbc-generic"
+    }
+
+    fn priority(&self) -> i32 {
+        Self::PRIORITY
+    }
+
+    fn key_residency(&self) -> KeyResidency {
+        KeyResidency::Dram
+    }
+
+    fn set_key(&mut self, soc: &mut Soc, key: &[u8]) -> Result<(), KernelError> {
+        let aes = Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?;
+        // The generic implementation's key and schedule live in kernel
+        // heap: write them to DRAM, uncached (kernel heap lines get
+        // evicted in steady state; modelling them as DRAM-resident is
+        // what gives cold boot its Frost-style key recovery).
+        let addr = self.key_material_addr();
+        soc.mem_write_uncached(addr, key)?;
+        let mut sched = Vec::with_capacity(aes.schedule().enc_words().len() * 4);
+        for w in aes.schedule().enc_words() {
+            sched.extend_from_slice(&w.to_be_bytes());
+        }
+        soc.mem_write_uncached(addr + 64, &sched)?;
+        self.aes = Some(aes);
+        Ok(())
+    }
+
+    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+        let aes = self.ready()?;
+        cbc_encrypt(aes, iv, data);
+        soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
+        Ok(())
+    }
+
+    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+        let aes = self.ready()?;
+        cbc_decrypt(aes, iv, data);
+        soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
+        Ok(())
+    }
+}
+
+/// The hardware crypto accelerator exposed as a kernel cipher. Slower
+/// than the CPU for 4 KiB pages (Figure 11) and draws more energy
+/// (Figure 12); its data path DMAs plaintext across the bus.
+pub struct AccelAesEngine {
+    aes: Option<Aes>,
+}
+
+impl std::fmt::Debug for AccelAesEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccelAesEngine")
+            .field("keyed", &self.aes.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccelAesEngine {
+    /// Default priority (below the generic software AES: the paper's
+    /// Android stack only uses the engine when asked explicitly).
+    pub const PRIORITY: i32 = 50;
+
+    /// Create an unkeyed accelerator engine.
+    #[must_use]
+    pub fn new() -> Self {
+        AccelAesEngine { aes: None }
+    }
+}
+
+impl Default for AccelAesEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CipherEngine for AccelAesEngine {
+    fn name(&self) -> &'static str {
+        "aes-cbc-hw"
+    }
+
+    fn priority(&self) -> i32 {
+        Self::PRIORITY
+    }
+
+    fn key_residency(&self) -> KeyResidency {
+        KeyResidency::AccelRegisters
+    }
+
+    fn set_key(&mut self, _soc: &mut Soc, key: &[u8]) -> Result<(), KernelError> {
+        self.aes = Some(Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?);
+        Ok(())
+    }
+
+    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+        let aes = self
+            .aes
+            .as_ref()
+            .ok_or_else(|| KernelError::UnknownCipher("hw AES: no key installed".into()))?;
+        cbc_encrypt(aes, iv, data);
+        soc.clock.advance(soc.accel.op_duration_ns(data.len() as u64));
+        Ok(())
+    }
+
+    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+        let aes = self
+            .aes
+            .as_ref()
+            .ok_or_else(|| KernelError::UnknownCipher("hw AES: no key installed".into()))?;
+        cbc_decrypt(aes, iv, data);
+        soc.clock.advance(soc.accel.op_duration_ns(data.len() as u64));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_prefers_highest_priority() {
+        let mut api = CryptoApi::new();
+        api.register(Box::new(AccelAesEngine::new()));
+        api.register(Box::new(GenericAesEngine::new(0)));
+        assert_eq!(api.preferred().unwrap().name(), "aes-cbc-generic");
+        assert_eq!(
+            api.listing(),
+            vec![("aes-cbc-generic", 100), ("aes-cbc-hw", 50)]
+        );
+    }
+
+    #[test]
+    fn by_name_finds_engines() {
+        let mut api = CryptoApi::new();
+        api.register(Box::new(GenericAesEngine::new(0)));
+        assert!(api.by_name_mut("aes-cbc-generic").is_ok());
+        assert!(matches!(
+            api.by_name_mut("nope"),
+            Err(KernelError::UnknownCipher(_))
+        ));
+    }
+
+    #[test]
+    fn generic_engine_roundtrips_and_leaks_key_to_dram() {
+        let mut soc = Soc::tegra3_small();
+        let mut eng = GenericAesEngine::new(0);
+        let key = [0x42u8; 16];
+        eng.set_key(&mut soc, &key).unwrap();
+
+        let mut data = vec![7u8; 64];
+        let iv = [1u8; 16];
+        eng.encrypt(&mut soc, &iv, &mut data).unwrap();
+        assert_ne!(data, vec![7u8; 64]);
+        eng.decrypt(&mut soc, &iv, &mut data).unwrap();
+        assert_eq!(data, vec![7u8; 64]);
+
+        // The raw key is now in DRAM, where attacks can find it.
+        let mut found = vec![0u8; 16];
+        soc.dram.read(eng.key_material_addr(), &mut found);
+        assert_eq!(found, key);
+        assert_eq!(eng.key_residency(), KeyResidency::Dram);
+    }
+
+    #[test]
+    fn encrypt_without_key_fails() {
+        let mut soc = Soc::tegra3_small();
+        let mut eng = GenericAesEngine::new(0);
+        let mut data = vec![0u8; 16];
+        assert!(eng.encrypt(&mut soc, &[0u8; 16], &mut data).is_err());
+    }
+
+    #[test]
+    fn accel_engine_is_slower_per_page_than_generic() {
+        let mut soc = Soc::nexus4_small();
+        let mut hw = AccelAesEngine::new();
+        let mut sw = GenericAesEngine::new(1);
+        hw.set_key(&mut soc, &[1u8; 16]).unwrap();
+        sw.set_key(&mut soc, &[1u8; 16]).unwrap();
+        let mut page = vec![0u8; 4096];
+        let iv = [0u8; 16];
+
+        let t0 = soc.clock.now_ns();
+        sw.encrypt(&mut soc, &iv, &mut page).unwrap();
+        let sw_ns = soc.clock.now_ns() - t0;
+
+        let t0 = soc.clock.now_ns();
+        hw.encrypt(&mut soc, &iv, &mut page).unwrap();
+        let hw_ns = soc.clock.now_ns() - t0;
+
+        assert!(
+            hw_ns > 2 * sw_ns,
+            "hw {hw_ns} ns should be much slower than sw {sw_ns} ns on 4 KiB pages"
+        );
+    }
+}

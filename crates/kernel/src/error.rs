@@ -1,0 +1,101 @@
+//! Kernel error types.
+
+use crate::fault::PageFault;
+use sentry_soc::SocError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the kernel model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// A memory access trapped; the pager must resolve this fault and
+    /// the caller retry.
+    Fault(PageFault),
+    /// A hardware-level error from the SoC.
+    Soc(SocError),
+    /// The user frame pool is exhausted.
+    OutOfMemory,
+    /// No such process.
+    UnknownPid(u32),
+    /// No cipher with the requested name is registered.
+    UnknownCipher(String),
+    /// No cipher is registered at all.
+    NoCipher,
+    /// A block request fell outside the device.
+    BlockOutOfRange {
+        /// The offending sector.
+        sector: u64,
+    },
+    /// No such file in the VFS.
+    NoSuchFile(String),
+    /// A file operation ran past the end of the file.
+    FileBounds {
+        /// File name.
+        name: String,
+        /// Requested end offset.
+        end: u64,
+        /// Actual file size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Fault(fault) => write!(f, "page fault: {fault}"),
+            KernelError::Soc(e) => write!(f, "soc error: {e}"),
+            KernelError::OutOfMemory => write!(f, "out of physical frames"),
+            KernelError::UnknownPid(pid) => write!(f, "no process with pid {pid}"),
+            KernelError::UnknownCipher(name) => write!(f, "no cipher named {name:?}"),
+            KernelError::NoCipher => write!(f, "no cipher registered"),
+            KernelError::BlockOutOfRange { sector } => {
+                write!(f, "sector {sector} outside block device")
+            }
+            KernelError::NoSuchFile(name) => write!(f, "no file named {name:?}"),
+            KernelError::FileBounds { name, end, size } => {
+                write!(f, "access to {end} past end of {name:?} ({size} bytes)")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Soc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SocError> for KernelError {
+    fn from(e: SocError) -> Self {
+        KernelError::Soc(e)
+    }
+}
+
+impl From<PageFault> for KernelError {
+    fn from(f: PageFault) -> Self {
+        KernelError::Fault(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::AccessKind;
+
+    #[test]
+    fn conversions_and_display() {
+        let f = PageFault {
+            pid: 3,
+            vpn: 7,
+            kind: AccessKind::Read,
+        };
+        let e: KernelError = f.clone().into();
+        assert!(e.to_string().contains("page fault"));
+        let e: KernelError = SocError::CacheLockingUnavailable.into();
+        assert!(e.to_string().contains("soc error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,83 @@
+//! Physical-memory layout used by the kernel model.
+//!
+//! DRAM is carved into three regions:
+//!
+//! * a kernel-reserved region (kernel stacks, crypto-API key storage —
+//!   the DRAM residency of generic AES key material is exactly what the
+//!   cold-boot attacks recover);
+//! * a window reserved for locked-L2 backing addresses: pages whose
+//!   physical addresses map into locked cache ways. These addresses are
+//!   never written back, so the DRAM behind them stays stale; reserving
+//!   the window keeps the frame allocator from handing the same
+//!   addresses to ordinary memory;
+//! * the user frame pool everything else allocates from.
+
+use sentry_soc::addr::{DRAM_BASE, PAGE_SIZE};
+
+/// Size of the kernel-reserved low region.
+pub const KERNEL_RESERVED: u64 = 16 << 20;
+
+/// Base of the kernel-reserved region.
+pub const KERNEL_BASE: u64 = DRAM_BASE;
+
+/// Base of per-process kernel stacks (16 KiB each, within the kernel
+/// region).
+pub const KERNEL_STACKS_BASE: u64 = KERNEL_BASE + (1 << 20);
+
+/// Bytes of kernel stack per process.
+pub const KERNEL_STACK_SIZE: u64 = 16 * 1024;
+
+/// Where the generic (unsafe) AES engine keeps its key schedule — kernel
+/// heap, in DRAM.
+pub const CRYPTO_KEYS_BASE: u64 = KERNEL_BASE + (8 << 20);
+
+/// Base of the locked-L2 window region.
+pub const LOCKED_WINDOW_BASE: u64 = DRAM_BASE + KERNEL_RESERVED;
+
+/// Size of the locked-L2 window region (enough for many 128 KiB way
+/// windows).
+pub const LOCKED_WINDOW_SIZE: u64 = 16 << 20;
+
+/// Base of the user frame pool.
+pub const USER_POOL_BASE: u64 = LOCKED_WINDOW_BASE + LOCKED_WINDOW_SIZE;
+
+/// Kernel stack (base) address for a process id.
+#[must_use]
+pub fn kernel_stack_for(pid: u32) -> u64 {
+    KERNEL_STACKS_BASE + u64::from(pid) * KERNEL_STACK_SIZE
+}
+
+/// Number of user-pool frames available in a DRAM of `dram_size` bytes.
+#[must_use]
+pub fn user_pool_frames(dram_size: u64) -> u64 {
+    (DRAM_BASE + dram_size).saturating_sub(USER_POOL_BASE) / PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the layout *is* constant;
+    // the test documents and guards the invariants if constants change.
+    fn regions_are_ordered_and_disjoint() {
+        assert!(KERNEL_BASE < LOCKED_WINDOW_BASE);
+        assert_eq!(LOCKED_WINDOW_BASE, KERNEL_BASE + KERNEL_RESERVED);
+        assert_eq!(USER_POOL_BASE, LOCKED_WINDOW_BASE + LOCKED_WINDOW_SIZE);
+        assert!(CRYPTO_KEYS_BASE < LOCKED_WINDOW_BASE);
+        assert!(KERNEL_STACKS_BASE + 64 * KERNEL_STACK_SIZE < CRYPTO_KEYS_BASE);
+    }
+
+    #[test]
+    fn pool_frames_for_small_dram() {
+        // 64 MiB DRAM leaves 32 MiB of user pool = 8192 frames.
+        assert_eq!(user_pool_frames(64 << 20), 8192);
+        // Too-small DRAM leaves nothing (saturating).
+        assert_eq!(user_pool_frames(16 << 20), 0);
+    }
+
+    #[test]
+    fn kernel_stacks_do_not_collide() {
+        assert_eq!(kernel_stack_for(0) + KERNEL_STACK_SIZE, kernel_stack_for(1));
+    }
+}

