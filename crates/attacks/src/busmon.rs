@@ -10,9 +10,9 @@
 //! The monitor here is an ordinary [`BusObserver`]; attaching it needs
 //! physical access only.
 
-use parking_lot::Mutex;
 use sentry_soc::bus::{BusObserver, BusOp, BusTransaction};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A recording bus probe.
 #[derive(Debug, Default)]
@@ -33,18 +33,21 @@ impl BusMonitor {
     /// Number of recorded transactions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.log.lock().len()
+        self.log.lock().expect("bus monitor lock poisoned").len()
     }
 
     /// Whether nothing has been observed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.log.lock().is_empty()
+        self.log
+            .lock()
+            .expect("bus monitor lock poisoned")
+            .is_empty()
     }
 
     /// Clear the log (e.g., between experiment phases).
     pub fn clear(&self) {
-        self.log.lock().clear();
+        self.log.lock().expect("bus monitor lock poisoned").clear();
     }
 
     /// Search all observed data for a byte needle. Returns the addresses
@@ -53,6 +56,7 @@ impl BusMonitor {
     pub fn find_in_traffic(&self, needle: &[u8]) -> Vec<u64> {
         self.log
             .lock()
+            .expect("bus monitor lock poisoned")
             .iter()
             .filter(|tx| tx.data.windows(needle.len()).any(|w| w == needle))
             .map(|tx| tx.addr)
@@ -63,19 +67,13 @@ impl BusMonitor {
     /// indices read from a lookup table occupying
     /// `[table_base, table_base + entries * entry_size)`.
     #[must_use]
-    pub fn table_access_indices(
-        &self,
-        table_base: u64,
-        entries: u64,
-        entry_size: u64,
-    ) -> Vec<u8> {
+    pub fn table_access_indices(&self, table_base: u64, entries: u64, entry_size: u64) -> Vec<u8> {
         let end = table_base + entries * entry_size;
         self.log
             .lock()
+            .expect("bus monitor lock poisoned")
             .iter()
-            .filter(|tx| {
-                tx.op == BusOp::Read && tx.addr >= table_base && tx.addr < end
-            })
+            .filter(|tx| tx.op == BusOp::Read && tx.addr >= table_base && tx.addr < end)
             .map(|tx| ((tx.addr - table_base) / entry_size) as u8)
             .collect()
     }
@@ -83,13 +81,21 @@ impl BusMonitor {
     /// Total bytes observed crossing the bus.
     #[must_use]
     pub fn bytes_observed(&self) -> u64 {
-        self.log.lock().iter().map(|tx| tx.data.len() as u64).sum()
+        self.log
+            .lock()
+            .expect("bus monitor lock poisoned")
+            .iter()
+            .map(|tx| tx.data.len() as u64)
+            .sum()
     }
 }
 
 impl BusObserver for BusMonitor {
     fn observe(&self, tx: &BusTransaction) {
-        self.log.lock().push(tx.clone());
+        self.log
+            .lock()
+            .expect("bus monitor lock poisoned")
+            .push(tx.clone());
     }
 }
 
@@ -105,7 +111,8 @@ mod tests {
     fn monitor_greps_secrets_from_dram_traffic() {
         let mut soc = Soc::tegra3_small();
         let mon = BusMonitor::attach_new(&mut soc.bus);
-        soc.mem_write_uncached(DRAM_BASE + 0x100, b"PIN:4521").unwrap();
+        soc.mem_write_uncached(DRAM_BASE + 0x100, b"PIN:4521")
+            .unwrap();
         assert_eq!(mon.find_in_traffic(b"PIN:4521").len(), 1);
     }
 
@@ -129,7 +136,11 @@ mod tests {
         };
         let a = trace_for_key([0u8; 16]);
         let b = trace_for_key([1u8; 16]);
-        assert!(a.len() >= 9 * 16, "all main-round lookups observed: {}", a.len());
+        assert!(
+            a.len() >= 9 * 16,
+            "all main-round lookups observed: {}",
+            a.len()
+        );
         assert_ne!(a, b, "pattern must be key-dependent");
     }
 

@@ -148,10 +148,7 @@ pub fn attack(
     }
     let mut keys = find_aes128_key_schedules(&dram);
     keys.extend(find_aes128_key_schedules(&[(IRAM_BASE, iram)]));
-    Ok(ColdBootFindings {
-        pattern_hits,
-        keys,
-    })
+    Ok(ColdBootFindings { pattern_hits, keys })
 }
 
 /// What a cold-boot attack recovered.
@@ -182,14 +179,14 @@ pub const DEFAULT_TRIAL_CELLS: u64 = 200_000;
 /// # Errors
 ///
 /// Propagates SoC errors.
-pub fn table2(
-    trials: u32,
-    seed: u64,
-) -> Result<Vec<(String, f64, f64)>, sentry_soc::SocError> {
+pub fn table2(trials: u32, seed: u64) -> Result<Vec<(String, f64, f64)>, sentry_soc::SocError> {
     let events: [(&str, PowerEvent); 3] = [
         ("OS Reboot (no power loss)", PowerEvent::WarmReboot),
         ("Device Reflash (power loss)", PowerEvent::ReflashTap),
-        ("2 Second Reset (power loss)", PowerEvent::HardReset { seconds: 2.0 }),
+        (
+            "2 Second Reset (power loss)",
+            PowerEvent::HardReset { seconds: 2.0 },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, event) in events {
@@ -237,7 +234,11 @@ mod tests {
         assert!((rows[0].2 - 0.964).abs() < 0.01, "DRAM warm: {}", rows[0].2);
         // Reflash: iRAM 0% (firmware zeroing), DRAM ~97.5%.
         assert!(rows[1].1 < 1e-9, "iRAM reflash: {}", rows[1].1);
-        assert!((rows[1].2 - 0.975).abs() < 0.01, "DRAM reflash: {}", rows[1].2);
+        assert!(
+            (rows[1].2 - 0.975).abs() < 0.01,
+            "DRAM reflash: {}",
+            rows[1].2
+        );
         // 2s reset: iRAM 0%, DRAM ~0.1%.
         assert!(rows[2].1 < 1e-9);
         assert!(rows[2].2 < 0.005, "DRAM 2s: {}", rows[2].2);
@@ -256,12 +257,7 @@ mod tests {
         let mut soc = Soc::tegra3_small();
         soc.mem_write(DRAM_BASE + (20 << 20), secret).unwrap();
         soc.cache_maintenance_flush();
-        let findings = attack(
-            &mut soc,
-            PowerEvent::HardReset { seconds: 5.0 },
-            secret,
-        )
-        .unwrap();
+        let findings = attack(&mut soc, PowerEvent::HardReset { seconds: 5.0 }, secret).unwrap();
         assert!(
             findings.pattern_hits.is_empty(),
             "5 s power cut destroys DRAM"

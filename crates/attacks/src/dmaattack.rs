@@ -72,7 +72,8 @@ mod tests {
     #[test]
     fn dma_reads_plaintext_from_unprotected_dram() {
         let mut soc = Soc::tegra3_small();
-        soc.mem_write(DRAM_BASE + 0x9000, b"credit card 4111").unwrap();
+        soc.mem_write(DRAM_BASE + 0x9000, b"credit card 4111")
+            .unwrap();
         soc.cache_maintenance_flush(); // steady state
         let dump = dma_dump(&mut soc, DRAM_BASE + 0x8000, 0x4000, 4096);
         assert_eq!(dump.search(b"credit card 4111").len(), 1);
@@ -101,8 +102,7 @@ mod tests {
         use sentry_core::config::OnSocBackend;
         use sentry_core::onsoc::OnSocStore;
         let mut soc = Soc::tegra3_small();
-        let mut store =
-            OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
+        let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
         let page = store.alloc_page(&mut soc).unwrap();
         soc.mem_write(page, b"decrypted page contents").unwrap();
         // DMA bypasses the cache entirely: the locked line's data never

@@ -42,7 +42,11 @@ pub struct AttackReport {
 impl AttackReport {
     /// Shorthand for a failed attack (the defence held).
     #[must_use]
-    pub fn safe(attack: impl Into<String>, target: impl Into<String>, why: impl Into<String>) -> Self {
+    pub fn safe(
+        attack: impl Into<String>,
+        target: impl Into<String>,
+        why: impl Into<String>,
+    ) -> Self {
         AttackReport {
             attack: attack.into(),
             target: target.into(),

@@ -64,8 +64,7 @@ fn place_secret(option: StorageOption) -> Result<(Soc, u64), sentry_core::Sentry
             slot
         }
         StorageOption::LockedL2 => {
-            let mut store =
-                OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc)?;
+            let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc)?;
             let slot = store.alloc_page(&mut soc)?;
             soc.mem_write(slot, &page)?;
             slot

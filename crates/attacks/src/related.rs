@@ -34,8 +34,7 @@ impl RegisterOnlyAes {
     ///
     /// Propagates DRAM write errors.
     pub fn install(soc: &mut Soc, table_region: u64, key: &[u8; 16]) -> Result<Self, SocError> {
-        let schedule = sentry_crypto::key_schedule::KeySchedule::expand(key)
-            .expect("16-byte key");
+        let schedule = sentry_crypto::key_schedule::KeySchedule::expand(key).expect("16-byte key");
         // The tables are public data, so writing them to DRAM is "safe"
         // — contents-wise.
         let mut te_bytes = Vec::with_capacity(TABLE_BYTES);
@@ -82,8 +81,12 @@ impl RegisterOnlyAes {
         for round in 1..10 {
             for c in 0..4 {
                 t[c] = self.te(soc, (s[c] >> 24) as u8)
-                    ^ self.te(soc, ((s[(c + 1) % 4] >> 16) & 0xff) as u8).rotate_right(8)
-                    ^ self.te(soc, ((s[(c + 2) % 4] >> 8) & 0xff) as u8).rotate_right(16)
+                    ^ self
+                        .te(soc, ((s[(c + 1) % 4] >> 16) & 0xff) as u8)
+                        .rotate_right(8)
+                    ^ self
+                        .te(soc, ((s[(c + 2) % 4] >> 8) & 0xff) as u8)
+                        .rotate_right(16)
                     ^ self.te(soc, (s[(c + 3) % 4] & 0xff) as u8).rotate_right(24)
                     ^ rk[4 * round + c];
             }
@@ -117,14 +120,12 @@ mod tests {
         let mut soc = Soc::tegra3_small();
         let key = [0u8; 16];
         let aes = RegisterOnlyAes::install(&mut soc, TABLE_REGION, &key).unwrap();
-        let mut block: [u8; 16] = *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
+        let mut block: [u8; 16] =
+            *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
         // FIPS-197 Appendix C.1 with the incrementing key.
-        let aes2 = RegisterOnlyAes::install(
-            &mut soc,
-            TABLE_REGION,
-            &core::array::from_fn(|i| i as u8),
-        )
-        .unwrap();
+        let aes2 =
+            RegisterOnlyAes::install(&mut soc, TABLE_REGION, &core::array::from_fn(|i| i as u8))
+                .unwrap();
         aes2.encrypt_block(&mut soc, &mut block);
         assert_eq!(
             block,

@@ -66,9 +66,13 @@ fn bench_key_schedule(c: &mut Criterion) {
     group.sample_size(30);
     for ks in KeySize::all() {
         let key = vec![9u8; ks.key_len()];
-        group.bench_with_input(BenchmarkId::new("expand", ks.to_string()), &key, |b, key| {
-            b.iter(|| Aes::new(black_box(key)).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("expand", ks.to_string()),
+            &key,
+            |b, key| {
+                b.iter(|| Aes::new(black_box(key)).unwrap());
+            },
+        );
     }
     group.finish();
 }

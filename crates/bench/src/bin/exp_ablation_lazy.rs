@@ -27,7 +27,15 @@ fn main() {
     }
     print_table(
         "Ablation: lazy vs eager decrypt-on-unlock (user touches 1 MB then re-locks)",
-        &["App size", "lazy TTI (s)", "eager TTI (s)", "lazy MB", "eager MB", "lazy J", "eager J"],
+        &[
+            "App size",
+            "lazy TTI (s)",
+            "eager TTI (s)",
+            "lazy MB",
+            "eager MB",
+            "lazy J",
+            "eager J",
+        ],
         &rows,
     );
     println!("\nLazy wins by the app-size factor on both latency and energy — the\npaper's on-demand design choice.");

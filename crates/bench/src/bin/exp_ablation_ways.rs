@@ -31,7 +31,13 @@ fn main() {
         .collect();
     print_table(
         "Ablation: locked ways vs alpine background time vs system compile cost",
-        &["Ways", "On-SoC budget", "alpine kernel (s)", "Pager faults", "Compile (min)"],
+        &[
+            "Ways",
+            "On-SoC budget",
+            "alpine kernel (s)",
+            "Pager faults",
+            "Compile (min)",
+        ],
         &rows,
     );
     println!("\nThe knee: alpine stops thrashing once its working set fits\n(~512 KB); further ways only cost the rest of the system.");

@@ -58,7 +58,11 @@ fn main() {
             failures.push(*exp);
         }
     }
-    println!("\n{} experiments run, {} failed", EXPERIMENTS.len(), failures.len());
+    println!(
+        "\n{} experiments run, {} failed",
+        EXPERIMENTS.len(),
+        failures.len()
+    );
     if !failures.is_empty() {
         eprintln!("failed: {failures:?}");
         std::process::exit(1);

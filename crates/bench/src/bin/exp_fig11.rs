@@ -46,9 +46,21 @@ fn main() {
         "Figure 11 (left): Nexus 4 AES throughput, 4 KiB pages",
         &["Implementation", "MB/s", "Paper ballpark"],
         &[
-            vec!["Generic AES (user)".into(), format!("{user_mb:.1}"), "~45".into()],
-            vec!["Generic AES (in kernel)".into(), format!("{kernel_mb:.1}"), "~40".into()],
-            vec!["Crypto Hardware (locked)".into(), format!("{hw_locked:.1}"), "~10".into()],
+            vec![
+                "Generic AES (user)".into(),
+                format!("{user_mb:.1}"),
+                "~45".into(),
+            ],
+            vec![
+                "Generic AES (in kernel)".into(),
+                format!("{kernel_mb:.1}"),
+                "~40".into(),
+            ],
+            vec![
+                "Crypto Hardware (locked)".into(),
+                format!("{hw_locked:.1}"),
+                "~10".into(),
+            ],
             vec![
                 "Crypto Hardware (awake)".into(),
                 format!("{hw_awake:.1}"),

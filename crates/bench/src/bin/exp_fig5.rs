@@ -30,8 +30,16 @@ fn main() {
     }
     print_table(
         "Figure 5: lock/unlock energy (paper: up to 2.3 J; ~2%/day at 150 cycles)",
-        &["App", "Encrypt-on-Lock (J)", "Decrypt-on-Unlock (J)", "Daily battery"],
+        &[
+            "App",
+            "Encrypt-on-Lock (J)",
+            "Decrypt-on-Unlock (J)",
+            "Daily battery",
+        ],
         &rows,
     );
-    println!("\nWorst-case daily battery to protect one app: {:.2}%", worst_daily * 100.0);
+    println!(
+        "\nWorst-case daily battery to protect one app: {:.2}%",
+        worst_daily * 100.0
+    );
 }

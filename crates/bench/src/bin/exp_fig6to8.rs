@@ -35,7 +35,12 @@ fn main() {
         ];
         print_table(
             &format!("Figures 6-8: background computation, {}", spec.name),
-            &["Configuration", "Time in kernel (s)", "Factor", "Pager faults"],
+            &[
+                "Configuration",
+                "Time in kernel (s)",
+                "Factor",
+                "Pager faults",
+            ],
             &rows,
         );
     }

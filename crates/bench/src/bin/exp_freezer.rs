@@ -36,7 +36,12 @@ fn main() {
     }
     print_table(
         "Extension: cooled cold boot (FROST) — DRAM survival vs temperature",
-        &["Temperature", "Power-off", "DRAM preserved", "iRAM preserved"],
+        &[
+            "Temperature",
+            "Power-off",
+            "DRAM preserved",
+            "iRAM preserved",
+        ],
         &rows,
     );
     println!("\nA freezer rescues DRAM contents across multi-second resets —\nbut iRAM still reads 0%: the signed firmware zeroes it at power-on,\nindependent of physics. On-SoC storage defeats FROST.");

@@ -1,0 +1,178 @@
+//! Lock-path scaling sweep for the parallel page-crypt engine.
+//!
+//! For each worker count in {1, 2, 4, 8} this measures both sides of the
+//! engine on a 256-page (1 MiB) lock-sized batch:
+//!
+//! * **host wall-clock** of `crypt_batch` itself — real threads, real
+//!   AES, median of several repetitions;
+//! * **simulated lock latency** of a full `Sentry::on_lock` transition
+//!   over the same working set, where the batch charges the serial AES
+//!   cost divided by the lanes used.
+//!
+//! Results print as a table and are written to `BENCH_lock_scaling.json`
+//! so CI (and the bench trajectory) can track the sweep.
+
+use std::time::Instant;
+
+use sentry_bench::print_table;
+use sentry_core::config::ParallelConfig;
+use sentry_core::{Sentry, SentryConfig};
+use sentry_crypto::parallel::{crypt_batch, Direction, PageJob};
+use sentry_crypto::Aes;
+use sentry_kernel::Kernel;
+use sentry_soc::Soc;
+
+const BATCH_PAGES: usize = 256;
+const PAGE: usize = 4096;
+const REPS: usize = 7;
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    workers: usize,
+    workers_used: usize,
+    host_wall_ns: u64,
+    host_mib_s: f64,
+    host_speedup: f64,
+    sim_lock_ns: u64,
+    sim_speedup: f64,
+}
+
+fn mk_batch() -> Vec<Vec<u8>> {
+    (0..BATCH_PAGES)
+        .map(|i| (0..PAGE).map(|j| (i * 31 + j) as u8).collect())
+        .collect()
+}
+
+/// Median host wall-clock of one 256-page encrypt batch, plus the lane
+/// count the engine actually used.
+fn host_point(aes: &Aes, workers: usize) -> (u64, usize) {
+    let mut samples = Vec::with_capacity(REPS);
+    let mut workers_used = 1;
+    for rep in 0..=REPS {
+        let mut pages = mk_batch();
+        let mut jobs: Vec<PageJob<'_>> = pages
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| PageJob {
+                iv: [i as u8; 16],
+                data: p.as_mut_slice(),
+            })
+            .collect();
+        let t0 = Instant::now();
+        let report = crypt_batch(aes, Direction::Encrypt, &mut jobs, workers, 1);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        workers_used = report.workers_used;
+        if rep > 0 {
+            // First pass is warm-up (page faults, thread-pool spin-up).
+            samples.push(elapsed);
+        }
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], workers_used)
+}
+
+/// Simulated `on_lock` latency over the same working set.
+fn sim_point(workers: usize) -> u64 {
+    let mut s = Sentry::new(
+        Kernel::new(Soc::tegra3_small()),
+        SentryConfig::tegra3_locked_l2(2).with_parallel(ParallelConfig {
+            workers,
+            min_batch_pages: 1,
+        }),
+    )
+    .expect("sentry builds");
+    let pid = s.kernel.spawn("sweep");
+    s.mark_sensitive(pid).expect("pid exists");
+    let data: Vec<u8> = (0..251u8).cycle().take(BATCH_PAGES * PAGE).collect();
+    s.write(pid, 0, &data).expect("working set fits");
+    let report = s.on_lock().expect("lock succeeds");
+    assert_eq!(
+        report.batch_pages as usize, BATCH_PAGES,
+        "whole set batched"
+    );
+    report.duration_ns
+}
+
+fn json_escape_free(points: &[Point]) -> String {
+    // Hand-rolled JSON: fixed schema, numbers only — no serde needed.
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"workers\": {}, \"workers_used\": {}, \"host_wall_ns\": {}, \
+                 \"host_mib_s\": {:.1}, \"host_speedup\": {:.2}, \
+                 \"sim_lock_ns\": {}, \"sim_speedup\": {:.2}}}",
+                p.workers,
+                p.workers_used,
+                p.host_wall_ns,
+                p.host_mib_s,
+                p.host_speedup,
+                p.sim_lock_ns,
+                p.sim_speedup
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"lock_scaling\",\n  \"batch_pages\": {BATCH_PAGES},\n  \
+         \"page_bytes\": {PAGE},\n  \"reps\": {REPS},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+fn main() {
+    let aes = Aes::new(&[0x6Bu8; 32]).expect("valid key length");
+    let batch_bytes = (BATCH_PAGES * PAGE) as f64;
+
+    let mut points: Vec<Point> = Vec::with_capacity(SWEEP.len());
+    for workers in SWEEP {
+        let (host_wall_ns, workers_used) = host_point(&aes, workers);
+        let sim_lock_ns = sim_point(workers);
+        points.push(Point {
+            workers,
+            workers_used,
+            host_wall_ns,
+            host_mib_s: batch_bytes / (1 << 20) as f64 / (host_wall_ns as f64 * 1e-9),
+            host_speedup: 0.0,
+            sim_lock_ns,
+            sim_speedup: 0.0,
+        });
+    }
+    let host_base = points[0].host_wall_ns as f64;
+    let sim_base = points[0].sim_lock_ns as f64;
+    for p in &mut points {
+        p.host_speedup = host_base / p.host_wall_ns as f64;
+        p.sim_speedup = sim_base / p.sim_lock_ns as f64;
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                p.workers_used.to_string(),
+                format!("{:.3}", p.host_wall_ns as f64 * 1e-6),
+                format!("{:.1}", p.host_mib_s),
+                format!("{:.2}x", p.host_speedup),
+                format!("{:.3}", p.sim_lock_ns as f64 * 1e-6),
+                format!("{:.2}x", p.sim_speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Lock scaling: 256-page batch vs worker count",
+        &[
+            "Workers",
+            "Lanes",
+            "Host ms",
+            "Host MiB/s",
+            "Host speedup",
+            "Sim lock ms",
+            "Sim speedup",
+        ],
+        &rows,
+    );
+
+    let json = json_escape_free(&points);
+    std::fs::write("BENCH_lock_scaling.json", &json).expect("write BENCH_lock_scaling.json");
+    println!("\nwrote BENCH_lock_scaling.json");
+}

@@ -41,7 +41,10 @@ fn main() {
     soc.dma_to_uart(page, 64).expect("uart dma");
     let leaked = soc.uart.read_serial().windows(8).any(|w| w == pattern);
     println!("[3] after RAW full flush (unpatched OS): leaked = {leaked} (expected: true)");
-    println!("    alloc mask after raw flush: {:#010b} (all ways unlocked)", soc.cache.alloc_mask());
+    println!(
+        "    alloc mask after raw flush: {:#010b} (all ways unlocked)",
+        soc.cache.alloc_mask()
+    );
     assert!(leaked, "raw flush must demonstrate the hazard");
 
     println!("\nValidation matches §4.2: locked ways never write back; a full\nunmasked flush unlocks them — hence Sentry's masked flush paths.");

@@ -41,14 +41,21 @@ fn main() {
     onsoc.set_full_simulation(true);
     let mon = BusMonitor::attach_new(&mut soc.bus);
     let mut data = [0u8; 16];
-    onsoc.encrypt(&mut soc, &[0u8; 16], &mut data).expect("encrypts");
+    onsoc
+        .encrypt(&mut soc, &[0u8; 16], &mut data)
+        .expect("encrypts");
     let onsoc_observed = mon.len();
     soc.power_cycle(PowerEvent::ReflashTap).expect("reboots");
     let onsoc_keys = coldboot::find_aes128_key_schedules(&coldboot::dump_dram(&mut soc)).len();
 
     print_table(
         "§9.1: register-only AES (AESSE/TRESOR) vs AES On SoC",
-        &["Scheme", "Keys via cold boot", "Table lookups on bus / block", "Verdict"],
+        &[
+            "Scheme",
+            "Keys via cold boot",
+            "Table lookups on bus / block",
+            "Verdict",
+        ],
         &[
             vec![
                 "register-only (TRESOR-style)".into(),

@@ -25,7 +25,13 @@ fn main() {
         .collect();
     print_table(
         "Table 2: data remanence after power events (5-trial average)",
-        &["Memory Preserved", "iRAM", "iRAM(paper)", "DRAM", "DRAM(paper)"],
+        &[
+            "Memory Preserved",
+            "iRAM",
+            "iRAM(paper)",
+            "DRAM",
+            "DRAM(paper)",
+        ],
         &table,
     );
 }

@@ -121,9 +121,10 @@ impl AesOnSocEngine {
         calibrated_ns: u64,
         f: impl FnOnce(&TrackedAes, &mut CachedSocStore<'_>) -> T,
     ) -> Result<T, KernelError> {
-        let tracked = self.tracked.as_ref().ok_or_else(|| {
-            KernelError::UnknownCipher("AES On SoC: no key installed".into())
-        })?;
+        let tracked = self
+            .tracked
+            .as_ref()
+            .ok_or_else(|| KernelError::UnknownCipher("AES On SoC: no key installed".into()))?;
         // Call discipline: the engine entry takes (state, iv, data, len)
         // — four register arguments, nothing on the stack.
         let entry_args = [0u32, 1, 2, 3];
@@ -151,9 +152,10 @@ impl AesOnSocEngine {
         calibrated_ns: u64,
         f: impl FnOnce(&sentry_crypto::Aes) -> T,
     ) -> Result<T, KernelError> {
-        let native = self.native.as_ref().ok_or_else(|| {
-            KernelError::UnknownCipher("AES On SoC: no key installed".into())
-        })?;
+        let native = self
+            .native
+            .as_ref()
+            .ok_or_else(|| KernelError::UnknownCipher("AES On SoC: no key installed".into()))?;
         let entry_args = [0u32, 1, 2, 3];
         let spilled = soc.cpu.pass_args(&entry_args);
         debug_assert!(spilled.is_empty(), "no sensitive argument may spill");
@@ -192,13 +194,17 @@ impl CipherEngine for AesOnSocEngine {
         soc.cpu.end_critical(was_enabled, dt);
         self.tracked = Some(tracked);
         self.native = Some(
-            sentry_crypto::Aes::new(key)
-                .map_err(|e| KernelError::UnknownCipher(e.to_string()))?,
+            sentry_crypto::Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?,
         );
         Ok(())
     }
 
-    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+    fn encrypt(
+        &mut self,
+        soc: &mut Soc,
+        iv: &[u8; 16],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
         let ns = self.calibrated_ns(soc, data.len());
         if self.full_sim {
             self.critical(soc, ns, |aes, store| aes.cbc_encrypt(store, iv, data))
@@ -209,7 +215,12 @@ impl CipherEngine for AesOnSocEngine {
         }
     }
 
-    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+    fn decrypt(
+        &mut self,
+        soc: &mut Soc,
+        iv: &[u8; 16],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
         let ns = self.calibrated_ns(soc, data.len());
         if self.full_sim {
             self.critical(soc, ns, |aes, store| aes.cbc_decrypt(store, iv, data))
@@ -350,7 +361,7 @@ mod tests {
     }
 
     #[test]
-    fn onsoc_within_one_percent_of_generic(){
+    fn onsoc_within_one_percent_of_generic() {
         // Figure 11 (right): AES On SoC adds negligible overhead versus
         // generic AES on the Tegra.
         use sentry_kernel::crypto_api::GenericAesEngine;
@@ -374,10 +385,8 @@ mod tests {
     #[test]
     fn unkeyed_engine_refuses_to_encrypt() {
         let mut soc = Soc::tegra3_small();
-        let mut eng = AesOnSocEngine::new(
-            sentry_soc::addr::IRAM_BASE + 64 * 1024,
-            KeyResidency::Iram,
-        );
+        let mut eng =
+            AesOnSocEngine::new(sentry_soc::addr::IRAM_BASE + 64 * 1024, KeyResidency::Iram);
         let mut data = vec![0u8; 16];
         assert!(eng.encrypt(&mut soc, &[0u8; 16], &mut data).is_err());
     }

@@ -15,11 +15,50 @@ pub enum OnSocBackend {
     },
 }
 
+/// Tuning for the parallel page-crypt engine used by the DRAM-side bulk
+/// lock/unlock path (see `sentry_crypto::parallel`).
+///
+/// The default (`workers = 1`) is the paper's serial prototype and is
+/// byte- and cycle-identical to dispatching pages one at a time; raising
+/// `workers` fans the per-page CBC jobs across a scoped worker pool.
+/// AES On SoC itself always stays single-lane — its state page cannot be
+/// replicated — only the bulk DRAM transitions parallelize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker lanes for bulk lock/unlock batches. `1` means sequential.
+    pub workers: usize,
+    /// Batches smaller than this many pages skip the thread fan-out and
+    /// run sequentially (the fan-out costs more than it saves).
+    pub min_batch_pages: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: 1,
+            min_batch_pages: 8,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A configuration with `workers` lanes and the default batch floor.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig {
+            workers: workers.max(1),
+            ..ParallelConfig::default()
+        }
+    }
+}
+
 /// Full Sentry configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SentryConfig {
     /// Where secrets live on the SoC.
     pub backend: OnSocBackend,
+    /// Parallel page-crypt tuning for bulk lock/unlock transitions.
+    pub parallel: ParallelConfig,
     /// Whether sensitive apps may run in the background while locked
     /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
     /// Without it, sensitive apps are parked unschedulable on lock (the
@@ -46,6 +85,7 @@ impl SentryConfig {
         assert!((1..=7).contains(&max_ways), "lockable ways must be 1..=7");
         SentryConfig {
             backend: OnSocBackend::LockedL2 { max_ways },
+            parallel: ParallelConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -56,6 +96,7 @@ impl SentryConfig {
     pub fn tegra3_iram() -> Self {
         SentryConfig {
             backend: OnSocBackend::Iram,
+            parallel: ParallelConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -68,6 +109,7 @@ impl SentryConfig {
     pub fn nexus4() -> Self {
         SentryConfig {
             backend: OnSocBackend::Iram,
+            parallel: ParallelConfig::default(),
             background_support: false,
             slot_limit: None,
         }
@@ -78,6 +120,20 @@ impl SentryConfig {
     #[must_use]
     pub fn with_slot_limit(mut self, slots: usize) -> Self {
         self.slot_limit = Some(slots);
+        self
+    }
+
+    /// Set the parallel page-crypt tuning (see [`ParallelConfig`]).
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Shorthand: `workers` lanes with the default batch floor.
+    #[must_use]
+    pub fn with_parallel_workers(mut self, workers: usize) -> Self {
+        self.parallel = ParallelConfig::with_workers(workers);
         self
     }
 }

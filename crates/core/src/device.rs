@@ -179,8 +179,8 @@ impl DeviceAgent {
             match self.try_unlock(&self.pin.clone())? {
                 UnlockOutcome::Unlocked(report) => {
                     self.sentry.touch_pages(pid, resume_vpns)?;
-                    bytes_decrypted += report.eager_bytes_decrypted
-                        + (self.sentry.stats.ondemand_bytes - before);
+                    bytes_decrypted +=
+                        report.eager_bytes_decrypted + (self.sentry.stats.ondemand_bytes - before);
                 }
                 other => unreachable!("correct PIN must unlock, got {other:?}"),
             }
@@ -288,12 +288,8 @@ mod tests {
         assert!(day.battery_fraction > 0.0 && day.battery_fraction < 0.01);
         // A Maps-sized app (48 MB lock / 38 MB unlock) would be ~1.9%:
         let energy = EnergyModel::nexus4();
-        let maps_daily = energy.daily_battery_fraction(
-            AesVariant::CryptoApi,
-            48 << 20,
-            38 << 20,
-            150,
-        );
+        let maps_daily =
+            energy.daily_battery_fraction(AesVariant::CryptoApi, 48 << 20, 38 << 20, 150);
         assert!((0.015..0.025).contains(&maps_daily));
     }
 

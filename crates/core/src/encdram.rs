@@ -23,13 +23,19 @@ use sentry_kernel::Kernel;
 use sentry_soc::addr::PAGE_SIZE;
 
 /// Per-page IV: bound to the (pid, vpn) pair so every page encrypts
-/// differently under the volatile root key.
+/// differently under the volatile root key, and to the lock-epoch
+/// counter so the *same* page never reuses an IV across successive lock
+/// cycles. (The volatile key survives lock→unlock→lock — it is destroyed
+/// only on power-off — so without the epoch a CBC IV would repeat and an
+/// attacker comparing two lock cycles could detect unchanged pages, and
+/// recover XORs of first blocks that changed.)
 #[must_use]
-pub fn page_iv(pid: u32, vpn: u64) -> [u8; 16] {
+pub fn page_iv(pid: u32, vpn: u64, epoch: u64) -> [u8; 16] {
     let mut iv = [0u8; 16];
     iv[..4].copy_from_slice(&pid.to_le_bytes());
     iv[4..12].copy_from_slice(&vpn.to_le_bytes());
-    iv[12..].copy_from_slice(b"SNTR");
+    let tag = u32::from_le_bytes(*b"SNTR") ^ (epoch as u32) ^ ((epoch >> 32) as u32);
+    iv[12..].copy_from_slice(&tag.to_le_bytes());
     iv
 }
 
@@ -47,6 +53,11 @@ pub struct PagerStats {
     pub bytes_decrypted: u64,
     /// Bytes encrypted.
     pub bytes_encrypted: u64,
+    /// Non-empty [`Pager::evict_all`] sweeps (one per lock transition
+    /// with resident pages).
+    pub evict_batches: u64,
+    /// Pages evicted across all such sweeps.
+    pub evict_batch_pages: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -100,19 +111,18 @@ impl Pager {
         store: &mut OnSocStore,
         kernel: &mut Kernel,
         fault: &PageFault,
+        epoch: u64,
     ) -> Result<(), SentryError> {
         kernel.soc.clock.advance(kernel.soc.costs.page_fault_ns);
         self.stats.faults += 1;
 
         // Inspect the faulting PTE.
-        let pte = *kernel
-            .proc(fault.pid)?
-            .page_table
-            .get(fault.vpn)
-            .ok_or(SentryError::Unresolvable {
+        let pte = *kernel.proc(fault.pid)?.page_table.get(fault.vpn).ok_or(
+            SentryError::Unresolvable {
                 pid: fault.pid,
                 vpn: fault.vpn,
-            })?;
+            },
+        )?;
 
         match pte.backing {
             Backing::OnSoc(_) => {
@@ -121,7 +131,7 @@ impl Pager {
                 Ok(())
             }
             Backing::Dram(frame) if pte.encrypted => {
-                let slot_idx = self.acquire_slot(store, kernel)?;
+                let slot_idx = self.acquire_slot(store, kernel, epoch)?;
                 self.page_in(kernel, slot_idx, fault.pid, fault.vpn, frame)
             }
             Backing::Dram(_) => {
@@ -139,6 +149,7 @@ impl Pager {
         &mut self,
         store: &mut OnSocStore,
         kernel: &mut Kernel,
+        epoch: u64,
     ) -> Result<usize, SentryError> {
         if let Some(i) = self.slots.iter().position(|s| s.occupant.is_none()) {
             return Ok(i);
@@ -161,13 +172,18 @@ impl Pager {
             .resident
             .pop_front()
             .ok_or(SentryError::OnSocExhausted)?;
-        self.evict(kernel, victim)?;
+        self.evict(kernel, victim, epoch)?;
         Ok(victim)
     }
 
     /// Figure 1 in reverse: encrypt the slot's page in place and copy it
     /// back to its home DRAM frame; re-arm the trap.
-    fn evict(&mut self, kernel: &mut Kernel, slot_idx: usize) -> Result<(), SentryError> {
+    fn evict(
+        &mut self,
+        kernel: &mut Kernel,
+        slot_idx: usize,
+        epoch: u64,
+    ) -> Result<(), SentryError> {
         let slot = self.slots[slot_idx];
         let (pid, vpn) = slot.occupant.expect("evicting an empty slot");
 
@@ -180,11 +196,12 @@ impl Pager {
                 .page_table
                 .get(vpn)
                 .ok_or(SentryError::Unresolvable { pid, vpn })?;
-            pte.home_frame.ok_or(SentryError::Unresolvable { pid, vpn })?
+            pte.home_frame
+                .ok_or(SentryError::Unresolvable { pid, vpn })?
         };
 
         // Encrypt in place (on the SoC), then copy out to DRAM.
-        let iv = page_iv(pid, vpn);
+        let iv = page_iv(pid, vpn, epoch);
         let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
         crypto
             .preferred_mut()
@@ -204,6 +221,7 @@ impl Pager {
         pte.encrypted = true;
         pte.young = false;
         pte.dirty = false;
+        pte.crypt_epoch = epoch;
         proc.stats.bytes_encrypted += PAGE_SIZE;
 
         self.slots[slot_idx].occupant = None;
@@ -229,8 +247,15 @@ impl Pager {
         kernel.soc.mem_read(frame, &mut page)?;
         kernel.soc.clock.advance(kernel.soc.costs.page_copy_ns);
 
-        // Step 2: decrypt in place.
-        let iv = page_iv(pid, vpn);
+        // Step 2: decrypt in place, under the IV the page was actually
+        // encrypted with (its PTE remembers the lock epoch used).
+        let stored_epoch = kernel
+            .proc(pid)?
+            .page_table
+            .get(vpn)
+            .ok_or(SentryError::Unresolvable { pid, vpn })?
+            .crypt_epoch;
+        let iv = page_iv(pid, vpn, stored_epoch);
         let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
         crypto
             .preferred_mut()
@@ -259,13 +284,21 @@ impl Pager {
 
     /// Evict every resident page (Sentry's lock path runs this so all
     /// sensitive state is encrypted in DRAM before the device sleeps).
+    /// Re-encryption uses `epoch` — the lock epoch of the transition
+    /// driving the sweep.
     ///
     /// # Errors
     ///
     /// Propagates eviction errors.
-    pub fn evict_all(&mut self, kernel: &mut Kernel) -> Result<(), SentryError> {
+    pub fn evict_all(&mut self, kernel: &mut Kernel, epoch: u64) -> Result<(), SentryError> {
+        let mut swept = 0u64;
         while let Some(slot_idx) = self.resident.pop_front() {
-            self.evict(kernel, slot_idx)?;
+            self.evict(kernel, slot_idx, epoch)?;
+            swept += 1;
+        }
+        if swept > 0 {
+            self.stats.evict_batches += 1;
+            self.stats.evict_batch_pages += swept;
         }
         Ok(())
     }

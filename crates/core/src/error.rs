@@ -50,7 +50,11 @@ impl fmt::Display for SentryError {
             SentryError::WrongState { expected_locked } => write!(
                 f,
                 "device must be {} for this operation",
-                if *expected_locked { "locked" } else { "unlocked" }
+                if *expected_locked {
+                    "locked"
+                } else {
+                    "unlocked"
+                }
             ),
         }
     }
@@ -87,6 +91,8 @@ mod tests {
         let e: SentryError = SocError::CacheLockingUnavailable.into();
         assert!(e.to_string().contains("soc"));
         assert!(Error::source(&e).is_some());
-        assert!(SentryError::OnSocExhausted.to_string().contains("exhausted"));
+        assert!(SentryError::OnSocExhausted
+            .to_string()
+            .contains("exhausted"));
     }
 }

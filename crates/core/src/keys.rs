@@ -168,8 +168,7 @@ mod tests {
         assert_eq!(k1, k1_again, "derivation is deterministic");
 
         // A different device (different fuse) derives a different key.
-        let cfg = sentry_soc::SocConfig::new(sentry_soc::Platform::Tegra3)
-            .with_dram_size(64 << 20);
+        let cfg = sentry_soc::SocConfig::new(sentry_soc::Platform::Tegra3).with_dram_size(64 << 20);
         let mut other = Soc::new(sentry_soc::SocConfig {
             fuse: [0x13u8; 32],
             ..cfg

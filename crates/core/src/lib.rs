@@ -65,7 +65,7 @@ pub mod lifecycle;
 pub mod onsoc;
 pub mod store;
 
-pub use config::{OnSocBackend, SentryConfig};
-pub use error::SentryError;
+pub use config::{OnSocBackend, ParallelConfig, SentryConfig};
 pub use device::{DeviceAgent, ScreenState, UnlockOutcome};
-pub use lifecycle::{DeviceState, LifecycleStats, Sentry};
+pub use error::SentryError;
+pub use lifecycle::{DeviceState, LifecycleStats, ParallelStats, Sentry};

@@ -10,11 +10,13 @@
 //! the background with their working set confined to the SoC.
 
 use crate::aes_onsoc::build_engine;
-use crate::config::SentryConfig;
+use crate::config::{OnSocBackend, SentryConfig};
 use crate::encdram::{page_iv, Pager};
 use crate::error::SentryError;
 use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
+use sentry_crypto::parallel::{crypt_batch, BatchReport, Direction, PageJob};
+use sentry_crypto::Aes;
 use sentry_kernel::fault::PageFault;
 use sentry_kernel::pagetable::{Backing, Sharing};
 use sentry_kernel::{Kernel, KernelError, Pid};
@@ -40,6 +42,10 @@ pub struct LockReport {
     pub zero_drain_ns: u64,
     /// Pages skipped because they are shared with non-sensitive apps.
     pub skipped_shared_pages: u64,
+    /// Pages dispatched through the batch crypt engine.
+    pub batch_pages: u64,
+    /// Worker lanes the batch actually used (1 on the sequential path).
+    pub workers_used: usize,
 }
 
 /// What an unlock transition did eagerly (DMA regions; Figure 2's
@@ -50,6 +56,8 @@ pub struct UnlockReport {
     pub duration_ns: u64,
     /// Bytes of DMA-region memory decrypted eagerly.
     pub eager_bytes_decrypted: u64,
+    /// Worker lanes the eager batch used (1 on the sequential path).
+    pub workers_used: usize,
 }
 
 /// Cumulative on-demand (post-unlock) decryption statistics.
@@ -66,6 +74,47 @@ pub struct LifecycleStats {
     /// Simulated time spent in on-demand decryption since the last
     /// reset.
     pub ondemand_ns: u64,
+    /// Batches dispatched through the bulk crypt engine (lock and eager
+    /// unlock transitions with at least one page).
+    pub crypt_batches: u64,
+    /// Pages across all such batches.
+    pub crypt_batch_pages: u64,
+    /// Largest single batch seen, in pages.
+    pub largest_batch_pages: u64,
+}
+
+/// Cumulative parallel-engine statistics. Kept separate from
+/// [`LifecycleStats`] because the per-lane byte loads are variable
+/// length (one slot per worker lane ever used).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Batches recorded (sequential fallback included).
+    pub batches: u64,
+    /// Batches that actually fanned out across more than one lane.
+    pub parallel_batches: u64,
+    /// Cumulative bytes transformed by each worker lane (index = lane;
+    /// the sequential path accounts all its bytes to lane 0).
+    pub per_worker_bytes: Vec<u64>,
+}
+
+impl ParallelStats {
+    fn record(&mut self, report: &BatchReport) {
+        self.batches += 1;
+        if !report.sequential_fallback {
+            self.parallel_batches += 1;
+        }
+        if self.per_worker_bytes.len() < report.per_worker_bytes.len() {
+            self.per_worker_bytes
+                .resize(report.per_worker_bytes.len(), 0);
+        }
+        for (acc, lane) in self
+            .per_worker_bytes
+            .iter_mut()
+            .zip(&report.per_worker_bytes)
+        {
+            *acc += *lane;
+        }
+    }
 }
 
 /// The Sentry system: the kernel plus Sentry's storage, pager, and keys.
@@ -81,8 +130,14 @@ pub struct Sentry {
     pub config: SentryConfig,
     /// Cumulative statistics.
     pub stats: LifecycleStats,
+    /// Cumulative parallel-engine statistics (per-lane byte loads).
+    pub parallel: ParallelStats,
     state: DeviceState,
     volatile_key: VolatileRootKey,
+    /// Monotone lock counter mixed into every page IV so ciphertext
+    /// never repeats across lock cycles under the surviving volatile
+    /// key. Incremented at the start of each lock transition.
+    lock_epoch: u64,
 }
 
 impl Sentry {
@@ -109,8 +164,10 @@ impl Sentry {
             pager: Pager::new(config.slot_limit),
             config,
             stats: LifecycleStats::default(),
+            parallel: ParallelStats::default(),
             state: DeviceState::Unlocked,
             volatile_key,
+            lock_epoch: 0,
         })
     }
 
@@ -124,6 +181,12 @@ impl Sentry {
     #[must_use]
     pub fn volatile_key(&self) -> VolatileRootKey {
         self.volatile_key
+    }
+
+    /// The current lock epoch (number of lock transitions so far).
+    #[must_use]
+    pub fn lock_epoch(&self) -> u64 {
+        self.lock_epoch
     }
 
     /// Mark a process sensitive — the settings-menu toggle of §7.
@@ -145,26 +208,126 @@ impl Sentry {
             .collect()
     }
 
-    /// Encrypt a single page in place in DRAM with the volatile key.
+    /// Encrypt or decrypt a single page in place in DRAM through the
+    /// preferred cipher engine (AES On SoC when registered). The caller
+    /// supplies the IV — [`page_iv`] of the frame's IV-owner mapping and
+    /// the lock epoch the ciphertext belongs to.
     fn crypt_page_in_dram(
         kernel: &mut Kernel,
-        pid: Pid,
-        vpn: u64,
+        iv: &[u8; 16],
         frame: u64,
         encrypt: bool,
     ) -> Result<(), SentryError> {
         let mut page = vec![0u8; PAGE_SIZE as usize];
         kernel.soc.mem_read(frame, &mut page)?;
-        let iv = page_iv(pid, vpn);
         let Kernel { soc, crypto, .. } = kernel;
         let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
         if encrypt {
-            engine.encrypt(soc, &iv, &mut page).map_err(SentryError::Kernel)?;
+            engine
+                .encrypt(soc, iv, &mut page)
+                .map_err(SentryError::Kernel)?;
         } else {
-            engine.decrypt(soc, &iv, &mut page).map_err(SentryError::Kernel)?;
+            engine
+                .decrypt(soc, iv, &mut page)
+                .map_err(SentryError::Kernel)?;
         }
         soc.mem_write(frame, &page)?;
         Ok(())
+    }
+
+    /// Run a batch of DRAM-side `(frame, iv)` crypt jobs — the bulk path
+    /// of the lock and eager-unlock transitions.
+    ///
+    /// With `parallel.workers <= 1`, or a batch below
+    /// `parallel.min_batch_pages`, every page dispatches one at a time
+    /// through the registered cipher engine, exactly like the serial
+    /// prototype — byte- and cycle-identical to the unbatched code.
+    /// Otherwise the ciphertext work fans out across the scoped worker
+    /// pool of [`sentry_crypto::parallel`] under a single AES context
+    /// expanded once per batch from the volatile root key, and the
+    /// simulated clock is charged the serial AES cost divided by the
+    /// lane count (one IRQ-disabled critical section for the whole
+    /// batch; the page copies to and from DRAM still run through the
+    /// SoC at full cost). AES On SoC itself stays single-lane — its
+    /// state page cannot be replicated — so the parallel path models
+    /// per-core register-resident contexts derived from the same key.
+    fn crypt_frames_bulk(
+        &mut self,
+        direction: Direction,
+        jobs: &[(u64, [u8; 16])],
+    ) -> Result<BatchReport, SentryError> {
+        let pages = jobs.len();
+        let bytes = pages as u64 * PAGE_SIZE;
+        let workers = self.config.parallel.workers;
+        let min_batch = self.config.parallel.min_batch_pages.max(1);
+
+        let report = if workers <= 1 || pages < min_batch {
+            for &(frame, iv) in jobs {
+                Self::crypt_page_in_dram(
+                    &mut self.kernel,
+                    &iv,
+                    frame,
+                    direction == Direction::Encrypt,
+                )?;
+            }
+            BatchReport {
+                pages,
+                bytes,
+                workers_used: 1,
+                per_worker_bytes: vec![bytes],
+                sequential_fallback: true,
+            }
+        } else {
+            // Expand the key schedule exactly once for the whole batch;
+            // worker lanes clone the expanded schedule.
+            let key = self.volatile_key.read(&mut self.kernel.soc)?;
+            let aes = Aes::new(&key)
+                .map_err(|e| SentryError::Kernel(KernelError::UnknownCipher(e.to_string())))?;
+
+            let mut buffers: Vec<Vec<u8>> = Vec::with_capacity(pages);
+            for &(frame, _) in jobs {
+                let mut page = vec![0u8; PAGE_SIZE as usize];
+                self.kernel.soc.mem_read(frame, &mut page)?;
+                buffers.push(page);
+            }
+            let mut batch: Vec<PageJob<'_>> = buffers
+                .iter_mut()
+                .zip(jobs)
+                .map(|(page, &(_, iv))| PageJob {
+                    iv,
+                    data: page.as_mut_slice(),
+                })
+                .collect();
+            let report = crypt_batch(&aes, direction, &mut batch, workers, min_batch);
+
+            // Same calibrated per-block cost as the AES-On-SoC engine,
+            // spread across the lanes that actually ran.
+            let state_access = match self.config.backend {
+                OnSocBackend::Iram => self.kernel.soc.costs.iram_access_ns,
+                OnSocBackend::LockedL2 { .. } => self.kernel.soc.costs.cache_hit_ns,
+            };
+            let serial_ns =
+                (bytes / 16) * (self.kernel.soc.costs.aes_block_compute_ns + 4 * state_access);
+            let charged_ns = serial_ns.div_ceil(report.workers_used as u64);
+            let soc = &mut self.kernel.soc;
+            let was_enabled = soc.cpu.begin_critical();
+            soc.clock.advance(charged_ns);
+            soc.cpu.end_critical(was_enabled, charged_ns);
+
+            for (&(frame, _), page) in jobs.iter().zip(&buffers) {
+                self.kernel.soc.mem_write(frame, page)?;
+            }
+            report
+        };
+
+        if report.pages > 0 {
+            self.stats.crypt_batches += 1;
+            self.stats.crypt_batch_pages += report.pages as u64;
+            self.stats.largest_batch_pages =
+                self.stats.largest_batch_pages.max(report.pages as u64);
+            self.parallel.record(&report);
+        }
+        Ok(report)
     }
 
     /// Transition to the locked state (§7): drain the freed-page zeroing
@@ -185,11 +348,21 @@ impl Sentry {
             });
         }
         let t0 = self.kernel.soc.clock.now_ns();
+        // Advance the epoch before anything encrypts: the zero-thread
+        // drain and the pager's eviction sweep belong to this lock
+        // cycle's IV namespace too.
+        self.lock_epoch += 1;
+        let epoch = self.lock_epoch;
         let zero_drain_ns = self.kernel.drain_zero_thread()?;
-        self.pager.evict_all(&mut self.kernel)?;
+        self.pager.evict_all(&mut self.kernel, epoch)?;
 
-        let mut bytes = 0u64;
+        // Phase 1: collect every crypt job — private pages of every
+        // sensitive process, then the shared-frame pass — into one
+        // batch. The jobs are independent (per-page IVs), so collecting
+        // first and dispatching once lets the engine fan them out.
         let mut skipped = 0u64;
+        let mut jobs: Vec<(u64, [u8; 16])> = Vec::new();
+        let mut private_updates: Vec<(Pid, u64)> = Vec::new();
         for pid in self.sensitive_pids() {
             let targets: Vec<(u64, u64)> = {
                 let proc = self.kernel.proc(pid)?;
@@ -197,8 +370,7 @@ impl Sentry {
                     .iter()
                     .filter_map(|(vpn, pte)| match pte.backing {
                         Backing::Dram(frame)
-                            if !pte.encrypted
-                                && pte.sharing != Sharing::SharedWithNonSensitive =>
+                            if !pte.encrypted && pte.sharing != Sharing::SharedWithNonSensitive =>
                         {
                             Some((vpn, frame))
                         }
@@ -217,14 +389,8 @@ impl Sentry {
                 .len() as u64;
 
             for (vpn, frame) in targets {
-                Self::crypt_page_in_dram(&mut self.kernel, pid, vpn, frame, true)?;
-                let proc = self.kernel.proc_mut(pid)?;
-                let pte = proc.page_table.get_mut(vpn).expect("walked above");
-                pte.encrypted = true;
-                pte.young = false;
-                pte.dirty = false;
-                proc.stats.bytes_encrypted += PAGE_SIZE;
-                bytes += PAGE_SIZE;
+                jobs.push((frame, page_iv(pid, vpn, epoch)));
+                private_updates.push((pid, vpn));
             }
             if !self.config.background_support {
                 self.kernel.proc_mut(pid)?.schedulable = false;
@@ -233,9 +399,10 @@ impl Sentry {
 
         // §7 shared-page policy, applied to *actual* shared frames: a
         // frame shared only among sensitive processes is encrypted —
-        // exactly once — and every mapper's PTE is re-armed; a frame
-        // shared with any non-sensitive process is assumed non-secret
-        // and skipped (its mappings are tagged accordingly).
+        // exactly once, under the first sharer's IV — and every mapper's
+        // PTE is re-armed; a frame shared with any non-sensitive process
+        // is assumed non-secret and skipped (its mappings are tagged
+        // accordingly).
         let shared: Vec<(u64, Vec<(Pid, u64)>)> = self
             .kernel
             .shared_frames
@@ -243,42 +410,38 @@ impl Sentry {
             .filter(|(_, sharers)| sharers.len() > 1)
             .map(|(&frame, sharers)| (frame, sharers.clone()))
             .collect();
+        let mut shared_rearms: Vec<(Vec<(Pid, u64)>, u64)> = Vec::new();
         for (frame, sharers) in shared {
-            let all_sensitive = sharers.iter().all(|&(pid, _)| {
-                self.kernel.procs.get(&pid).is_some_and(|p| p.sensitive)
-            });
-            let any_sensitive = sharers.iter().any(|&(pid, _)| {
-                self.kernel.procs.get(&pid).is_some_and(|p| p.sensitive)
-            });
+            let all_sensitive = sharers
+                .iter()
+                .all(|&(pid, _)| self.kernel.procs.get(&pid).is_some_and(|p| p.sensitive));
+            let any_sensitive = sharers
+                .iter()
+                .any(|&(pid, _)| self.kernel.procs.get(&pid).is_some_and(|p| p.sensitive));
             if !any_sensitive {
                 continue;
             }
             if all_sensitive {
-                let already = sharers.iter().any(|&(pid, vpn)| {
+                // A frame still ciphertext from an earlier cycle keeps
+                // the epoch it was encrypted under; its PTEs must keep
+                // decrypting with the original IV.
+                let stored_epoch = sharers.iter().find_map(|&(pid, vpn)| {
                     self.kernel
                         .procs
                         .get(&pid)
                         .and_then(|p| p.page_table.get(vpn))
-                        .is_some_and(|pte| pte.encrypted)
+                        .filter(|pte| pte.encrypted)
+                        .map(|pte| pte.crypt_epoch)
                 });
-                if !already {
-                    let (pid0, vpn0) = sharers[0];
-                    Self::crypt_page_in_dram(&mut self.kernel, pid0, vpn0, frame, true)?;
-                    bytes += PAGE_SIZE;
-                }
-                for &(pid, vpn) in &sharers {
-                    if let Some(pte) = self
-                        .kernel
-                        .procs
-                        .get_mut(&pid)
-                        .and_then(|p| p.page_table.get_mut(vpn))
-                    {
-                        pte.encrypted = true;
-                        pte.young = false;
-                        pte.dirty = false;
-                        pte.sharing = Sharing::SharedSensitiveOnly;
+                let effective_epoch = match stored_epoch {
+                    Some(e) => e,
+                    None => {
+                        let (pid0, vpn0) = sharers[0];
+                        jobs.push((frame, page_iv(pid0, vpn0, epoch)));
+                        epoch
                     }
-                }
+                };
+                shared_rearms.push((sharers, effective_epoch));
             } else {
                 skipped += 1;
                 for &(pid, vpn) in &sharers {
@@ -294,13 +457,45 @@ impl Sentry {
             }
         }
 
+        // Phase 2: one dispatch for the whole transition.
+        let report = self.crypt_frames_bulk(Direction::Encrypt, &jobs)?;
+
+        // Phase 3: re-arm the PTEs of everything just encrypted.
+        for (pid, vpn) in private_updates {
+            let proc = self.kernel.proc_mut(pid)?;
+            let pte = proc.page_table.get_mut(vpn).expect("walked above");
+            pte.encrypted = true;
+            pte.young = false;
+            pte.dirty = false;
+            pte.crypt_epoch = epoch;
+            proc.stats.bytes_encrypted += PAGE_SIZE;
+        }
+        for (sharers, effective_epoch) in shared_rearms {
+            for &(pid, vpn) in &sharers {
+                if let Some(pte) = self
+                    .kernel
+                    .procs
+                    .get_mut(&pid)
+                    .and_then(|p| p.page_table.get_mut(vpn))
+                {
+                    pte.encrypted = true;
+                    pte.young = false;
+                    pte.dirty = false;
+                    pte.sharing = Sharing::SharedSensitiveOnly;
+                    pte.crypt_epoch = effective_epoch;
+                }
+            }
+        }
+
         self.state = DeviceState::Locked;
         self.stats.locks += 1;
         Ok(LockReport {
             duration_ns: self.kernel.soc.clock.now_ns() - t0,
-            bytes_encrypted: bytes,
+            bytes_encrypted: report.bytes,
             zero_drain_ns,
             skipped_shared_pages: skipped,
+            batch_pages: report.pages as u64,
+            workers_used: report.workers_used,
         })
     }
 
@@ -320,36 +515,43 @@ impl Sentry {
             });
         }
         let t0 = self.kernel.soc.clock.now_ns();
-        let mut eager = 0u64;
+        // DMA regions are decrypted eagerly and batched like the lock
+        // path: collect every (frame, iv) job first, dispatch once.
+        let mut jobs: Vec<(u64, [u8; 16])> = Vec::new();
+        let mut updates: Vec<(Pid, u64)> = Vec::new();
         for pid in self.sensitive_pids() {
             self.kernel.proc_mut(pid)?.schedulable = true;
-            let dma_pages: Vec<(u64, u64)> = self
+            let dma_pages: Vec<(u64, u64, u64)> = self
                 .kernel
                 .proc(pid)?
                 .page_table
                 .iter()
                 .filter_map(|(vpn, pte)| match pte.backing {
                     Backing::Dram(frame) if pte.encrypted && pte.dma_region => {
-                        Some((vpn, frame))
+                        Some((vpn, frame, pte.crypt_epoch))
                     }
                     _ => None,
                 })
                 .collect();
-            for (vpn, frame) in dma_pages {
-                Self::crypt_page_in_dram(&mut self.kernel, pid, vpn, frame, false)?;
-                let proc = self.kernel.proc_mut(pid)?;
-                let pte = proc.page_table.get_mut(vpn).expect("walked above");
-                pte.encrypted = false;
-                pte.young = true;
-                proc.stats.bytes_decrypted += PAGE_SIZE;
-                eager += PAGE_SIZE;
+            for (vpn, frame, stored_epoch) in dma_pages {
+                jobs.push((frame, page_iv(pid, vpn, stored_epoch)));
+                updates.push((pid, vpn));
             }
+        }
+        let report = self.crypt_frames_bulk(Direction::Decrypt, &jobs)?;
+        for (pid, vpn) in updates {
+            let proc = self.kernel.proc_mut(pid)?;
+            let pte = proc.page_table.get_mut(vpn).expect("walked above");
+            pte.encrypted = false;
+            pte.young = true;
+            proc.stats.bytes_decrypted += PAGE_SIZE;
         }
         self.state = DeviceState::Unlocked;
         self.stats.unlocks += 1;
         Ok(UnlockReport {
             duration_ns: self.kernel.soc.clock.now_ns() - t0,
-            eager_bytes_decrypted: eager,
+            eager_bytes_decrypted: report.bytes,
+            workers_used: report.workers_used,
         })
     }
 
@@ -360,8 +562,12 @@ impl Sentry {
         match self.state {
             DeviceState::Locked => {
                 if sensitive && self.config.background_support {
-                    self.pager
-                        .handle_fault(&mut self.store, &mut self.kernel, fault)
+                    self.pager.handle_fault(
+                        &mut self.store,
+                        &mut self.kernel,
+                        fault,
+                        self.lock_epoch,
+                    )
                 } else {
                     // Foreground apps are parked while locked; a fault
                     // here is a programming error in the caller.
@@ -390,20 +596,26 @@ impl Sentry {
                     Backing::Dram(frame) if pte.encrypted => {
                         // On-demand decryption in the fault handler (§7).
                         // Shared frames were encrypted under the first
-                        // sharer's IV; decrypt with the same one.
+                        // sharer's IV; decrypt with the same one, at the
+                        // epoch the ciphertext was produced under.
                         let (iv_pid, iv_vpn) = self
                             .kernel
                             .sharers_of(frame)
                             .and_then(|s| s.first().copied())
                             .unwrap_or((fault.pid, fault.vpn));
-                        Self::crypt_page_in_dram(&mut self.kernel, iv_pid, iv_vpn, frame, false)?;
+                        let stored_epoch = self
+                            .kernel
+                            .procs
+                            .get(&iv_pid)
+                            .and_then(|p| p.page_table.get(iv_vpn))
+                            .map_or(pte.crypt_epoch, |p| p.crypt_epoch);
+                        let iv = page_iv(iv_pid, iv_vpn, stored_epoch);
+                        Self::crypt_page_in_dram(&mut self.kernel, &iv, frame, false)?;
                         // Re-arm every mapping of the frame, not just the
                         // faulting one — a second sharer must not decrypt
                         // the now-plaintext page again.
-                        if let Some(sharers) = self
-                            .kernel
-                            .sharers_of(frame)
-                            .map(<[(u32, u64)]>::to_vec)
+                        if let Some(sharers) =
+                            self.kernel.sharers_of(frame).map(<[(u32, u64)]>::to_vec)
                         {
                             for (spid, svpn) in sharers {
                                 if let Some(spte) = self
@@ -431,10 +643,7 @@ impl Sentry {
                         // A leftover trap (e.g., a page still on-SoC from
                         // a background stint): just re-arm.
                         let proc = self.kernel.proc_mut(fault.pid)?;
-                        let pte = proc
-                            .page_table
-                            .get_mut(fault.vpn)
-                            .expect("present");
+                        let pte = proc.page_table.get_mut(fault.vpn).expect("present");
                         pte.young = true;
                         Ok(())
                     }
@@ -581,9 +790,7 @@ mod tests {
         let needle = b"alice's phone number";
         for (_addr, frame) in s.kernel.soc.dram.iter_frames() {
             assert!(
-                !frame
-                    .windows(needle.len())
-                    .any(|w| w == needle.as_slice()),
+                !frame.windows(needle.len()).any(|w| w == needle.as_slice()),
                 "plaintext found in DRAM after lock"
             );
         }
@@ -639,8 +846,22 @@ mod tests {
         assert_eq!(report.eager_bytes_decrypted, 4096);
         // The DMA page is immediately accessible without a fault; the
         // other page still traps.
-        assert!(!s.kernel.proc(pid).unwrap().page_table.get(0).unwrap().traps());
-        assert!(s.kernel.proc(pid).unwrap().page_table.get(1).unwrap().traps());
+        assert!(!s
+            .kernel
+            .proc(pid)
+            .unwrap()
+            .page_table
+            .get(0)
+            .unwrap()
+            .traps());
+        assert!(s
+            .kernel
+            .proc(pid)
+            .unwrap()
+            .page_table
+            .get(1)
+            .unwrap()
+            .traps());
     }
 
     #[test]
@@ -719,12 +940,16 @@ mod tests {
         s.on_lock().unwrap();
         assert!(matches!(
             s.on_lock(),
-            Err(SentryError::WrongState { expected_locked: false })
+            Err(SentryError::WrongState {
+                expected_locked: false
+            })
         ));
         s.on_unlock().unwrap();
         assert!(matches!(
             s.on_unlock(),
-            Err(SentryError::WrongState { expected_locked: true })
+            Err(SentryError::WrongState {
+                expected_locked: true
+            })
         ));
     }
 
@@ -751,6 +976,189 @@ mod tests {
             s.pager.stats.pageouts >= 3,
             "one slot means constant eviction: {:?}",
             s.pager.stats
+        );
+    }
+
+    /// Snapshot the ciphertext bytes of a pid's DRAM frame for `vpn`.
+    fn frame_bytes(s: &mut Sentry, pid: Pid, vpn: u64) -> Vec<u8> {
+        s.kernel.soc.cache_maintenance_flush();
+        let frame = match s
+            .kernel
+            .proc(pid)
+            .unwrap()
+            .page_table
+            .get(vpn)
+            .unwrap()
+            .backing
+        {
+            Backing::Dram(f) => f,
+            other => panic!("expected DRAM backing, got {other:?}"),
+        };
+        let mut page = vec![0u8; 4096];
+        s.kernel.soc.mem_read(frame, &mut page).unwrap();
+        page
+    }
+
+    #[test]
+    fn same_plaintext_encrypts_differently_across_lock_cycles() {
+        // IV-reuse regression: the volatile key survives a
+        // lock→unlock→lock sequence, so the IV must not. With the lock
+        // epoch mixed in, identical plaintext in the same page yields
+        // different ciphertext on each cycle.
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("notes");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[0xABu8; 4096]).unwrap();
+
+        s.on_lock().unwrap();
+        let first = frame_bytes(&mut s, pid, 0);
+        s.on_unlock().unwrap();
+        s.touch_pages(pid, &[0]).unwrap(); // decrypt, leave plaintext unchanged
+
+        s.on_lock().unwrap();
+        let second = frame_bytes(&mut s, pid, 0);
+        assert_ne!(first, second, "ciphertext repeated across lock cycles");
+
+        // And the page still decrypts correctly under the new epoch.
+        s.on_unlock().unwrap();
+        let mut back = vec![0u8; 4096];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, vec![0xABu8; 4096]);
+    }
+
+    #[test]
+    fn pages_left_encrypted_across_cycles_still_decrypt() {
+        // A page nobody touches between unlock and the next lock keeps
+        // its old-epoch ciphertext; its PTE must remember that epoch.
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("vault");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[1u8; 4096]).unwrap();
+        s.write(pid, 4096, &[2u8; 4096]).unwrap();
+
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+        s.touch_pages(pid, &[0]).unwrap(); // page 1 stays encrypted (epoch 1)
+        s.on_lock().unwrap(); // page 0 re-encrypts at epoch 2
+        s.on_unlock().unwrap();
+
+        let mut back = vec![0u8; 2 * 4096];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(&back[..4096], &[1u8; 4096][..]);
+        assert_eq!(&back[4096..], &[2u8; 4096][..]);
+    }
+
+    fn dram_snapshot(s: &mut Sentry) -> Vec<(u64, Vec<u8>)> {
+        s.kernel.soc.cache_maintenance_flush();
+        s.kernel
+            .soc
+            .dram
+            .iter_frames()
+            .map(|(addr, frame)| (addr, frame.to_vec()))
+            .collect()
+    }
+
+    fn locked_dram_with_workers(workers: usize) -> Vec<(u64, Vec<u8>)> {
+        // The volatile key is deterministic per configuration, so two
+        // instances driven identically produce comparable DRAM images.
+        let mut s = Sentry::new(
+            Kernel::new(Soc::tegra3_small()),
+            SentryConfig::tegra3_locked_l2(2).with_parallel(crate::config::ParallelConfig {
+                workers,
+                min_batch_pages: 1,
+            }),
+        )
+        .unwrap();
+        let pid = s.kernel.spawn("app");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..251u8).cycle().take(24 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        let report = s.on_lock().unwrap();
+        assert_eq!(report.batch_pages, 24);
+        assert_eq!(report.workers_used, workers.clamp(1, 24));
+        dram_snapshot(&mut s)
+    }
+
+    #[test]
+    fn worker_counts_produce_byte_identical_dram() {
+        let reference = locked_dram_with_workers(1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(
+                locked_dram_with_workers(workers),
+                reference,
+                "{workers} workers diverged from sequential ciphertext"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_lock_is_faster_in_simulated_time() {
+        let duration = |workers: usize| {
+            let mut s = Sentry::new(
+                Kernel::new(Soc::tegra3_small()),
+                SentryConfig::tegra3_locked_l2(2).with_parallel_workers(workers),
+            )
+            .unwrap();
+            let pid = s.kernel.spawn("app");
+            s.mark_sensitive(pid).unwrap();
+            s.write(pid, 0, &[9u8; 64 * 4096]).unwrap();
+            s.on_lock().unwrap().duration_ns
+        };
+        let serial = duration(1);
+        let parallel = duration(4);
+        assert!(
+            parallel * 2 < serial,
+            "4 workers should at least halve the simulated lock time \
+             (serial {serial} ns, parallel {parallel} ns)"
+        );
+    }
+
+    #[test]
+    fn small_batches_fall_back_to_the_engine_path() {
+        let mut s = Sentry::new(
+            Kernel::new(Soc::tegra3_small()),
+            SentryConfig::tegra3_locked_l2(2).with_parallel(crate::config::ParallelConfig {
+                workers: 8,
+                min_batch_pages: 16,
+            }),
+        )
+        .unwrap();
+        let pid = s.kernel.spawn("tiny");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[3u8; 4 * 4096]).unwrap();
+        let report = s.on_lock().unwrap();
+        assert_eq!(report.workers_used, 1, "below-floor batch must not fan out");
+        assert_eq!(s.parallel.parallel_batches, 0);
+        assert_eq!(s.parallel.batches, 1);
+        s.on_unlock().unwrap();
+        let mut back = vec![0u8; 4 * 4096];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, vec![3u8; 4 * 4096]);
+    }
+
+    #[test]
+    fn batch_stats_accumulate_per_worker_bytes() {
+        let mut s = Sentry::new(
+            Kernel::new(Soc::tegra3_small()),
+            SentryConfig::tegra3_locked_l2(2).with_parallel(crate::config::ParallelConfig {
+                workers: 4,
+                min_batch_pages: 1,
+            }),
+        )
+        .unwrap();
+        let pid = s.kernel.spawn("app");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[5u8; 8 * 4096]).unwrap();
+        let report = s.on_lock().unwrap();
+        assert_eq!(report.workers_used, 4);
+        assert_eq!(s.stats.crypt_batches, 1);
+        assert_eq!(s.stats.crypt_batch_pages, 8);
+        assert_eq!(s.stats.largest_batch_pages, 8);
+        assert_eq!(s.parallel.per_worker_bytes.len(), 4);
+        assert_eq!(
+            s.parallel.per_worker_bytes.iter().sum::<u64>(),
+            8 * 4096,
+            "lane bytes must add up to the batch"
         );
     }
 

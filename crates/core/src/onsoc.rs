@@ -18,11 +18,11 @@
 
 use crate::config::OnSocBackend;
 use crate::error::SentryError;
+use sentry_kernel::layout::{LOCKED_WINDOW_BASE, LOCKED_WINDOW_SIZE};
 use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, IRAM_SIZE, PAGE_SIZE};
 use sentry_soc::cache::{ALL_WAYS, WAY_BYTES};
 use sentry_soc::trustzone::ProtectedRange;
 use sentry_soc::Soc;
-use sentry_kernel::layout::{LOCKED_WINDOW_BASE, LOCKED_WINDOW_SIZE};
 
 /// Pages per 128 KiB locked way.
 pub const PAGES_PER_WAY: u64 = WAY_BYTES as u64 / PAGE_SIZE;
@@ -242,8 +242,7 @@ mod tests {
     #[test]
     fn locked_way_pages_pin_in_cache_and_never_reach_dram() {
         let mut soc = Soc::tegra3_small();
-        let mut store =
-            OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 2 }, &mut soc).unwrap();
+        let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 2 }, &mut soc).unwrap();
         let page = store.alloc_page(&mut soc).unwrap();
         soc.mem_write(page, b"SECRETKEYMATERIAL").unwrap();
 
@@ -251,7 +250,8 @@ mod tests {
         assert_eq!(soc.cache.lookup_way(page), Some(0));
         // Thrash the cache with other traffic plus a maintenance flush.
         for i in 0..20_000u64 {
-            soc.mem_write(DRAM_BASE + (40 << 20) + i * 64, &[i as u8]).unwrap();
+            soc.mem_write(DRAM_BASE + (40 << 20) + i * 64, &[i as u8])
+                .unwrap();
         }
         soc.cache_maintenance_flush();
         assert_eq!(soc.cache.lookup_way(page), Some(0), "still pinned");
@@ -270,8 +270,7 @@ mod tests {
     #[test]
     fn second_way_locks_on_demand_and_budget_is_enforced() {
         let mut soc = Soc::tegra3_small();
-        let mut store =
-            OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 2 }, &mut soc).unwrap();
+        let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 2 }, &mut soc).unwrap();
         let mut pages = Vec::new();
         for _ in 0..PAGES_PER_WAY {
             pages.push(store.alloc_page(&mut soc).unwrap());
@@ -296,8 +295,7 @@ mod tests {
     #[test]
     fn unlock_all_erases_and_restores_masks() {
         let mut soc = Soc::tegra3_small();
-        let mut store =
-            OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
+        let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
         let page = store.alloc_page(&mut soc).unwrap();
         soc.mem_write(page, b"volatile-key").unwrap();
         store.unlock_all(&mut soc).unwrap();
@@ -313,11 +311,12 @@ mod tests {
     #[test]
     fn cache_locking_unavailable_on_nexus() {
         let mut soc = Soc::nexus4_small();
-        let mut store =
-            OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
+        let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
         assert!(matches!(
             store.alloc_page(&mut soc),
-            Err(SentryError::Soc(sentry_soc::SocError::CacheLockingUnavailable))
+            Err(SentryError::Soc(
+                sentry_soc::SocError::CacheLockingUnavailable
+            ))
         ));
     }
 }

@@ -69,7 +69,8 @@ fn page_shared_with_non_sensitive_app_is_skipped() {
     s.mark_sensitive(a).unwrap();
 
     s.write(a, 0, SHARED_DATA).unwrap();
-    s.write(a, PAGE_SIZE, b"private mail body pages.........").unwrap();
+    s.write(a, PAGE_SIZE, b"private mail body pages.........")
+        .unwrap();
     s.kernel.map_shared(a, 0, b, 0).unwrap();
 
     let report = s.on_lock().unwrap();

@@ -27,9 +27,15 @@ fn pager_slots_can_be_released_back_to_the_store() {
     assert!(sentry.pager.resident_count() > 0);
 
     // Evict everything and hand the slots back.
-    sentry.pager.evict_all(&mut sentry.kernel).unwrap();
+    let epoch = sentry.lock_epoch();
+    sentry.pager.evict_all(&mut sentry.kernel, epoch).unwrap();
     assert_eq!(sentry.pager.resident_count(), 0);
-    let Sentry { kernel, store, pager, .. } = &mut sentry;
+    let Sentry {
+        kernel,
+        store,
+        pager,
+        ..
+    } = &mut sentry;
     pager.release_slots(store, kernel).unwrap();
     assert_eq!(pager.slot_count(), 0);
 

@@ -231,7 +231,12 @@ fn inv_shift_rows(block: &mut Block) {
 fn mix_columns(block: &mut Block) {
     use crate::gf::{mul3, xtime};
     for c in 0..4 {
-        let col = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+        let col = [
+            block[4 * c],
+            block[4 * c + 1],
+            block[4 * c + 2],
+            block[4 * c + 3],
+        ];
         block[4 * c] = xtime(col[0]) ^ mul3(col[1]) ^ col[2] ^ col[3];
         block[4 * c + 1] = col[0] ^ xtime(col[1]) ^ mul3(col[2]) ^ col[3];
         block[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ mul3(col[3]);
@@ -242,7 +247,12 @@ fn mix_columns(block: &mut Block) {
 fn inv_mix_columns(block: &mut Block) {
     use crate::gf::mul;
     for c in 0..4 {
-        let col = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+        let col = [
+            block[4 * c],
+            block[4 * c + 1],
+            block[4 * c + 2],
+            block[4 * c + 3],
+        ];
         block[4 * c] = mul(col[0], 14) ^ mul(col[1], 11) ^ mul(col[2], 13) ^ mul(col[3], 9);
         block[4 * c + 1] = mul(col[0], 9) ^ mul(col[1], 14) ^ mul(col[2], 11) ^ mul(col[3], 13);
         block[4 * c + 2] = mul(col[0], 13) ^ mul(col[1], 9) ^ mul(col[2], 14) ^ mul(col[3], 11);

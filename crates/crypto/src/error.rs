@@ -14,7 +14,10 @@ impl fmt::Display for KeyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KeyError::InvalidLength(len) => {
-                write!(f, "invalid AES key length {len}, expected 16, 24, or 32 bytes")
+                write!(
+                    f,
+                    "invalid AES key length {len}, expected 16, 24, or 32 bytes"
+                )
             }
         }
     }

@@ -48,6 +48,7 @@ pub mod error;
 pub mod gf;
 pub mod key_schedule;
 pub mod modes;
+pub mod parallel;
 pub mod sbox;
 pub mod state;
 pub mod tables;

@@ -173,10 +173,7 @@ mod tests {
         cbc_encrypt(&aes, &iv, &mut data);
         assert_eq!(data, expected);
         cbc_decrypt(&aes, &iv, &mut data);
-        assert_eq!(
-            &data[..16],
-            &hex("6bc1bee22e409f96e93d7e117393172a")[..]
-        );
+        assert_eq!(&data[..16], &hex("6bc1bee22e409f96e93d7e117393172a")[..]);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Parallel page-crypt engine: fan a batch of independently-IV'd CBC
+//! page jobs across a scoped worker pool.
+//!
+//! Sentry's lock/unlock transitions encrypt or decrypt every sensitive
+//! page with an *independent* IV (`page_iv` binds the IV to the page's
+//! (pid, vpn, epoch) identity), so per-page CBC has no cross-page data
+//! dependency at all — the batch is embarrassingly parallel, the same
+//! structure MemShield exploits with GPU lanes and Sealer with in-SRAM
+//! AES arrays. This module supplies the host-side engine: callers
+//! collect one [`PageJob`] per page and [`crypt_batch`] splits the batch
+//! into contiguous chunks, one per worker, each worker reusing a
+//! pre-expanded key schedule (the schedule is cloned per worker, *not*
+//! re-expanded per page).
+//!
+//! Two properties the lock path depends on:
+//!
+//! * **Byte identity** — parallel output is identical to sequential
+//!   output for every worker count, because each job is independent and
+//!   job order is preserved. `workers = 1` takes the sequential path
+//!   outright.
+//! * **Bounded fallback** — tiny batches (`len < min_batch_pages`) are
+//!   not worth the thread fan-out and run sequentially; the report says
+//!   which path was taken so callers can account for it.
+
+use crate::block::Aes;
+use crate::modes::{cbc_decrypt, cbc_encrypt};
+
+/// Which way a batch transforms its pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Plaintext to ciphertext (device lock).
+    Encrypt,
+    /// Ciphertext to plaintext (device unlock / page-in).
+    Decrypt,
+}
+
+/// One page's worth of work: an IV and the in-place buffer.
+///
+/// The buffer length must be a whole number of AES blocks (the lock path
+/// always uses 4 KiB pages, but the engine does not care).
+#[derive(Debug)]
+pub struct PageJob<'a> {
+    /// Per-page initialization vector.
+    pub iv: [u8; 16],
+    /// The page bytes, transformed in place.
+    pub data: &'a mut [u8],
+}
+
+/// What a batch run did — batch size, lane count, and the bytes each
+/// worker processed (index = worker lane).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Pages in the batch.
+    pub pages: usize,
+    /// Total bytes transformed.
+    pub bytes: u64,
+    /// Worker lanes actually used (1 on the sequential path).
+    pub workers_used: usize,
+    /// Bytes processed by each lane, `per_worker_bytes.len() == workers_used`.
+    pub per_worker_bytes: Vec<u64>,
+    /// Whether the batch took the sequential fallback (worker count of
+    /// one, or batch smaller than the configured minimum).
+    pub sequential_fallback: bool,
+}
+
+/// Run every job in `jobs` through AES-CBC under `aes`, fanning across
+/// at most `workers` scoped threads.
+///
+/// The key schedule in `aes` is expanded exactly once by the caller;
+/// workers clone the expanded schedule (a flat copy) rather than
+/// re-running key expansion. Falls back to the in-thread sequential loop
+/// when `workers <= 1` or `jobs.len() < min_batch_pages`; output bytes
+/// are identical either way.
+pub fn crypt_batch(
+    aes: &Aes,
+    direction: Direction,
+    jobs: &mut [PageJob<'_>],
+    workers: usize,
+    min_batch_pages: usize,
+) -> BatchReport {
+    let pages = jobs.len();
+    let bytes: u64 = jobs.iter().map(|j| j.data.len() as u64).sum();
+
+    if workers <= 1 || pages < min_batch_pages.max(1) {
+        for job in jobs.iter_mut() {
+            crypt_one(aes, direction, job);
+        }
+        return BatchReport {
+            pages,
+            bytes,
+            workers_used: 1,
+            per_worker_bytes: vec![bytes],
+            sequential_fallback: true,
+        };
+    }
+
+    let lanes = workers.min(pages);
+    // Contiguous, balanced split: the first `pages % lanes` chunks get
+    // one extra job, so lane loads differ by at most one page.
+    let base = pages / lanes;
+    let extra = pages % lanes;
+    let mut per_worker_bytes = vec![0u64; lanes];
+    std::thread::scope(|scope| {
+        let mut rest = jobs;
+        let mut handles = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let take = base + usize::from(lane < extra);
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            // Each lane owns a pre-expanded schedule: a clone of the
+            // caller's context, no per-page (or even per-lane) expansion.
+            let lane_aes = aes.clone();
+            handles.push(scope.spawn(move || {
+                let mut done = 0u64;
+                for job in chunk {
+                    crypt_one(&lane_aes, direction, job);
+                    done += job.data.len() as u64;
+                }
+                done
+            }));
+        }
+        for (lane, handle) in handles.into_iter().enumerate() {
+            per_worker_bytes[lane] = handle.join().expect("crypt worker panicked");
+        }
+    });
+
+    BatchReport {
+        pages,
+        bytes,
+        workers_used: lanes,
+        per_worker_bytes,
+        sequential_fallback: false,
+    }
+}
+
+fn crypt_one(aes: &Aes, direction: Direction, job: &mut PageJob<'_>) {
+    match direction {
+        Direction::Encrypt => cbc_encrypt(aes, &job.iv, job.data),
+        Direction::Decrypt => cbc_decrypt(aes, &job.iv, job.data),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_pages(n: usize, fill: impl Fn(usize) -> u8) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..4096).map(|j| fill(i).wrapping_add(j as u8)).collect())
+            .collect()
+    }
+
+    fn jobs_of(pages: &mut [Vec<u8>]) -> Vec<PageJob<'_>> {
+        pages
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| PageJob {
+                iv: [i as u8; 16],
+                data: p.as_mut_slice(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_output_matches_sequential_reference() {
+        let aes = Aes::new(&[7u8; 32]).unwrap();
+        let mut expect = mk_pages(37, |i| i as u8);
+        let mut ejobs = jobs_of(&mut expect);
+        let seq = crypt_batch(&aes, Direction::Encrypt, &mut ejobs, 1, 1);
+        assert!(seq.sequential_fallback);
+        assert_eq!(seq.per_worker_bytes, vec![37 * 4096]);
+
+        for workers in [2usize, 3, 4, 8, 64] {
+            let mut got = mk_pages(37, |i| i as u8);
+            let mut jobs = jobs_of(&mut got);
+            let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1);
+            assert_eq!(got, expect, "{workers} workers diverged");
+            assert_eq!(rep.workers_used, workers.min(37));
+            assert_eq!(rep.per_worker_bytes.iter().sum::<u64>(), 37 * 4096);
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_across_lane_counts() {
+        let aes = Aes::new(&[0x5Au8; 16]).unwrap();
+        let orig = mk_pages(9, |i| (i * 13) as u8);
+        let mut work = orig.clone();
+        let mut jobs = jobs_of(&mut work);
+        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1);
+        assert_ne!(work, orig);
+        let mut jobs = jobs_of(&mut work);
+        crypt_batch(&aes, Direction::Decrypt, &mut jobs, 3, 1);
+        assert_eq!(work, orig);
+    }
+
+    #[test]
+    fn small_batches_take_the_sequential_fallback() {
+        let aes = Aes::new(&[1u8; 16]).unwrap();
+        let mut pages = mk_pages(3, |i| i as u8);
+        let mut jobs = jobs_of(&mut pages);
+        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 8, 4);
+        assert!(rep.sequential_fallback);
+        assert_eq!(rep.workers_used, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let aes = Aes::new(&[1u8; 16]).unwrap();
+        let rep = crypt_batch(&aes, Direction::Encrypt, &mut [], 4, 1);
+        assert_eq!(rep.pages, 0);
+        assert_eq!(rep.bytes, 0);
+    }
+
+    #[test]
+    fn lane_loads_differ_by_at_most_one_page() {
+        let aes = Aes::new(&[2u8; 16]).unwrap();
+        let mut pages = mk_pages(10, |i| i as u8);
+        let mut jobs = jobs_of(&mut pages);
+        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1);
+        let min = rep.per_worker_bytes.iter().min().unwrap();
+        let max = rep.per_worker_bytes.iter().max().unwrap();
+        assert!(
+            max - min <= 4096,
+            "unbalanced lanes: {:?}",
+            rep.per_worker_bytes
+        );
+    }
+}

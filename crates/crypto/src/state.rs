@@ -88,12 +88,37 @@ impl AesStateLayout {
 
         let specs: [(&'static str, usize, Option<usize>, Sensitivity); 9] = [
             ("Input block", BLOCK_SIZE, Some(16), Sensitivity::Secret),
-            ("Key", key_size.key_len(), Some(key_size.key_len()), Sensitivity::Secret),
+            (
+                "Key",
+                key_size.key_len(),
+                Some(key_size.key_len()),
+                Sensitivity::Secret,
+            ),
             ("Round Index", 1, Some(1), Sensitivity::Public),
-            ("Round Keys", round_key_bytes, Some(paper_round_keys), Sensitivity::Secret),
-            ("2 Round Tables", 2 * TABLE_BYTES, Some(2048), Sensitivity::AccessProtected),
-            ("2 S-box", 2 * SBOX_SIZE, Some(512), Sensitivity::AccessProtected),
-            ("Rcon", RCON_WORDS * 4, Some(40), Sensitivity::AccessProtected),
+            (
+                "Round Keys",
+                round_key_bytes,
+                Some(paper_round_keys),
+                Sensitivity::Secret,
+            ),
+            (
+                "2 Round Tables",
+                2 * TABLE_BYTES,
+                Some(2048),
+                Sensitivity::AccessProtected,
+            ),
+            (
+                "2 S-box",
+                2 * SBOX_SIZE,
+                Some(512),
+                Sensitivity::AccessProtected,
+            ),
+            (
+                "Rcon",
+                RCON_WORDS * 4,
+                Some(40),
+                Sensitivity::AccessProtected,
+            ),
             ("Block Index", 1, Some(1), Sensitivity::Public),
             ("CBC block/ivec", BLOCK_SIZE, Some(16), Sensitivity::Public),
         ];
@@ -237,8 +262,7 @@ mod tests {
         let layout = AesStateLayout::for_key_size(KeySize::Aes128);
         assert_eq!(
             layout.on_soc_bytes(),
-            layout.total_for(Sensitivity::Secret)
-                + layout.total_for(Sensitivity::AccessProtected)
+            layout.total_for(Sensitivity::Secret) + layout.total_for(Sensitivity::AccessProtected)
         );
         assert!(layout.on_soc_bytes() < layout.total_bytes());
     }

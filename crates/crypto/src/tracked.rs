@@ -204,7 +204,10 @@ impl TrackedAes {
 
         // Install the key and expand the schedule through the store.
         store.write(off.key, key);
-        let aes = TrackedAes { key_size, offsets: off };
+        let aes = TrackedAes {
+            key_size,
+            offsets: off,
+        };
         aes.expand_key(store);
         Ok(aes)
     }
@@ -259,7 +262,10 @@ impl TrackedAes {
     }
 
     fn rk_dec<S: StateStore>(&self, store: &mut S, word: usize) -> u32 {
-        Self::read_u32(store, self.offsets.round_keys + 4 * (self.offsets.enc_words + word))
+        Self::read_u32(
+            store,
+            self.offsets.round_keys + 4 * (self.offsets.enc_words + word),
+        )
     }
 
     /// FIPS-197 key expansion, with all reads and writes routed through
@@ -416,8 +422,16 @@ impl TrackedAes {
     /// # Panics
     ///
     /// Panics if `data` is not a multiple of 16 bytes.
-    pub fn cbc_encrypt<S: StateStore>(&self, store: &mut S, iv: &[u8; BLOCK_SIZE], data: &mut [u8]) {
-        assert!(data.len().is_multiple_of(BLOCK_SIZE), "CBC buffer must be block aligned");
+    pub fn cbc_encrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        iv: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "CBC buffer must be block aligned"
+        );
         store.write(self.offsets.ivec, iv);
         for (block_no, chunk) in data.chunks_exact_mut(BLOCK_SIZE).enumerate() {
             store.write(self.offsets.block_index, &[(block_no & 0xff) as u8]);
@@ -437,8 +451,16 @@ impl TrackedAes {
     /// # Panics
     ///
     /// Panics if `data` is not a multiple of 16 bytes.
-    pub fn cbc_decrypt<S: StateStore>(&self, store: &mut S, iv: &[u8; BLOCK_SIZE], data: &mut [u8]) {
-        assert!(data.len().is_multiple_of(BLOCK_SIZE), "CBC buffer must be block aligned");
+    pub fn cbc_decrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        iv: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "CBC buffer must be block aligned"
+        );
         store.write(self.offsets.ivec, iv);
         for (block_no, chunk) in data.chunks_exact_mut(BLOCK_SIZE).enumerate() {
             store.write(self.offsets.block_index, &[(block_no & 0xff) as u8]);
@@ -486,13 +508,10 @@ mod tests {
         ];
         for (key, ct) in cases {
             let key = hex(key);
-            let layout = AesStateLayout::for_key_size(
-                KeySize::from_key_len(key.len()).unwrap(),
-            );
+            let layout = AesStateLayout::for_key_size(KeySize::from_key_len(key.len()).unwrap());
             let mut store = VecStore::new(layout.total_bytes());
             let aes = TrackedAes::init(&mut store, &key).unwrap();
-            let mut block: [u8; 16] =
-                hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+            let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
             aes.encrypt_block(&mut store, &mut block);
             assert_eq!(block.to_vec(), hex(ct));
             aes.decrypt_block(&mut store, &mut block);

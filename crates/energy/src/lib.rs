@@ -13,10 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 /// Which AES implementation is doing the work (Figure 12's bars).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AesVariant {
     /// OpenSSL AES in user space.
     OpenSslUser,
@@ -28,7 +26,7 @@ pub enum AesVariant {
 }
 
 /// Calibrated energy constants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     /// Battery capacity in joules. Nexus 4: 2100 mAh at 3.8 V ≈ 28.7 kJ.
     pub battery_joules: f64,
@@ -97,7 +95,12 @@ impl EnergyModel {
     /// encrypts `lock_bytes` at lock and decrypts `unlock_bytes` at
     /// unlock, using `variant`.
     #[must_use]
-    pub fn cycle_joules(&self, variant: AesVariant, lock_bytes: u64, unlock_bytes: u64) -> (f64, f64) {
+    pub fn cycle_joules(
+        &self,
+        variant: AesVariant,
+        lock_bytes: u64,
+        unlock_bytes: u64,
+    ) -> (f64, f64) {
         (
             self.crypt_joules(variant, lock_bytes),
             self.crypt_joules(variant, unlock_bytes),
@@ -122,7 +125,8 @@ impl EnergyModel {
     /// The §7 strawman: encrypt *all* of DRAM at every suspend.
     #[must_use]
     pub fn strawman(&self, dram_bytes: u64) -> Strawman {
-        let joules = self.full_encrypt_joules_per_2gb * dram_bytes as f64 / (2.0 * (1u64 << 30) as f64);
+        let joules =
+            self.full_encrypt_joules_per_2gb * dram_bytes as f64 / (2.0 * (1u64 << 30) as f64);
         Strawman {
             seconds_per_encrypt: dram_bytes as f64 / self.full_encrypt_bytes_per_sec,
             joules_per_encrypt: joules,
@@ -132,7 +136,7 @@ impl EnergyModel {
 }
 
 /// Cost of the full-memory-encryption strawman.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Strawman {
     /// Wall-clock seconds per full encryption.
     pub seconds_per_encrypt: f64,

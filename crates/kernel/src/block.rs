@@ -146,7 +146,9 @@ mod tests {
             Err(KernelError::BlockOutOfRange { sector: 4 })
         ));
         // Overflow-safe check.
-        assert!(disk.read_sectors(u64::MAX / 256, &mut buf, &mut clock).is_err());
+        assert!(disk
+            .read_sectors(u64::MAX / 256, &mut buf, &mut clock)
+            .is_err());
     }
 
     #[test]

@@ -201,8 +201,14 @@ impl Volume {
         buf: &mut [u8],
         direct_io: bool,
     ) -> Result<(), KernelError> {
-        assert!(offset.is_multiple_of(CACHE_BLOCK as u64), "block-aligned I/O only");
-        assert!(buf.len().is_multiple_of(CACHE_BLOCK), "block-aligned I/O only");
+        assert!(
+            offset.is_multiple_of(CACHE_BLOCK as u64),
+            "block-aligned I/O only"
+        );
+        assert!(
+            buf.len().is_multiple_of(CACHE_BLOCK),
+            "block-aligned I/O only"
+        );
         for (i, chunk) in buf.chunks_exact_mut(CACHE_BLOCK).enumerate() {
             let block = offset / CACHE_BLOCK as u64 + i as u64;
             if !direct_io {
@@ -241,8 +247,14 @@ impl Volume {
         data: &[u8],
         direct_io: bool,
     ) -> Result<(), KernelError> {
-        assert!(offset.is_multiple_of(CACHE_BLOCK as u64), "block-aligned I/O only");
-        assert!(data.len().is_multiple_of(CACHE_BLOCK), "block-aligned I/O only");
+        assert!(
+            offset.is_multiple_of(CACHE_BLOCK as u64),
+            "block-aligned I/O only"
+        );
+        assert!(
+            data.len().is_multiple_of(CACHE_BLOCK),
+            "block-aligned I/O only"
+        );
         for (i, chunk) in data.chunks_exact(CACHE_BLOCK).enumerate() {
             let block = offset / CACHE_BLOCK as u64 + i as u64;
             if !direct_io {

@@ -51,13 +51,15 @@ pub trait CipherEngine {
     /// # Errors
     ///
     /// Fails if no key is installed.
-    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError>;
+    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8])
+        -> Result<(), KernelError>;
     /// CBC-decrypt `data` in place.
     ///
     /// # Errors
     ///
     /// Fails if no key is installed.
-    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError>;
+    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8])
+        -> Result<(), KernelError>;
 }
 
 /// The registry.
@@ -91,7 +93,8 @@ impl CryptoApi {
     /// Register an engine.
     pub fn register(&mut self, engine: Box<dyn CipherEngine>) {
         self.engines.push(engine);
-        self.engines.sort_by_key(|e| std::cmp::Reverse(e.priority()));
+        self.engines
+            .sort_by_key(|e| std::cmp::Reverse(e.priority()));
     }
 
     /// The preferred (highest-priority) engine.
@@ -123,7 +126,10 @@ impl CryptoApi {
     /// # Errors
     ///
     /// [`KernelError::UnknownCipher`] if no engine has that name.
-    pub fn by_name_mut(&mut self, name: &str) -> Result<&mut (dyn CipherEngine + 'static), KernelError> {
+    pub fn by_name_mut(
+        &mut self,
+        name: &str,
+    ) -> Result<&mut (dyn CipherEngine + 'static), KernelError> {
         self.engines
             .iter_mut()
             .find(|e| e.name() == name)
@@ -134,7 +140,10 @@ impl CryptoApi {
     /// Names and priorities of all registered engines, highest first.
     #[must_use]
     pub fn listing(&self) -> Vec<(&'static str, i32)> {
-        self.engines.iter().map(|e| (e.name(), e.priority())).collect()
+        self.engines
+            .iter()
+            .map(|e| (e.name(), e.priority()))
+            .collect()
     }
 }
 
@@ -216,14 +225,24 @@ impl CipherEngine for GenericAesEngine {
         Ok(())
     }
 
-    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+    fn encrypt(
+        &mut self,
+        soc: &mut Soc,
+        iv: &[u8; 16],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
         let aes = self.ready()?;
         cbc_encrypt(aes, iv, data);
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
         Ok(())
     }
 
-    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+    fn decrypt(
+        &mut self,
+        soc: &mut Soc,
+        iv: &[u8; 16],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
         let aes = self.ready()?;
         cbc_decrypt(aes, iv, data);
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
@@ -282,23 +301,35 @@ impl CipherEngine for AccelAesEngine {
         Ok(())
     }
 
-    fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+    fn encrypt(
+        &mut self,
+        soc: &mut Soc,
+        iv: &[u8; 16],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
         let aes = self
             .aes
             .as_ref()
             .ok_or_else(|| KernelError::UnknownCipher("hw AES: no key installed".into()))?;
         cbc_encrypt(aes, iv, data);
-        soc.clock.advance(soc.accel.op_duration_ns(data.len() as u64));
+        soc.clock
+            .advance(soc.accel.op_duration_ns(data.len() as u64));
         Ok(())
     }
 
-    fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8]) -> Result<(), KernelError> {
+    fn decrypt(
+        &mut self,
+        soc: &mut Soc,
+        iv: &[u8; 16],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
         let aes = self
             .aes
             .as_ref()
             .ok_or_else(|| KernelError::UnknownCipher("hw AES: no key installed".into()))?;
         cbc_decrypt(aes, iv, data);
-        soc.clock.advance(soc.accel.op_duration_ns(data.len() as u64));
+        soc.clock
+            .advance(soc.accel.op_duration_ns(data.len() as u64));
         Ok(())
     }
 }

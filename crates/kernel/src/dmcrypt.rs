@@ -146,7 +146,8 @@ mod tests {
         let data = vec![0x5Au8; SECTOR_SIZE * 4];
         dm.write(&mut api, &mut soc, &mut disk, 10, &data).unwrap();
         let mut back = vec![0u8; data.len()];
-        dm.read(&mut api, &mut soc, &mut disk, 10, &mut back).unwrap();
+        dm.read(&mut api, &mut soc, &mut disk, 10, &mut back)
+            .unwrap();
         assert_eq!(back, data);
     }
 

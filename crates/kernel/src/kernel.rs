@@ -97,7 +97,10 @@ impl Kernel {
     pub fn map_anon(&mut self, pid: Pid, vpn: u64, count: u64) -> Result<(), KernelError> {
         for i in 0..count {
             let frame = self.frames.alloc().ok_or(KernelError::OutOfMemory)?;
-            let proc = self.procs.get_mut(&pid).ok_or(KernelError::UnknownPid(pid))?;
+            let proc = self
+                .procs
+                .get_mut(&pid)
+                .ok_or(KernelError::UnknownPid(pid))?;
             proc.page_table.map(vpn + i, Pte::resident(frame));
         }
         Ok(())
@@ -110,7 +113,10 @@ impl Kernel {
     ///
     /// [`KernelError::UnknownPid`]; unmapping a hole is a no-op.
     pub fn free_page(&mut self, pid: Pid, vpn: u64) -> Result<(), KernelError> {
-        let proc = self.procs.get_mut(&pid).ok_or(KernelError::UnknownPid(pid))?;
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::UnknownPid(pid))?;
         if let Some(pte) = proc.page_table.unmap(vpn) {
             if let Backing::Dram(frame) = pte.backing {
                 self.frames.free(frame);
@@ -153,9 +159,17 @@ impl Kernel {
     ///
     /// [`KernelError::Fault`] and allocation/SoC errors.
     pub fn read(&mut self, pid: Pid, vaddr: u64, buf: &mut [u8]) -> Result<(), KernelError> {
-        self.access(pid, vaddr, AccessKind::Read, buf.len(), |soc, phys, off, n, buf| {
-            soc.mem_read(phys, &mut buf[off..off + n]).map_err(Into::into)
-        }, buf)
+        self.access(
+            pid,
+            vaddr,
+            AccessKind::Read,
+            buf.len(),
+            |soc, phys, off, n, buf| {
+                soc.mem_read(phys, &mut buf[off..off + n])
+                    .map_err(Into::into)
+            },
+            buf,
+        )
     }
 
     /// Process write at a virtual address. Marks touched pages dirty.
@@ -166,9 +180,14 @@ impl Kernel {
     pub fn write(&mut self, pid: Pid, vaddr: u64, data: &[u8]) -> Result<(), KernelError> {
         // `access` wants a uniform buffer type; wrap the immutable data.
         let mut scratch = data.to_vec();
-        self.access(pid, vaddr, AccessKind::Write, data.len(), |soc, phys, off, n, buf| {
-            soc.mem_write(phys, &buf[off..off + n]).map_err(Into::into)
-        }, &mut scratch)
+        self.access(
+            pid,
+            vaddr,
+            AccessKind::Write,
+            data.len(),
+            |soc, phys, off, n, buf| soc.mem_write(phys, &buf[off..off + n]).map_err(Into::into),
+            &mut scratch,
+        )
     }
 
     fn access(
@@ -188,7 +207,10 @@ impl Kernel {
             let n = ((PAGE_SIZE - page_off) as usize).min(len - done);
 
             self.ensure_mapped(pid, vpn)?;
-            let proc = self.procs.get_mut(&pid).ok_or(KernelError::UnknownPid(pid))?;
+            let proc = self
+                .procs
+                .get_mut(&pid)
+                .ok_or(KernelError::UnknownPid(pid))?;
             let pte = proc
                 .page_table
                 .get_mut(vpn)
@@ -211,7 +233,10 @@ impl Kernel {
 
     /// Demand-zero allocate a PTE if the page is unmapped.
     fn ensure_mapped(&mut self, pid: Pid, vpn: u64) -> Result<(), KernelError> {
-        let proc = self.procs.get_mut(&pid).ok_or(KernelError::UnknownPid(pid))?;
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::UnknownPid(pid))?;
         if proc.page_table.get(vpn).is_none() {
             let frame = self.frames.alloc().ok_or(KernelError::OutOfMemory)?;
             let proc = self.procs.get_mut(&pid).expect("checked above");
@@ -257,7 +282,11 @@ impl Kernel {
         };
         // Check `other` exists before mutating anything.
         let _ = self.proc(other)?;
-        let owner_pte = *self.proc(owner)?.page_table.get(owner_vpn).expect("ensured");
+        let owner_pte = *self
+            .proc(owner)?
+            .page_table
+            .get(owner_vpn)
+            .expect("ensured");
         self.proc_mut(other)?.page_table.map(other_vpn, owner_pte);
 
         let sharers = self.shared_frames.entry(frame).or_default();
@@ -354,7 +383,12 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         k.write(pid, 0x1000, b"data").unwrap();
-        k.proc_mut(pid).unwrap().page_table.get_mut(1).unwrap().young = false;
+        k.proc_mut(pid)
+            .unwrap()
+            .page_table
+            .get_mut(1)
+            .unwrap()
+            .young = false;
         let mut buf = [0u8; 4];
         let err = k.read(pid, 0x1000, &mut buf).unwrap_err();
         assert!(
@@ -362,7 +396,12 @@ mod tests {
             "got {err:?}"
         );
         // Pager resolves: set young again, retry succeeds.
-        k.proc_mut(pid).unwrap().page_table.get_mut(1).unwrap().young = true;
+        k.proc_mut(pid)
+            .unwrap()
+            .page_table
+            .get_mut(1)
+            .unwrap()
+            .young = true;
         k.read(pid, 0x1000, &mut buf).unwrap();
         assert_eq!(&buf, b"data");
     }
@@ -390,7 +429,9 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         k.map_anon(pid, 4, 1).unwrap();
-        let phys = k.translate(pid, 4 * PAGE_SIZE + 123, AccessKind::Read).unwrap();
+        let phys = k
+            .translate(pid, 4 * PAGE_SIZE + 123, AccessKind::Read)
+            .unwrap();
         assert_eq!(phys % PAGE_SIZE, 123);
         assert!(k.translate(pid, 99 * PAGE_SIZE, AccessKind::Read).is_err());
     }

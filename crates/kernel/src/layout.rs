@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     #[allow(clippy::assertions_on_constants)] // the layout *is* constant;
-    // the test documents and guards the invariants if constants change.
+                                              // the test documents and guards the invariants if constants change.
     fn regions_are_ordered_and_disjoint() {
         assert!(KERNEL_BASE < LOCKED_WINDOW_BASE);
         assert_eq!(LOCKED_WINDOW_BASE, KERNEL_BASE + KERNEL_RESERVED);

@@ -61,6 +61,12 @@ pub struct Pte {
     /// While the page is resident on-SoC, the DRAM frame that holds its
     /// (encrypted) home copy and receives it again on page-out.
     pub home_frame: Option<u64>,
+    /// The lock-epoch counter mixed into the IV when the page's current
+    /// ciphertext was produced (meaningful only while `encrypted`). Kept
+    /// per-PTE because a page may stay ciphertext across an
+    /// unlock→lock boundary and must decrypt under the IV it was
+    /// actually encrypted with.
+    pub crypt_epoch: u64,
 }
 
 impl Pte {
@@ -76,6 +82,7 @@ impl Pte {
             sharing: Sharing::Private,
             dma_region: false,
             home_frame: None,
+            crypt_epoch: 0,
         }
     }
 

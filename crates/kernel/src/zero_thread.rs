@@ -51,7 +51,11 @@ impl ZeroThread {
     /// # Errors
     ///
     /// Propagates memory errors.
-    pub fn step(&mut self, frames: &mut FrameAllocator, soc: &mut Soc) -> Result<bool, KernelError> {
+    pub fn step(
+        &mut self,
+        frames: &mut FrameAllocator,
+        soc: &mut Soc,
+    ) -> Result<bool, KernelError> {
         let Some(frame) = frames.pop_dirty() else {
             return Ok(false);
         };
@@ -75,7 +79,11 @@ impl ZeroThread {
     /// # Errors
     ///
     /// Propagates memory errors.
-    pub fn drain(&mut self, frames: &mut FrameAllocator, soc: &mut Soc) -> Result<u64, KernelError> {
+    pub fn drain(
+        &mut self,
+        frames: &mut FrameAllocator,
+        soc: &mut Soc,
+    ) -> Result<u64, KernelError> {
         let t0 = soc.clock.now_ns();
         while self.step(frames, soc)? {}
         Ok(soc.clock.now_ns() - t0)

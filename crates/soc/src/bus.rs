@@ -153,7 +153,7 @@ impl Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
 
     #[derive(Default)]
     struct Recorder {
@@ -162,7 +162,10 @@ mod tests {
 
     impl BusObserver for Recorder {
         fn observe(&self, tx: &BusTransaction) {
-            self.seen.lock().push(tx.clone());
+            self.seen
+                .lock()
+                .expect("recorder lock poisoned")
+                .push(tx.clone());
         }
     }
 
@@ -171,9 +174,15 @@ mod tests {
         let mut bus = Bus::new();
         let rec = Arc::new(Recorder::default());
         bus.attach(rec.clone());
-        bus.transact(10, BusOp::Write, BusMaster::Cache, 0x8000_0000, b"secret-data");
+        bus.transact(
+            10,
+            BusOp::Write,
+            BusMaster::Cache,
+            0x8000_0000,
+            b"secret-data",
+        );
         bus.transact(20, BusOp::Read, BusMaster::Dma, 0x8000_0100, &[1, 2, 3]);
-        let seen = rec.seen.lock();
+        let seen = rec.seen.lock().expect("recorder lock poisoned");
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0].data, b"secret-data");
         assert_eq!(seen[1].master, BusMaster::Dma);
@@ -182,7 +191,13 @@ mod tests {
     #[test]
     fn counters_track_bytes_and_ops() {
         let mut bus = Bus::new();
-        bus.transact(0, BusOp::Write, BusMaster::CpuUncached, 0x8000_0000, &[0u8; 32]);
+        bus.transact(
+            0,
+            BusOp::Write,
+            BusMaster::CpuUncached,
+            0x8000_0000,
+            &[0u8; 32],
+        );
         bus.transact(0, BusOp::Read, BusMaster::Cache, 0x8000_0000, &[0u8; 64]);
         assert_eq!(bus.writes(), 1);
         assert_eq!(bus.reads(), 1);
@@ -197,7 +212,7 @@ mod tests {
         bus.attach(rec.clone());
         bus.detach_all();
         bus.transact(0, BusOp::Write, BusMaster::Cache, 0x8000_0000, b"x");
-        assert!(rec.seen.lock().is_empty());
+        assert!(rec.seen.lock().expect("recorder lock poisoned").is_empty());
         assert_eq!(bus.observer_count(), 0);
     }
 }

@@ -317,8 +317,13 @@ impl Pl310 {
             path.dram.read(base, &mut data);
         }
         path.clock.advance(path.costs.dram_line_ns);
-        path.bus
-            .transact(path.clock.now_ns(), BusOp::Read, BusMaster::Cache, base, &data);
+        path.bus.transact(
+            path.clock.now_ns(),
+            BusOp::Read,
+            BusMaster::Cache,
+            base,
+            &data,
+        );
 
         let line = &mut self.lines[Self::idx(set, way)];
         line.valid = true;
@@ -336,8 +341,13 @@ impl Pl310 {
                 path.dram.write(base, &line.data);
             }
             path.clock.advance(path.costs.dram_line_ns);
-            path.bus
-                .transact(path.clock.now_ns(), BusOp::Write, BusMaster::Cache, base, &line.data);
+            path.bus.transact(
+                path.clock.now_ns(),
+                BusOp::Write,
+                BusMaster::Cache,
+                base,
+                &line.data,
+            );
             self.stats.writebacks += 1;
         }
         let line = &mut self.lines[Self::idx(set, way)];
@@ -364,8 +374,13 @@ impl Pl310 {
             AccessBuf::Read(out) => {
                 path.dram.read(addr, &mut out[buf_off..buf_off + n]);
                 let shown = out[buf_off..buf_off + n].to_vec();
-                path.bus
-                    .transact(path.clock.now_ns(), BusOp::Read, BusMaster::CpuUncached, addr, &shown);
+                path.bus.transact(
+                    path.clock.now_ns(),
+                    BusOp::Read,
+                    BusMaster::CpuUncached,
+                    addr,
+                    &shown,
+                );
             }
             AccessBuf::Write(input) => {
                 path.dram.write(addr, &input[buf_off..buf_off + n]);
@@ -542,7 +557,11 @@ mod tests {
         cache.set_flush_mask(0b1111_1110);
 
         cache.maintenance_flush(path!(dram, bus, clock, costs));
-        assert_eq!(cache.lookup_way(locked_base), Some(0), "masked flush must spare way 0");
+        assert_eq!(
+            cache.lookup_way(locked_base),
+            Some(0),
+            "masked flush must spare way 0"
+        );
 
         // The raw full flush — the behaviour the paper validated on real
         // hardware — evicts and *unlocks* everything.

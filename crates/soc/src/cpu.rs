@@ -117,11 +117,7 @@ impl Cpu {
     /// time; it is accumulated into [`Cpu::irq_disabled_ns`] so
     /// experiments can report interrupt-latency impact (the paper
     /// measured ~160 µs on average).
-    pub fn with_irqs_disabled<T>(
-        &mut self,
-        duration_ns: u64,
-        f: impl FnOnce(&mut Cpu) -> T,
-    ) -> T {
+    pub fn with_irqs_disabled<T>(&mut self, duration_ns: u64, f: impl FnOnce(&mut Cpu) -> T) -> T {
         let was_enabled = self.irqs_enabled;
         self.irqs_enabled = false;
         self.critical_sections += 1;

@@ -98,8 +98,13 @@ impl DmaController {
                 path.dram.write(addr, data);
                 path.clock
                     .advance(path.costs.dram_line_ns * (data.len() as u64 / 32 + 1));
-                path.bus
-                    .transact(path.clock.now_ns(), BusOp::Write, BusMaster::Dma, addr, data);
+                path.bus.transact(
+                    path.clock.now_ns(),
+                    BusOp::Write,
+                    BusMaster::Dma,
+                    addr,
+                    data,
+                );
                 Ok(())
             }
             Region::Iram => {
@@ -262,7 +267,9 @@ mod tests {
     fn unmapped_dma_errors() {
         let mut f = fix();
         let ctrl = DmaController { id: 0 };
-        let err = ctrl.read_phys(0x100, 4, &f.tz, &f.iram, path!(f)).unwrap_err();
+        let err = ctrl
+            .read_phys(0x100, 4, &f.tz, &f.iram, path!(f))
+            .unwrap_err();
         assert!(matches!(err, SocError::Unmapped { .. }));
     }
 

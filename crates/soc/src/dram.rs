@@ -110,7 +110,10 @@ impl Dram {
     /// Panics if `size` is not a multiple of the page size.
     #[must_use]
     pub fn new(size: u64, remanence: RemanenceModel, seed: u64) -> Self {
-        assert!(size.is_multiple_of(PAGE_SIZE), "DRAM size must be page aligned");
+        assert!(
+            size.is_multiple_of(PAGE_SIZE),
+            "DRAM size must be page aligned"
+        );
         Dram {
             size,
             frames: BTreeMap::new(),

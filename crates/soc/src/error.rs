@@ -69,10 +69,16 @@ impl fmt::Display for SocError {
                 write!(f, "operation {op:?} requires the TrustZone secure world")
             }
             SocError::CacheLockingUnavailable => {
-                write!(f, "cache way locking is disabled by this platform's firmware")
+                write!(
+                    f,
+                    "cache way locking is disabled by this platform's firmware"
+                )
             }
             SocError::BadFirmwareSignature => {
-                write!(f, "firmware image is not signed with the manufacturer's key")
+                write!(
+                    f,
+                    "firmware image is not signed with the manufacturer's key"
+                )
             }
             SocError::InvalidWay { way } => write!(f, "cache way index {way} out of range"),
         }
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SocError::Unmapped { addr: 0x1000, len: 4 };
+        let e = SocError::Unmapped {
+            addr: 0x1000,
+            len: 4,
+        };
         assert!(e.to_string().contains("0x1000"));
         let e = SocError::RequiresSecureWorld { op: "lockdown" };
         assert!(e.to_string().contains("lockdown"));

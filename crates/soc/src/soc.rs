@@ -215,7 +215,12 @@ impl Soc {
                     cache,
                     ..
                 } = self;
-                let mut path = MemPath { dram, bus, clock, costs };
+                let mut path = MemPath {
+                    dram,
+                    bus,
+                    clock,
+                    costs,
+                };
                 cache.read(addr, buf, &mut path);
                 Ok(())
             }
@@ -247,7 +252,12 @@ impl Soc {
                     cache,
                     ..
                 } = self;
-                let mut path = MemPath { dram, bus, clock, costs };
+                let mut path = MemPath {
+                    dram,
+                    bus,
+                    clock,
+                    costs,
+                };
                 cache.write(addr, data, &mut path);
                 Ok(())
             }
@@ -332,7 +342,12 @@ impl Soc {
             trustzone,
             ..
         } = self;
-        let mut path = MemPath { dram, bus, clock, costs };
+        let mut path = MemPath {
+            dram,
+            bus,
+            clock,
+            costs,
+        };
         DmaController { id: controller }.read_phys(addr, len, trustzone, iram, &mut path)
     }
 
@@ -351,7 +366,12 @@ impl Soc {
             trustzone,
             ..
         } = self;
-        let mut path = MemPath { dram, bus, clock, costs };
+        let mut path = MemPath {
+            dram,
+            bus,
+            clock,
+            costs,
+        };
         DmaController { id: controller }.write_phys(addr, data, trustzone, iram, &mut path)
     }
 
@@ -372,8 +392,20 @@ impl Soc {
             uart,
             ..
         } = self;
-        let mut path = MemPath { dram, bus, clock, costs };
-        uart.dma_from_memory(&DmaController { id: 0 }, addr, len, trustzone, iram, &mut path)
+        let mut path = MemPath {
+            dram,
+            bus,
+            clock,
+            costs,
+        };
+        uart.dma_from_memory(
+            &DmaController { id: 0 },
+            addr,
+            len,
+            trustzone,
+            iram,
+            &mut path,
+        )
     }
 
     fn require_secure(&self, op: &'static str) -> Result<(), SocError> {
@@ -425,7 +457,12 @@ impl Soc {
             cache,
             ..
         } = self;
-        let mut path = MemPath { dram, bus, clock, costs };
+        let mut path = MemPath {
+            dram,
+            bus,
+            clock,
+            costs,
+        };
         cache.maintenance_flush(&mut path);
     }
 
@@ -441,7 +478,12 @@ impl Soc {
             cache,
             ..
         } = self;
-        let mut path = MemPath { dram, bus, clock, costs };
+        let mut path = MemPath {
+            dram,
+            bus,
+            clock,
+            costs,
+        };
         cache.flush_all_raw(&mut path);
     }
 
@@ -493,8 +535,12 @@ impl Soc {
         };
         self.cpu = Cpu::new();
         self.trustzone.switch_world(World::Normal);
-        self.boot_rom
-            .boot(&self.firmware, power_was_lost, &mut self.iram, &mut self.cache)
+        self.boot_rom.boot(
+            &self.firmware,
+            power_was_lost,
+            &mut self.iram,
+            &mut self.cache,
+        )
     }
 
     /// Replace the installed firmware image without any verification —

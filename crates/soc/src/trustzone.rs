@@ -108,9 +108,10 @@ impl TrustZone {
     /// apply to *all* DMA devices uniformly.
     #[must_use]
     pub fn dma_allowed(&self, addr: u64, len: u64) -> bool {
-        !self.protected.iter().any(|p| {
-            p.deny_dma && addr < p.range.end && addr + len > p.range.start
-        })
+        !self
+            .protected
+            .iter()
+            .any(|p| p.deny_dma && addr < p.range.end && addr + len > p.range.start)
     }
 
     /// Would a CPU access from the current world be allowed?
@@ -119,9 +120,10 @@ impl TrustZone {
         if self.world == World::Secure {
             return true;
         }
-        !self.protected.iter().any(|p| {
-            p.deny_normal_cpu && addr < p.range.end && addr + len > p.range.start
-        })
+        !self
+            .protected
+            .iter()
+            .any(|p| p.deny_normal_cpu && addr < p.range.end && addr + len > p.range.start)
     }
 
     /// Read the secure hardware fuse — "a random, hard-to-guess number

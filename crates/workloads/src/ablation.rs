@@ -134,17 +134,25 @@ pub fn aes_table_tradeoff() -> AesTradeoff {
     let slow = AesRef::new(&key).unwrap();
     let mut block = [0u8; 16];
 
-    let iters = 20_000;
-    let t = Instant::now();
-    for _ in 0..iters {
-        fast.encrypt_block(&mut block);
-    }
-    let fast_ns = t.elapsed().as_nanos().max(1);
-    let t = Instant::now();
-    for _ in 0..iters {
-        slow.encrypt_block(&mut block);
-    }
-    let slow_ns = t.elapsed().as_nanos().max(1);
+    // Best-of-N trials: the minimum is robust against scheduler noise
+    // when the suite runs many test threads on few cores.
+    let iters = 5_000;
+    let trials = 5;
+    let mut measure = |encrypt: &mut dyn FnMut(&mut [u8; 16])| -> u128 {
+        encrypt(&mut block); // warm-up (page in tables/code)
+        (0..trials)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    encrypt(&mut block);
+                }
+                t.elapsed().as_nanos().max(1)
+            })
+            .min()
+            .unwrap()
+    };
+    let fast_ns = measure(&mut |b| fast.encrypt_block(b));
+    let slow_ns = measure(&mut |b| slow.encrypt_block(b));
 
     AesTradeoff {
         // Te + Td + S + IS + Rcon.

@@ -158,8 +158,8 @@ pub fn run_app_cycle(app: &AppSpec) -> Result<AppCycleResult, SentryError> {
     // adds overhead.
     sentry.reset_ondemand_stats();
     let script_first = dma_pages + lazy_resume_pages;
-    let script_pages = (app.script_touch_bytes / PAGE_SIZE)
-        .min(total_pages.saturating_sub(script_first));
+    let script_pages =
+        (app.script_touch_bytes / PAGE_SIZE).min(total_pages.saturating_sub(script_first));
     let t0 = sentry.kernel.soc.clock.now_ns();
     for vpn in script_first..script_first + script_pages {
         sentry.touch_pages(pid, &[vpn])?;
@@ -204,8 +204,16 @@ mod tests {
     fn maps_matches_figure_2_and_4_shape() {
         let r = by_name("Maps");
         // Figure 2: Maps is the slowest resume (paper: ~1.5 s, ~38 MB).
-        assert!((1.0..2.5).contains(&r.resume_secs), "resume {}", r.resume_secs);
-        assert!((35.0..41.0).contains(&r.resume_mb), "resume MB {}", r.resume_mb);
+        assert!(
+            (1.0..2.5).contains(&r.resume_secs),
+            "resume {}",
+            r.resume_secs
+        );
+        assert!(
+            (35.0..41.0).contains(&r.resume_mb),
+            "resume MB {}",
+            r.resume_mb
+        );
         // Figure 4: lock takes ~1-2 s for ~48 MB.
         assert!((0.8..2.5).contains(&r.lock_secs), "lock {}", r.lock_secs);
         assert!((46.0..50.0).contains(&r.lock_mb));
@@ -241,7 +249,11 @@ mod tests {
     fn lock_energy_matches_figure_5() {
         // Paper: up to 2.3 J for Maps; all others below.
         let maps = by_name("Maps");
-        assert!((1.5..2.4).contains(&maps.lock_joules), "{}", maps.lock_joules);
+        assert!(
+            (1.5..2.4).contains(&maps.lock_joules),
+            "{}",
+            maps.lock_joules
+        );
         let contacts = by_name("Contacts");
         assert!(contacts.lock_joules < maps.lock_joules);
     }

@@ -111,7 +111,10 @@ fn trace(spec: &BackgroundSpec) -> Vec<u64> {
 /// # Errors
 ///
 /// Propagates Sentry errors.
-pub fn run_background(spec: &BackgroundSpec, locked_kb: u64) -> Result<BackgroundResult, SentryError> {
+pub fn run_background(
+    spec: &BackgroundSpec,
+    locked_kb: u64,
+) -> Result<BackgroundResult, SentryError> {
     let kernel = Kernel::new(Soc::new(
         sentry_soc::SocConfig::new(sentry_soc::Platform::Tegra3).with_dram_size(128 << 20),
     ));
@@ -194,7 +197,10 @@ mod tests {
             (2.2..3.3).contains(&factor_small),
             "256 KB factor {factor_small:.2} (paper 2.74)"
         );
-        assert!(factor_large < factor_small * 0.6, "512 KB must be much better");
+        assert!(
+            factor_large < factor_small * 0.6,
+            "512 KB must be much better"
+        );
     }
 
     #[test]

@@ -143,8 +143,7 @@ pub fn run_filebench(
     // Register AES On SoC for the Sentry column (the Crypto API then
     // prefers it automatically — §7).
     if crypto == CryptoSetup::Sentry {
-        let mut store =
-            OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut kernel.soc)?;
+        let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut kernel.soc)?;
         let engine = build_engine(&mut store, &mut kernel.soc, &[0xD3u8; 16])?;
         kernel.crypto.register(Box::new(engine));
     }
@@ -265,7 +264,10 @@ mod tests {
         let none = cell(Workload::RandRead, false, CryptoSetup::NoCrypto);
         let generic = cell(Workload::RandRead, false, CryptoSetup::GenericAes);
         let sentry = cell(Workload::RandRead, false, CryptoSetup::Sentry);
-        assert!(generic.mb_per_sec > 0.9 * none.mb_per_sec, "{generic:?} vs {none:?}");
+        assert!(
+            generic.mb_per_sec > 0.9 * none.mb_per_sec,
+            "{generic:?} vs {none:?}"
+        );
         assert!(sentry.mb_per_sec > 0.9 * none.mb_per_sec);
         assert!(sentry.cache_hits > 0);
     }
@@ -303,7 +305,10 @@ mod tests {
             let generic = cell(Workload::RandRw, direct, CryptoSetup::GenericAes);
             let sentry = cell(Workload::RandRw, direct, CryptoSetup::Sentry);
             let ratio = sentry.mb_per_sec / generic.mb_per_sec;
-            assert!((0.9..1.1).contains(&ratio), "direct={direct}: ratio {ratio:.3}");
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "direct={direct}: ratio {ratio:.3}"
+            );
         }
     }
 

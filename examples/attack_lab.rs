@@ -30,13 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // DMA attack: no reboot needed, works on the PIN-locked device.
     let dump = dma_dump(&mut soc, DRAM_BASE + (39 << 20), 2 << 20, 4096);
-    println!("  DMA sweep: PIN record hits = {}", dump.search(PIN_RECORD).len());
+    println!(
+        "  DMA sweep: PIN record hits = {}",
+        dump.search(PIN_RECORD).len()
+    );
 
     // Bus monitor: watch the PIN cross the bus on a cache miss.
     let mon = BusMonitor::attach_new(&mut soc.bus);
     let mut buf = vec![0u8; 64];
     soc.mem_read(DRAM_BASE + (40 << 20), &mut buf)?;
-    println!("  bus monitor: PIN observed = {}", !mon.find_in_traffic(b"PIN=").is_empty());
+    println!(
+        "  bus monitor: PIN observed = {}",
+        !mon.find_in_traffic(b"PIN=").is_empty()
+    );
 
     // Cold boot (reflash): recover the *disk encryption key* itself.
     let findings = coldboot::attack(&mut soc, PowerEvent::ReflashTap, PIN_RECORD)?;

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             found += 1;
         }
     }
-    sentry.write(pid, 31 * PAGE_SIZE + 2048, b"Message 32: NEW mail arrived while locked")?;
+    sentry.write(
+        pid,
+        31 * PAGE_SIZE + 2048,
+        b"Message 32: NEW mail arrived while locked",
+    )?;
 
     let stats = sentry.pager.stats;
     println!("read {found}/32 messages while locked");

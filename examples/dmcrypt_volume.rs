@@ -43,10 +43,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut block = vec![0u8; CACHE_BLOCK];
     block[..34].copy_from_slice(b"Dear diary, nobody must read this.");
-    fs.write(&mut vol, &mut kernel.crypto, &mut kernel.soc, "diary.txt", 0, &block, false)?;
+    fs.write(
+        &mut vol,
+        &mut kernel.crypto,
+        &mut kernel.soc,
+        "diary.txt",
+        0,
+        &block,
+        false,
+    )?;
 
     let mut back = vec![0u8; CACHE_BLOCK];
-    fs.read(&mut vol, &mut kernel.crypto, &mut kernel.soc, "diary.txt", 0, &mut back, true)?;
+    fs.read(
+        &mut vol,
+        &mut kernel.crypto,
+        &mut kernel.soc,
+        "diary.txt",
+        0,
+        &mut back,
+        true,
+    )?;
     assert_eq!(&back[..34], &block[..34]);
     println!("file round-trips through dm-crypt + AES On SoC");
 

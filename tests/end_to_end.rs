@@ -85,7 +85,9 @@ fn data_survives_many_lock_unlock_cycles_with_background_work() {
         sentry.on_lock().unwrap();
         // Background mutation while locked.
         let tag = format!("cycle-{cycle}-update");
-        sentry.write(pid, (cycle % 16) * PAGE_SIZE, tag.as_bytes()).unwrap();
+        sentry
+            .write(pid, (cycle % 16) * PAGE_SIZE, tag.as_bytes())
+            .unwrap();
         expected[(cycle % 16) as usize][..tag.len()].copy_from_slice(tag.as_bytes());
         sentry.on_unlock().unwrap();
     }

@@ -3,8 +3,8 @@
 //! (The per-figure quantitative checks live in the owning crates; this
 //! file guards the cross-cutting conclusions.)
 
-use sentry::attacks::matrix::{table3, StorageOption};
 use sentry::attacks::coldboot::table2;
+use sentry::attacks::matrix::{table3, StorageOption};
 use sentry::energy::EnergyModel;
 use sentry::workloads::kernelbuild::compile_minutes;
 use sentry::workloads::{run_filebench, CryptoSetup, FilebenchSpec, Workload};
@@ -42,7 +42,11 @@ fn figure10_one_way_is_cheap_eight_ways_are_not() {
 
 #[test]
 fn figure9_crossover_cache_masks_reads_but_not_writes() {
-    let cell = |w, d, c| run_filebench(&FilebenchSpec::new(w, d), c).unwrap().mb_per_sec;
+    let cell = |w, d, c| {
+        run_filebench(&FilebenchSpec::new(w, d), c)
+            .unwrap()
+            .mb_per_sec
+    };
     // Cached reads: crypto is free.
     let read_none = cell(Workload::RandRead, false, CryptoSetup::NoCrypto);
     let read_aes = cell(Workload::RandRead, false, CryptoSetup::GenericAes);
@@ -64,7 +68,10 @@ fn headline_sentry_beats_the_strawman_by_orders_of_magnitude() {
     let m = EnergyModel::nexus4();
     let strawman = m.strawman(2 << 30);
     let strawman_daily = 150.0 * strawman.joules_per_encrypt / m.battery_joules;
-    assert!(strawman_daily > 0.3, "strawman: {strawman_daily:.2} of battery/day");
+    assert!(
+        strawman_daily > 0.3,
+        "strawman: {strawman_daily:.2} of battery/day"
+    );
     let sentry_daily = m.daily_battery_fraction(
         sentry::energy::AesVariant::CryptoApi,
         48 << 20,
