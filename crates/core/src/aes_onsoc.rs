@@ -29,7 +29,7 @@
 
 use crate::error::SentryError;
 use crate::store::CachedSocStore;
-use sentry_crypto::TrackedAes;
+use sentry_crypto::{BitslicedAes, TrackedAes, TrackedBitslicedAes};
 use sentry_kernel::crypto_api::{CipherEngine, KeyResidency};
 use sentry_kernel::KernelError;
 use sentry_soc::Soc;
@@ -37,6 +37,25 @@ use sentry_soc::Soc;
 /// Registration priority — above the generic engine (100), so the
 /// Crypto API transparently favours AES On SoC (§7).
 pub const AES_ONSOC_PRIORITY: i32 = 300;
+
+/// Which cipher implementation backs the on-SoC state page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnSocCipherBackend {
+    /// The paper's table-driven AES: fast scalar rounds, but 2.5 KiB of
+    /// lookup tables must live (access-protected) in the on-SoC page.
+    #[default]
+    TableDriven,
+    /// The batched bitsliced AES: S-box as a boolean circuit, no tables
+    /// at all, so the access-protected row of Table 4 drops to zero and
+    /// the store-access trace is data-independent.
+    BitslicedTableFree,
+}
+
+/// The keyed tracked context — one variant per backend.
+enum TrackedCtx {
+    Table(TrackedAes),
+    Bitsliced(TrackedBitslicedAes),
+}
 
 /// The AES On SoC cipher engine.
 ///
@@ -61,8 +80,13 @@ pub const AES_ONSOC_PRIORITY: i32 = 300;
 pub struct AesOnSocEngine {
     state_base: u64,
     residency: KeyResidency,
-    tracked: Option<TrackedAes>,
+    backend: OnSocCipherBackend,
+    tracked: Option<TrackedCtx>,
     native: Option<sentry_crypto::Aes>,
+    /// Batched backend sharing `native`'s schedule, built once at
+    /// key-install time; drives the fast-path CBC decryption 16 blocks
+    /// per kernel call.
+    native_bits: Option<BitslicedAes>,
     full_sim: bool,
 }
 
@@ -71,6 +95,7 @@ impl std::fmt::Debug for AesOnSocEngine {
         f.debug_struct("AesOnSocEngine")
             .field("state_base", &format_args!("{:#x}", self.state_base))
             .field("residency", &self.residency)
+            .field("backend", &self.backend)
             .field("keyed", &self.tracked.is_some())
             .finish()
     }
@@ -82,13 +107,32 @@ impl AesOnSocEngine {
     /// with the matching residency for reporting.
     #[must_use]
     pub fn new(state_base: u64, residency: KeyResidency) -> Self {
+        Self::with_backend(state_base, residency, OnSocCipherBackend::default())
+    }
+
+    /// Like [`AesOnSocEngine::new`], but selecting the cipher backend for
+    /// the on-SoC state page (see [`OnSocCipherBackend`]).
+    #[must_use]
+    pub fn with_backend(
+        state_base: u64,
+        residency: KeyResidency,
+        backend: OnSocCipherBackend,
+    ) -> Self {
         AesOnSocEngine {
             state_base,
             residency,
+            backend,
             tracked: None,
             native: None,
+            native_bits: None,
             full_sim: false,
         }
+    }
+
+    /// The cipher backend this engine was built with.
+    #[must_use]
+    pub fn backend(&self) -> OnSocCipherBackend {
+        self.backend
     }
 
     /// Route every data-path state access through the simulated store
@@ -119,7 +163,7 @@ impl AesOnSocEngine {
         &self,
         soc: &mut Soc,
         calibrated_ns: u64,
-        f: impl FnOnce(&TrackedAes, &mut CachedSocStore<'_>) -> T,
+        f: impl FnOnce(&TrackedCtx, &mut CachedSocStore<'_>) -> T,
     ) -> Result<T, KernelError> {
         let tracked = self
             .tracked
@@ -150,17 +194,21 @@ impl AesOnSocEngine {
         &self,
         soc: &mut Soc,
         calibrated_ns: u64,
-        f: impl FnOnce(&sentry_crypto::Aes) -> T,
+        f: impl FnOnce(&sentry_crypto::Aes, &BitslicedAes) -> T,
     ) -> Result<T, KernelError> {
         let native = self
             .native
+            .as_ref()
+            .ok_or_else(|| KernelError::UnknownCipher("AES On SoC: no key installed".into()))?;
+        let native_bits = self
+            .native_bits
             .as_ref()
             .ok_or_else(|| KernelError::UnknownCipher("AES On SoC: no key installed".into()))?;
         let entry_args = [0u32, 1, 2, 3];
         let spilled = soc.cpu.pass_args(&entry_args);
         debug_assert!(spilled.is_empty(), "no sensitive argument may spill");
         let was_enabled = soc.cpu.begin_critical();
-        let out = f(native);
+        let out = f(native, native_bits);
         soc.clock.advance(calibrated_ns);
         soc.cpu.end_critical(was_enabled, calibrated_ns);
         Ok(out)
@@ -187,15 +235,26 @@ impl CipherEngine for AesOnSocEngine {
         let t0 = soc.clock.now_ns();
         let tracked = {
             let mut store = CachedSocStore::new(soc, self.state_base);
-            TrackedAes::init(&mut store, key)
-                .map_err(|e| KernelError::UnknownCipher(e.to_string()))?
+            match self.backend {
+                OnSocCipherBackend::TableDriven => TrackedAes::init(&mut store, key)
+                    .map(TrackedCtx::Table)
+                    .map_err(|e| KernelError::UnknownCipher(e.to_string()))?,
+                OnSocCipherBackend::BitslicedTableFree => {
+                    TrackedBitslicedAes::init(&mut store, key)
+                        .map(TrackedCtx::Bitsliced)
+                        .map_err(|e| KernelError::UnknownCipher(e.to_string()))?
+                }
+            }
         };
         let dt = soc.clock.now_ns() - t0;
         soc.cpu.end_critical(was_enabled, dt);
         self.tracked = Some(tracked);
-        self.native = Some(
-            sentry_crypto::Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?,
-        );
+        let native =
+            sentry_crypto::Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?;
+        // The batched context shares the already-expanded schedule — the
+        // key is expanded once per install, never per operation.
+        self.native_bits = Some(BitslicedAes::from_schedule(native.schedule()));
+        self.native = Some(native);
         Ok(())
     }
 
@@ -207,9 +266,14 @@ impl CipherEngine for AesOnSocEngine {
     ) -> Result<(), KernelError> {
         let ns = self.calibrated_ns(soc, data.len());
         if self.full_sim {
-            self.critical(soc, ns, |aes, store| aes.cbc_encrypt(store, iv, data))
+            self.critical(soc, ns, |ctx, store| match ctx {
+                TrackedCtx::Table(aes) => aes.cbc_encrypt(store, iv, data),
+                TrackedCtx::Bitsliced(aes) => aes.cbc_encrypt(store, iv, data),
+            })
         } else {
-            self.critical_native(soc, ns, |aes| {
+            // CBC encryption is serially chained; the scalar context is
+            // the fast one for a one-block-at-a-time dependency chain.
+            self.critical_native(soc, ns, |aes, _| {
                 sentry_crypto::modes::cbc_encrypt(aes, iv, data);
             })
         }
@@ -223,10 +287,15 @@ impl CipherEngine for AesOnSocEngine {
     ) -> Result<(), KernelError> {
         let ns = self.calibrated_ns(soc, data.len());
         if self.full_sim {
-            self.critical(soc, ns, |aes, store| aes.cbc_decrypt(store, iv, data))
+            self.critical(soc, ns, |ctx, store| match ctx {
+                TrackedCtx::Table(aes) => aes.cbc_decrypt(store, iv, data),
+                TrackedCtx::Bitsliced(aes) => aes.cbc_decrypt(store, iv, data),
+            })
         } else {
-            self.critical_native(soc, ns, |aes| {
-                sentry_crypto::modes::cbc_decrypt(aes, iv, data);
+            // CBC decryption is data-parallel: the batched context runs
+            // it 16 blocks per kernel call.
+            self.critical_native(soc, ns, |_, bits| {
+                sentry_crypto::modes::cbc_decrypt(bits, iv, data);
             })
         }
     }
@@ -243,12 +312,26 @@ pub fn build_engine(
     soc: &mut Soc,
     key: &[u8],
 ) -> Result<AesOnSocEngine, SentryError> {
+    build_engine_with_backend(store, soc, key, OnSocCipherBackend::default())
+}
+
+/// [`build_engine`] with an explicit [`OnSocCipherBackend`].
+///
+/// # Errors
+///
+/// Propagates allocation and key errors.
+pub fn build_engine_with_backend(
+    store: &mut crate::onsoc::OnSocStore,
+    soc: &mut Soc,
+    key: &[u8],
+    cipher_backend: OnSocCipherBackend,
+) -> Result<AesOnSocEngine, SentryError> {
     let page = store.alloc_page(soc)?;
     let residency = match store.backend() {
         crate::config::OnSocBackend::Iram => KeyResidency::Iram,
         crate::config::OnSocBackend::LockedL2 { .. } => KeyResidency::LockedL2,
     };
-    let mut engine = AesOnSocEngine::new(page, residency);
+    let mut engine = AesOnSocEngine::with_backend(page, residency, cipher_backend);
     engine.set_key(soc, key).map_err(SentryError::Kernel)?;
     Ok(engine)
 }
@@ -284,6 +367,60 @@ mod tests {
             eng.decrypt(&mut soc, &iv, &mut data).unwrap();
             assert_eq!(data, (0..64u8).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn bitsliced_backend_matches_plain_aes_cbc() {
+        // The table-free backend must be a drop-in: same ciphertext as
+        // the table-driven one, in fast and full-simulation mode alike,
+        // and the same calibrated time charge.
+        let mut soc = Soc::tegra3_small();
+        let mut store = OnSocStore::new(OnSocBackend::Iram, &mut soc).unwrap();
+        let mut eng = build_engine_with_backend(
+            &mut store,
+            &mut soc,
+            &[0x42u8; 16],
+            OnSocCipherBackend::BitslicedTableFree,
+        )
+        .unwrap();
+        assert_eq!(eng.backend(), OnSocCipherBackend::BitslicedTableFree);
+
+        let reference = Aes::new(&[0x42u8; 16]).unwrap();
+        let iv = [9u8; 16];
+        let mut expect: Vec<u8> = (0..96u8).collect();
+        cbc_encrypt(&reference, &iv, &mut expect);
+
+        for full_sim in [false, true] {
+            eng.set_full_simulation(full_sim);
+            let mut data: Vec<u8> = (0..96u8).collect();
+            eng.encrypt(&mut soc, &iv, &mut data).unwrap();
+            assert_eq!(data, expect, "full_sim={full_sim}");
+            eng.decrypt(&mut soc, &iv, &mut data).unwrap();
+            assert_eq!(data, (0..96u8).collect::<Vec<_>>(), "full_sim={full_sim}");
+        }
+    }
+
+    #[test]
+    fn bitsliced_backend_generates_no_bus_traffic() {
+        // Full simulation through the table-free tracked context: the
+        // batch staging area, round keys, and every intermediate all
+        // live in iRAM, and there are no tables to look up at all.
+        let mut soc = Soc::tegra3_small();
+        let mut store = OnSocStore::new(OnSocBackend::Iram, &mut soc).unwrap();
+        let mut eng = build_engine_with_backend(
+            &mut store,
+            &mut soc,
+            &[0x42u8; 16],
+            OnSocCipherBackend::BitslicedTableFree,
+        )
+        .unwrap();
+        eng.set_full_simulation(true);
+        let before = soc.bus.reads() + soc.bus.writes();
+        let mut data = vec![1u8; 4096];
+        eng.encrypt(&mut soc, &[0u8; 16], &mut data).unwrap();
+        eng.decrypt(&mut soc, &[0u8; 16], &mut data).unwrap();
+        let after = soc.bus.reads() + soc.bus.writes();
+        assert_eq!(before, after, "AES state in iRAM never crosses the bus");
     }
 
     #[test]

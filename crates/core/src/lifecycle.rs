@@ -279,7 +279,7 @@ impl Sentry {
             }
         } else {
             // Expand the key schedule exactly once for the whole batch;
-            // worker lanes clone the expanded schedule.
+            // worker lanes share the expanded context by reference.
             let key = self.volatile_key.read(&mut self.kernel.soc)?;
             let aes = Aes::new(&key)
                 .map_err(|e| SentryError::Kernel(KernelError::UnknownCipher(e.to_string())))?;
@@ -298,7 +298,18 @@ impl Sentry {
                     data: page.as_mut_slice(),
                 })
                 .collect();
-            let report = crypt_batch(&aes, direction, &mut batch, workers, min_batch);
+            // Decrypt lanes run the batched bitsliced kernel (CBC
+            // decryption is data-parallel within a page); encrypt lanes
+            // are chained per page and keep the scalar context. Either
+            // way the lanes share one reference — the schedule expanded
+            // above is the only key expansion in the whole batch.
+            let report = match direction {
+                Direction::Encrypt => crypt_batch(&aes, direction, &mut batch, workers, min_batch),
+                Direction::Decrypt => {
+                    let bits = sentry_crypto::BitslicedAes::from_schedule(aes.schedule());
+                    crypt_batch(&bits, direction, &mut batch, workers, min_batch)
+                }
+            };
 
             // Same calibrated per-block cost as the AES-On-SoC engine,
             // spread across the lanes that actually ran.

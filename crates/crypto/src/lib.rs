@@ -43,6 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod bitslice;
 pub mod block;
 pub mod error;
 pub mod gf;
@@ -54,10 +56,12 @@ pub mod state;
 pub mod tables;
 pub mod tracked;
 
+pub use batch::BlockCipherBatch;
+pub use bitslice::BitslicedAes;
 pub use block::{Aes, AesRef};
 pub use error::KeyError;
 pub use state::{AesStateLayout, Sensitivity, StateComponent};
-pub use tracked::{AccessEvent, StateStore, TableId, TrackedAes, VecStore};
+pub use tracked::{AccessEvent, StateStore, TableId, TrackedAes, TrackedBitslicedAes, VecStore};
 
 /// AES block size in bytes (fixed at 128 bits by FIPS-197).
 pub const BLOCK_SIZE: usize = 16;

@@ -6,8 +6,14 @@
 //! 4 KiB pages, dm-crypt in 512-byte sectors) always supply block-aligned
 //! buffers.
 
+use crate::batch::BlockCipherBatch;
 use crate::block::{Aes, AesRef, Block};
 use crate::BLOCK_SIZE;
+
+/// Scratch blocks used by the batched modes below: two bitsliced batches,
+/// so the batch backend streams at full width while the scratch stays on
+/// the stack (512 bytes).
+const SCRATCH_BLOCKS: usize = 2 * crate::bitslice::PAR_BLOCKS;
 
 /// A single-block cipher, the building block for the modes below.
 ///
@@ -104,20 +110,86 @@ pub fn cbc_encrypt<C: BlockCipher>(cipher: &C, iv: &Block, data: &mut [u8]) {
 /// Decrypt `data` in place in CBC mode with the given initialization
 /// vector.
 ///
+/// CBC decryption is data-parallel — `pt[i] = D(ct[i]) ^ ct[i-1]` needs
+/// only two ciphertext blocks — so this drives the batch API: blocks are
+/// block-decrypted `SCRATCH_BLOCKS` at a time and the chaining XOR is
+/// applied afterwards from a saved copy of the ciphertext. Byte-identical
+/// to the serial formulation for every backend.
+///
 /// # Panics
 ///
 /// Panics if `data` is not block-aligned.
-pub fn cbc_decrypt<C: BlockCipher>(cipher: &C, iv: &Block, data: &mut [u8]) {
+pub fn cbc_decrypt<C: BlockCipherBatch>(cipher: &C, iv: &Block, data: &mut [u8]) {
     check_aligned(data);
+    let (blocks, _) = data.as_chunks_mut::<BLOCK_SIZE>();
     let mut chain = *iv;
-    for chunk in data.chunks_exact_mut(BLOCK_SIZE) {
-        let ct: Block = chunk.try_into().expect("chunk is block sized");
-        let block: &mut Block = chunk.try_into().expect("chunk is block sized");
-        cipher.decrypt_block(block);
-        for (b, c) in block.iter_mut().zip(chain.iter()) {
-            *b ^= c;
+    let mut saved = [[0u8; BLOCK_SIZE]; SCRATCH_BLOCKS];
+    for chunk in blocks.chunks_mut(SCRATCH_BLOCKS) {
+        let n = chunk.len();
+        saved[..n].copy_from_slice(chunk);
+        cipher.decrypt_blocks(chunk);
+        for (i, block) in chunk.iter_mut().enumerate() {
+            let prev = if i == 0 { &chain } else { &saved[i - 1] };
+            for (b, p) in block.iter_mut().zip(prev.iter()) {
+                *b ^= p;
+            }
         }
-        chain = ct;
+        chain = saved[n - 1];
+    }
+}
+
+/// CBC-decrypt a run of consecutive equal-sized extents laid out
+/// back-to-back in `data`, the `i`-th chained from `ivs[i]`.
+///
+/// Because CBC decryption needs only a ciphertext block and its
+/// predecessor (or, at an extent head, that extent's IV), the *entire
+/// multi-extent run* is data-parallel — the batch kernel streams across
+/// extent boundaries. That matters when the unit is smaller than the
+/// scratch: a 512-byte dm-crypt sector is 32 blocks, but a 4 KiB buffer
+/// cache block is 8 sectors decrypted here as one 256-block stream with
+/// no pipeline drain between sectors. Byte-identical to decrypting each
+/// extent separately.
+///
+/// # Panics
+///
+/// Panics if `data` does not divide evenly into `ivs.len()` block-aligned
+/// extents (an empty `ivs` requires an empty `data`).
+pub fn cbc_decrypt_extents<C: BlockCipherBatch>(cipher: &C, ivs: &[[u8; 16]], data: &mut [u8]) {
+    if ivs.is_empty() {
+        assert!(data.is_empty(), "extent data without IVs");
+        return;
+    }
+    assert!(
+        data.len().is_multiple_of(ivs.len()),
+        "data does not divide into {} extents",
+        ivs.len()
+    );
+    let unit = data.len() / ivs.len();
+    check_aligned(&data[..unit]);
+    let blocks_per_unit = unit / BLOCK_SIZE;
+    let (blocks, _) = data.as_chunks_mut::<BLOCK_SIZE>();
+    let mut saved = [[0u8; BLOCK_SIZE]; SCRATCH_BLOCKS];
+    // Last ciphertext block of the previous scratch chunk, for chains
+    // that straddle a chunk boundary.
+    let mut carry = [0u8; BLOCK_SIZE];
+    for (chunk_no, chunk) in blocks.chunks_mut(SCRATCH_BLOCKS).enumerate() {
+        let n = chunk.len();
+        saved[..n].copy_from_slice(chunk);
+        cipher.decrypt_blocks(chunk);
+        for (i, block) in chunk.iter_mut().enumerate() {
+            let global = chunk_no * SCRATCH_BLOCKS + i;
+            let prev = if global.is_multiple_of(blocks_per_unit) {
+                &ivs[global / blocks_per_unit]
+            } else if i == 0 {
+                &carry
+            } else {
+                &saved[i - 1]
+            };
+            for (b, p) in block.iter_mut().zip(prev.iter()) {
+                *b ^= p;
+            }
+        }
+        carry = saved[n - 1];
     }
 }
 
@@ -125,18 +197,29 @@ pub fn cbc_decrypt<C: BlockCipher>(cipher: &C, iv: &Block, data: &mut [u8]) {
 /// identical). The counter occupies the last 8 bytes of the nonce block,
 /// big-endian, starting from `initial_counter`.
 ///
+/// Keystream blocks are independent, so they are generated
+/// `SCRATCH_BLOCKS` at a time through the batch API.
+///
 /// Unlike CBC, CTR handles arbitrary (non-block-aligned) lengths.
-pub fn ctr_xor<C: BlockCipher>(cipher: &C, nonce: &[u8; 8], initial_counter: u64, data: &mut [u8]) {
+pub fn ctr_xor<C: BlockCipherBatch>(
+    cipher: &C,
+    nonce: &[u8; 8],
+    initial_counter: u64,
+    data: &mut [u8],
+) {
     let mut counter = initial_counter;
-    for chunk in data.chunks_mut(BLOCK_SIZE) {
-        let mut keystream: Block = [0u8; BLOCK_SIZE];
-        keystream[..8].copy_from_slice(nonce);
-        keystream[8..].copy_from_slice(&counter.to_be_bytes());
-        cipher.encrypt_block(&mut keystream);
-        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+    let mut ks = [[0u8; BLOCK_SIZE]; SCRATCH_BLOCKS];
+    for chunk in data.chunks_mut(SCRATCH_BLOCKS * BLOCK_SIZE) {
+        let nblocks = chunk.len().div_ceil(BLOCK_SIZE);
+        for k in ks[..nblocks].iter_mut() {
+            k[..8].copy_from_slice(nonce);
+            k[8..].copy_from_slice(&counter.to_be_bytes());
+            counter = counter.wrapping_add(1);
+        }
+        cipher.encrypt_blocks(&mut ks[..nblocks]);
+        for (b, k) in chunk.iter_mut().zip(ks.iter().flatten()) {
             *b ^= k;
         }
-        counter = counter.wrapping_add(1);
     }
 }
 
@@ -174,6 +257,13 @@ mod tests {
         assert_eq!(data, expected);
         cbc_decrypt(&aes, &iv, &mut data);
         assert_eq!(&data[..16], &hex("6bc1bee22e409f96e93d7e117393172a")[..]);
+
+        // The bitsliced backend against the same published vectors.
+        let bits = crate::bitslice::BitslicedAes::new(&key).unwrap();
+        cbc_encrypt(&bits, &iv, &mut data);
+        assert_eq!(data, expected);
+        cbc_decrypt(&bits, &iv, &mut data);
+        assert_eq!(&data[..16], &hex("6bc1bee22e409f96e93d7e117393172a")[..]);
     }
 
     #[test]
@@ -187,6 +277,11 @@ mod tests {
         let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
         let aes = Aes::new(&key).unwrap();
         ctr_xor(&aes, &nonce, counter, &mut data);
+        assert_eq!(data, hex("874d6191b620e3261bef6864990db6ce"));
+
+        let bits = crate::bitslice::BitslicedAes::new(&key).unwrap();
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
+        ctr_xor(&bits, &nonce, counter, &mut data);
         assert_eq!(data, hex("874d6191b620e3261bef6864990db6ce"));
     }
 
@@ -228,6 +323,85 @@ mod tests {
         let aes = Aes::new(&[0u8; 16]).unwrap();
         let mut data = vec![0u8; 17];
         cbc_encrypt(&aes, &[0u8; 16], &mut data);
+    }
+
+    #[test]
+    fn batched_modes_agree_across_backends() {
+        use crate::bitslice::BitslicedAes;
+        let key = [0x51u8; 16];
+        let table = Aes::new(&key).unwrap();
+        let reference = AesRef::new(&key).unwrap();
+        let bitsliced = BitslicedAes::new(&key).unwrap();
+        let iv = [0xA5u8; 16];
+        // Lengths exercising full batches, odd tails, and sub-batch sizes.
+        for nblocks in [1usize, 2, 7, 16, 31, 32, 33, 256] {
+            let pt: Vec<u8> = (0..nblocks * BLOCK_SIZE).map(|i| (i * 31) as u8).collect();
+            let mut ct = pt.clone();
+            cbc_encrypt(&table, &iv, &mut ct);
+            for (name, run) in [
+                ("table", &mut {
+                    let mut d = ct.clone();
+                    cbc_decrypt(&table, &iv, &mut d);
+                    d
+                }),
+                ("reference", &mut {
+                    let mut d = ct.clone();
+                    cbc_decrypt(&reference, &iv, &mut d);
+                    d
+                }),
+                ("bitsliced", &mut {
+                    let mut d = ct.clone();
+                    cbc_decrypt(&bitsliced, &iv, &mut d);
+                    d
+                }),
+            ] {
+                assert_eq!(*run, pt, "cbc_decrypt[{name}] {nblocks} blocks");
+            }
+            // CTR: all backends must emit the same stream, including a
+            // ragged tail.
+            let mut a = pt.clone();
+            a.truncate(nblocks * BLOCK_SIZE - 5);
+            let mut b = a.clone();
+            let mut c = a.clone();
+            ctr_xor(&table, &[9u8; 8], 7, &mut a);
+            ctr_xor(&reference, &[9u8; 8], 7, &mut b);
+            ctr_xor(&bitsliced, &[9u8; 8], 7, &mut c);
+            assert_eq!(a, b, "ctr table vs reference, {nblocks} blocks");
+            assert_eq!(a, c, "ctr table vs bitsliced, {nblocks} blocks");
+        }
+    }
+
+    #[test]
+    fn extent_decrypt_matches_per_extent_decrypt() {
+        use crate::bitslice::BitslicedAes;
+        let key = [0x33u8; 32];
+        let table = Aes::new(&key).unwrap();
+        let bitsliced = BitslicedAes::from_schedule(table.schedule());
+        // Unit sizes exercising sub-batch extents (1 and 2 blocks), the
+        // dm-crypt sector (32 blocks), and units that straddle scratch
+        // chunk boundaries (3 blocks does for SCRATCH_BLOCKS = 32).
+        for (unit_blocks, units) in [(1usize, 5usize), (2, 9), (3, 23), (32, 8), (48, 3)] {
+            let unit = unit_blocks * BLOCK_SIZE;
+            let ivs: Vec<[u8; 16]> = (0..units).map(|i| [(i * 29 + 1) as u8; 16]).collect();
+            let pt: Vec<u8> = (0..units * unit).map(|i| (i * 13 + 7) as u8).collect();
+            let mut ct = pt.clone();
+            for (iv, chunk) in ivs.iter().zip(ct.chunks_exact_mut(unit)) {
+                cbc_encrypt(&table, iv, chunk);
+            }
+            for backend in ["table", "bitsliced"] {
+                let mut got = ct.clone();
+                match backend {
+                    "table" => cbc_decrypt_extents(&table, &ivs, &mut got),
+                    _ => cbc_decrypt_extents(&bitsliced, &ivs, &mut got),
+                }
+                assert_eq!(
+                    got, pt,
+                    "{backend}: {units} extents of {unit_blocks} blocks"
+                );
+            }
+        }
+        // Degenerate case: no extents.
+        cbc_decrypt_extents(&table, &[], &mut []);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! structure MemShield exploits with GPU lanes and Sealer with in-SRAM
 //! AES arrays. This module supplies the host-side engine: callers
 //! collect one [`PageJob`] per page and [`crypt_batch`] splits the batch
-//! into contiguous chunks, one per worker, each worker reusing a
-//! pre-expanded key schedule (the schedule is cloned per worker, *not*
-//! re-expanded per page).
+//! into contiguous chunks, one per worker. The engine is generic over
+//! [`BlockCipherBatch`], so lanes fed a [`crate::BitslicedAes`] run each
+//! page's CBC decryption 16 blocks per kernel call; every lane *shares*
+//! the caller's pre-expanded context by reference — the key schedule is
+//! expanded exactly once, not per lane and certainly not per page.
 //!
 //! Two properties the lock path depends on:
 //!
@@ -22,7 +24,7 @@
 //!   not worth the thread fan-out and run sequentially; the report says
 //!   which path was taken so callers can account for it.
 
-use crate::block::Aes;
+use crate::batch::BlockCipherBatch;
 use crate::modes::{cbc_decrypt, cbc_encrypt};
 
 /// Which way a batch transforms its pages.
@@ -63,16 +65,19 @@ pub struct BatchReport {
     pub sequential_fallback: bool,
 }
 
-/// Run every job in `jobs` through AES-CBC under `aes`, fanning across
-/// at most `workers` scoped threads.
+/// Run every job in `jobs` through CBC under `cipher`, fanning across at
+/// most `workers` scoped threads.
 ///
-/// The key schedule in `aes` is expanded exactly once by the caller;
-/// workers clone the expanded schedule (a flat copy) rather than
-/// re-running key expansion. Falls back to the in-thread sequential loop
+/// The context is expanded exactly once by the caller and *shared* by
+/// reference across all lanes — no per-lane clone, no per-page key
+/// expansion. Any [`BlockCipherBatch`] backend works; a
+/// [`crate::BitslicedAes`] makes each lane's CBC decryption run 16
+/// blocks per kernel call (CBC encryption remains serial within a page
+/// regardless of backend). Falls back to the in-thread sequential loop
 /// when `workers <= 1` or `jobs.len() < min_batch_pages`; output bytes
 /// are identical either way.
-pub fn crypt_batch(
-    aes: &Aes,
+pub fn crypt_batch<C: BlockCipherBatch + Sync>(
+    cipher: &C,
     direction: Direction,
     jobs: &mut [PageJob<'_>],
     workers: usize,
@@ -83,7 +88,7 @@ pub fn crypt_batch(
 
     if workers <= 1 || pages < min_batch_pages.max(1) {
         for job in jobs.iter_mut() {
-            crypt_one(aes, direction, job);
+            crypt_one(cipher, direction, job);
         }
         return BatchReport {
             pages,
@@ -107,13 +112,12 @@ pub fn crypt_batch(
             let take = base + usize::from(lane < extra);
             let (chunk, tail) = rest.split_at_mut(take);
             rest = tail;
-            // Each lane owns a pre-expanded schedule: a clone of the
-            // caller's context, no per-page (or even per-lane) expansion.
-            let lane_aes = aes.clone();
+            // Every lane borrows the caller's context: one expanded
+            // schedule serves the whole pool.
             handles.push(scope.spawn(move || {
                 let mut done = 0u64;
                 for job in chunk {
-                    crypt_one(&lane_aes, direction, job);
+                    crypt_one(cipher, direction, job);
                     done += job.data.len() as u64;
                 }
                 done
@@ -133,16 +137,17 @@ pub fn crypt_batch(
     }
 }
 
-fn crypt_one(aes: &Aes, direction: Direction, job: &mut PageJob<'_>) {
+fn crypt_one<C: BlockCipherBatch>(cipher: &C, direction: Direction, job: &mut PageJob<'_>) {
     match direction {
-        Direction::Encrypt => cbc_encrypt(aes, &job.iv, job.data),
-        Direction::Decrypt => cbc_decrypt(aes, &job.iv, job.data),
+        Direction::Encrypt => cbc_encrypt(cipher, &job.iv, job.data),
+        Direction::Decrypt => cbc_decrypt(cipher, &job.iv, job.data),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::Aes;
 
     fn mk_pages(n: usize, fill: impl Fn(usize) -> u8) -> Vec<Vec<u8>> {
         (0..n)
@@ -191,6 +196,27 @@ mod tests {
         let mut jobs = jobs_of(&mut work);
         crypt_batch(&aes, Direction::Decrypt, &mut jobs, 3, 1);
         assert_eq!(work, orig);
+    }
+
+    #[test]
+    fn bitsliced_backend_matches_table_backend_across_lanes() {
+        // The batched backend must be a drop-in replacement for the
+        // scalar one in every lane configuration.
+        let key = [0x7Du8; 16];
+        let aes = Aes::new(&key).unwrap();
+        let bits = crate::bitslice::BitslicedAes::from_schedule(aes.schedule());
+
+        let orig = mk_pages(11, |i| (i * 7) as u8);
+        let mut expect = orig.clone();
+        let mut jobs = jobs_of(&mut expect);
+        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 1, 1);
+
+        for workers in [1usize, 2, 4] {
+            let mut got = expect.clone();
+            let mut jobs = jobs_of(&mut got);
+            crypt_batch(&bits, Direction::Decrypt, &mut jobs, workers, 1);
+            assert_eq!(got, orig, "bitsliced decrypt, {workers} workers");
+        }
     }
 
     #[test]

@@ -143,6 +143,54 @@ impl AesStateLayout {
         }
     }
 
+    /// Build the layout for the *table-free bitsliced* variant
+    /// ([`crate::tracked::TrackedBitslicedAes`]).
+    ///
+    /// The bitsliced kernel evaluates SubBytes as a boolean circuit and
+    /// derives Rcon arithmetically, so the three access-protected rows of
+    /// Table 4 — 2 048 bytes of round tables, 512 bytes of S-boxes, and
+    /// 40 bytes of Rcon — vanish from the state entirely: the
+    /// access-protected footprint is **zero**. What grows instead is the
+    /// public input slot, which holds a whole 16-block batch rather than
+    /// one block. Round keys stay in the scalar column-word form (they are
+    /// broadcast into bit planes in registers each round), so secret state
+    /// is unchanged. `paper_bytes` is `None` throughout: the paper's
+    /// Table 4 describes the OpenSSL layout and has no bitsliced column.
+    #[must_use]
+    pub fn bitsliced(key_size: KeySize) -> Self {
+        let rounds = key_size.rounds();
+        let round_key_bytes = 2 * 4 * (rounds + 1) * 4;
+        let batch = crate::bitslice::PAR_BLOCKS * BLOCK_SIZE;
+
+        let specs: [(&'static str, usize, Option<usize>, Sensitivity); 6] = [
+            ("Input batch", batch, None, Sensitivity::Secret),
+            ("Key", key_size.key_len(), None, Sensitivity::Secret),
+            ("Round Index", 1, None, Sensitivity::Public),
+            ("Round Keys", round_key_bytes, None, Sensitivity::Secret),
+            ("Block Index", 1, None, Sensitivity::Public),
+            ("CBC block/ivec", BLOCK_SIZE, None, Sensitivity::Public),
+        ];
+
+        let mut components = Vec::with_capacity(specs.len());
+        let mut offset = 0usize;
+        for (name, bytes, paper_bytes, sensitivity) in specs {
+            offset = align4(offset);
+            components.push(StateComponent {
+                name,
+                bytes,
+                paper_bytes,
+                sensitivity,
+                offset,
+            });
+            offset += bytes;
+        }
+        AesStateLayout {
+            key_size,
+            components,
+            total: align4(offset),
+        }
+    }
+
     /// The key size this layout describes.
     #[must_use]
     pub fn key_size(&self) -> KeySize {
@@ -265,6 +313,41 @@ mod tests {
             layout.total_for(Sensitivity::Secret) + layout.total_for(Sensitivity::AccessProtected)
         );
         assert!(layout.on_soc_bytes() < layout.total_bytes());
+    }
+
+    #[test]
+    fn bitsliced_layout_has_zero_access_protected_state() {
+        // The point of the table-free variant: all 2 600 access-protected
+        // bytes of Table 4 disappear, so on-SoC placement only needs to
+        // hold the secrets themselves.
+        for ks in KeySize::all() {
+            let table = AesStateLayout::for_key_size(ks);
+            let bitsliced = AesStateLayout::bitsliced(ks);
+            assert_eq!(bitsliced.total_for(Sensitivity::AccessProtected), 0);
+            assert!(table.total_for(Sensitivity::AccessProtected) >= 2600);
+            // Secret round-key state is identical; the only growth is the
+            // 16-block input batch.
+            assert_eq!(
+                bitsliced.component("Round Keys").bytes,
+                table.component("Round Keys").bytes
+            );
+            assert!(bitsliced.on_soc_bytes() < table.on_soc_bytes());
+            assert!(bitsliced.total_bytes() <= 4096, "{ks} exceeds a page");
+        }
+    }
+
+    #[test]
+    fn bitsliced_layout_offsets_are_disjoint_and_aligned() {
+        for ks in KeySize::all() {
+            let layout = AesStateLayout::bitsliced(ks);
+            let mut prev_end = 0usize;
+            for c in layout.components() {
+                assert!(c.offset % 4 == 0, "{} misaligned", c.name);
+                assert!(c.offset >= prev_end, "{} overlaps predecessor", c.name);
+                prev_end = c.offset + c.bytes;
+            }
+            assert!(layout.total_bytes() >= prev_end);
+        }
     }
 
     #[test]

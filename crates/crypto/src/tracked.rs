@@ -74,10 +74,15 @@ pub trait StateStore {
 #[derive(Debug, Clone, Default)]
 pub struct VecStore {
     bytes: Vec<u8>,
-    /// When true, every table access is appended to [`VecStore::events`].
+    /// When true, every table access is appended to [`VecStore::events`]
+    /// and every read/write to [`VecStore::touch_log`].
     pub record_accesses: bool,
     /// Recorded table accesses (empty unless `record_accesses`).
     pub events: Vec<AccessEvent>,
+    /// Recorded `(offset, len, is_write)` of every store access — the
+    /// address trace a bus monitor observes when the store lives in DRAM.
+    /// Empty unless `record_accesses`.
+    pub touch_log: Vec<(usize, usize, bool)>,
 }
 
 impl VecStore {
@@ -86,8 +91,7 @@ impl VecStore {
     pub fn new(len: usize) -> Self {
         VecStore {
             bytes: vec![0u8; len],
-            record_accesses: false,
-            events: Vec::new(),
+            ..VecStore::default()
         }
     }
 
@@ -97,7 +101,7 @@ impl VecStore {
         VecStore {
             bytes: vec![0u8; layout.total_bytes()],
             record_accesses: true,
-            events: Vec::new(),
+            ..VecStore::default()
         }
     }
 
@@ -111,15 +115,22 @@ impl VecStore {
     pub fn wipe(&mut self) {
         self.bytes.fill(0);
         self.events.clear();
+        self.touch_log.clear();
     }
 }
 
 impl StateStore for VecStore {
     fn read(&mut self, offset: usize, buf: &mut [u8]) {
+        if self.record_accesses {
+            self.touch_log.push((offset, buf.len(), false));
+        }
         buf.copy_from_slice(&self.bytes[offset..offset + buf.len()]);
     }
 
     fn write(&mut self, offset: usize, data: &[u8]) {
+        if self.record_accesses {
+            self.touch_log.push((offset, data.len(), true));
+        }
         self.bytes[offset..offset + data.len()].copy_from_slice(data);
     }
 
@@ -477,6 +488,281 @@ impl TrackedAes {
     }
 }
 
+/// Offsets of the table-free bitsliced layout's components.
+#[derive(Debug, Clone, Copy)]
+struct BitslicedOffsets {
+    input: usize,
+    key: usize,
+    round_index: usize,
+    round_keys: usize,
+    block_index: usize,
+    ivec: usize,
+    /// Number of 32-bit words in one schedule side (enc or dec).
+    enc_words: usize,
+}
+
+/// Batch capacity of the store's input slot, in bytes.
+const BATCH_BYTES: usize = crate::bitslice::PAR_BLOCKS * BLOCK_SIZE;
+
+/// Placement-tracked **table-free** AES: the batched bitsliced kernel
+/// with every byte of persistent state in a caller-provided store.
+///
+/// This is the batched on-SoC data path: blocks move through the store's
+/// 16-block input slot and round keys are fetched from the store each
+/// round, so the store still decides *where* all state lives — but unlike
+/// [`TrackedAes`] there are **no lookup tables at all**. SubBytes is the
+/// Boyar–Peralta circuit (including inside key expansion, via
+/// [`crate::bitslice`]'s circuit `SubWord`), Rcon is derived
+/// arithmetically in registers, and every store access touches a
+/// *data-independent* address. The bus-monitoring side channel that
+/// forces Table 4's 2 600 access-protected bytes on-SoC simply has no
+/// signal to read; see
+/// [`AesStateLayout::bitsliced`][crate::state::AesStateLayout::bitsliced]
+/// for the resulting accounting.
+#[derive(Debug, Clone)]
+pub struct TrackedBitslicedAes {
+    key_size: KeySize,
+    offsets: BitslicedOffsets,
+}
+
+impl TrackedBitslicedAes {
+    /// Initialize table-free AES state inside `store` for `key`, using
+    /// [`AesStateLayout::bitsliced`][crate::state::AesStateLayout::bitsliced].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::InvalidLength`] for invalid key lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store` is smaller than the layout's total size.
+    pub fn init<S: StateStore>(store: &mut S, key: &[u8]) -> Result<Self, KeyError> {
+        let key_size = KeySize::from_key_len(key.len())?;
+        let layout = AesStateLayout::bitsliced(key_size);
+        let off = BitslicedOffsets {
+            input: layout.component("Input batch").offset,
+            key: layout.component("Key").offset,
+            round_index: layout.component("Round Index").offset,
+            round_keys: layout.component("Round Keys").offset,
+            block_index: layout.component("Block Index").offset,
+            ivec: layout.component("CBC block/ivec").offset,
+            enc_words: 4 * (key_size.rounds() + 1),
+        };
+        store.write(off.key, key);
+        let aes = TrackedBitslicedAes {
+            key_size,
+            offsets: off,
+        };
+        aes.expand_key(store);
+        Ok(aes)
+    }
+
+    /// The key size of this context.
+    #[must_use]
+    pub fn key_size(&self) -> KeySize {
+        self.key_size
+    }
+
+    fn rk_word<S: StateStore>(&self, store: &mut S, word: usize) -> u32 {
+        TrackedAes::read_u32(store, self.offsets.round_keys + 4 * word)
+    }
+
+    /// FIPS-197 key expansion through the store, with `SubWord` as a
+    /// boolean circuit and Rcon recomputed in registers — no table state,
+    /// no data-dependent addresses.
+    fn expand_key<S: StateStore>(&self, store: &mut S) {
+        let nk = self.key_size.nk();
+        let total = self.offsets.enc_words;
+        let rcon = compute_rcon();
+        for i in 0..nk {
+            let mut b = [0u8; 4];
+            store.read(self.offsets.key + 4 * i, &mut b);
+            store.write(self.offsets.round_keys + 4 * i, &b);
+        }
+        for i in nk..total {
+            let mut temp = self.rk_word(store, i - 1);
+            if i % nk == 0 {
+                temp = crate::bitslice::sub_word_circuit(temp.rotate_left(8));
+                temp ^= rcon[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                temp = crate::bitslice::sub_word_circuit(temp);
+            }
+            let w = self.rk_word(store, i - nk) ^ temp;
+            TrackedAes::write_u32(store, self.offsets.round_keys + 4 * i, w);
+        }
+        // Equivalent-inverse-cipher decryption keys (InvMixColumns is
+        // arithmetic over GF(2^8), evaluated in registers).
+        let rounds = self.key_size.rounds();
+        for round in 0..=rounds {
+            let src = rounds - round;
+            for col in 0..4 {
+                let word = self.rk_word(store, 4 * src + col);
+                let out = if round == 0 || round == rounds {
+                    word
+                } else {
+                    tables::inv_mix_column_word(word)
+                };
+                TrackedAes::write_u32(
+                    store,
+                    self.offsets.round_keys + 4 * (total + 4 * round + col),
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Run one staged batch (at most [`crate::bitslice::PAR_BLOCKS`]
+    /// blocks) through the store: stage the blocks in the input slot,
+    /// compute bitsliced in registers fetching each round key from the
+    /// store, and read the result back out of the input slot.
+    fn crypt_chunk<S: StateStore>(&self, store: &mut S, chunk: &mut [u8], decrypt: bool) {
+        debug_assert!(chunk.len() <= BATCH_BYTES);
+        let off = self.offsets;
+        let mut staged = [0u8; BATCH_BYTES];
+        staged[..chunk.len()].copy_from_slice(chunk);
+        store.write(off.input, &staged);
+
+        let mut batch = [[0u8; BLOCK_SIZE]; crate::bitslice::PAR_BLOCKS];
+        for (i, b) in batch.iter_mut().enumerate() {
+            store.read(off.input + BLOCK_SIZE * i, b);
+        }
+        let rounds = self.key_size.rounds();
+        let side = if decrypt { off.enc_words } else { 0 };
+        let rk = |r: usize| {
+            store.write(off.round_index, &[r as u8]);
+            let mut words = [0u32; 4];
+            for (c, w) in words.iter_mut().enumerate() {
+                *w = TrackedAes::read_u32(store, off.round_keys + 4 * (side + 4 * r + c));
+            }
+            crate::bitslice::bitslice_round_key(&words)
+        };
+        if decrypt {
+            crate::bitslice::decrypt16_with(rounds, rk, &mut batch);
+        } else {
+            crate::bitslice::encrypt16_with(rounds, rk, &mut batch);
+        }
+        for (i, b) in batch.iter().enumerate() {
+            store.write(off.input + BLOCK_SIZE * i, b);
+        }
+        let mut out = [0u8; BATCH_BYTES];
+        store.read(off.input, &mut out);
+        chunk.copy_from_slice(&out[..chunk.len()]);
+    }
+
+    /// ECB-encrypt a block-aligned buffer in place, 16 blocks per staged
+    /// batch (modes layer the chaining on top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn encrypt_blocks<S: StateStore>(&self, store: &mut S, data: &mut [u8]) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "buffer must be block aligned"
+        );
+        for chunk in data.chunks_mut(BATCH_BYTES) {
+            self.crypt_chunk(store, chunk, false);
+        }
+    }
+
+    /// ECB-decrypt a block-aligned buffer in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn decrypt_blocks<S: StateStore>(&self, store: &mut S, data: &mut [u8]) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "buffer must be block aligned"
+        );
+        for chunk in data.chunks_mut(BATCH_BYTES) {
+            self.crypt_chunk(store, chunk, true);
+        }
+    }
+
+    /// Encrypt one external block through the store.
+    pub fn encrypt_block<S: StateStore>(&self, store: &mut S, block: &mut [u8; BLOCK_SIZE]) {
+        self.encrypt_blocks(store, &mut block[..]);
+    }
+
+    /// Decrypt one external block through the store.
+    pub fn decrypt_block<S: StateStore>(&self, store: &mut S, block: &mut [u8; BLOCK_SIZE]) {
+        self.decrypt_blocks(store, &mut block[..]);
+    }
+
+    /// CBC-encrypt in place, chaining through the store's ivec slot.
+    ///
+    /// CBC encryption is serially chained, so each staged batch carries a
+    /// single active block — the batched kernel cannot speed this
+    /// direction up (see the DESIGN notes); it exists so the table-free
+    /// engine covers both directions with identical bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn cbc_encrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        iv: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "CBC buffer must be block aligned"
+        );
+        store.write(self.offsets.ivec, iv);
+        for (block_no, chunk) in data.chunks_exact_mut(BLOCK_SIZE).enumerate() {
+            store.write(self.offsets.block_index, &[(block_no & 0xff) as u8]);
+            let mut chain = [0u8; BLOCK_SIZE];
+            store.read(self.offsets.ivec, &mut chain);
+            for (b, c) in chunk.iter_mut().zip(chain.iter()) {
+                *b ^= c;
+            }
+            self.encrypt_blocks(store, chunk);
+            store.write(self.offsets.ivec, chunk);
+        }
+    }
+
+    /// CBC-decrypt in place, one full 16-block batch per kernel call
+    /// (decryption is data-parallel: `pt[i] = D(ct[i]) ^ ct[i-1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn cbc_decrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        iv: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "CBC buffer must be block aligned"
+        );
+        store.write(self.offsets.ivec, iv);
+        for (batch_no, chunk) in data.chunks_mut(BATCH_BYTES).enumerate() {
+            store.write(self.offsets.block_index, &[(batch_no & 0xff) as u8]);
+            let n = chunk.len();
+            let mut saved = [0u8; BATCH_BYTES];
+            saved[..n].copy_from_slice(chunk);
+            self.decrypt_blocks(store, chunk);
+            let mut chain = [0u8; BLOCK_SIZE];
+            store.read(self.offsets.ivec, &mut chain);
+            for (i, block) in chunk.chunks_exact_mut(BLOCK_SIZE).enumerate() {
+                let prev: &[u8] = if i == 0 {
+                    &chain
+                } else {
+                    &saved[(i - 1) * BLOCK_SIZE..i * BLOCK_SIZE]
+                };
+                for (b, p) in block.iter_mut().zip(prev.iter()) {
+                    *b ^= p;
+                }
+            }
+            store.write(self.offsets.ivec, &saved[n - BLOCK_SIZE..n]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,6 +864,110 @@ mod tests {
         assert_eq!(te_count, 9 * 16);
         let sbox_count = a.iter().filter(|e| e.table == TableId::SBox).count();
         assert_eq!(sbox_count, 16);
+    }
+
+    #[test]
+    fn bitsliced_tracked_matches_fips_vectors() {
+        let cases = [
+            (
+                "000102030405060708090a0b0c0d0e0f",
+                "69c4e0d86a7b0430d8cdb78070b4c55a",
+            ),
+            (
+                "000102030405060708090a0b0c0d0e0f1011121314151617",
+                "dda97ca4864cdfe06eaf70a0ec0d7191",
+            ),
+            (
+                "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+                "8ea2b7ca516745bfeafc49904b496089",
+            ),
+        ];
+        for (key, ct) in cases {
+            let key = hex(key);
+            let layout = AesStateLayout::bitsliced(KeySize::from_key_len(key.len()).unwrap());
+            let mut store = VecStore::new(layout.total_bytes());
+            let aes = TrackedBitslicedAes::init(&mut store, &key).unwrap();
+            let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+            aes.encrypt_block(&mut store, &mut block);
+            assert_eq!(block.to_vec(), hex(ct));
+            aes.decrypt_block(&mut store, &mut block);
+            assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+        }
+    }
+
+    #[test]
+    fn bitsliced_tracked_cbc_matches_fast_cbc() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv = [0x11u8; 16];
+        let fast = Aes::new(&key).unwrap();
+        let layout = AesStateLayout::bitsliced(KeySize::Aes128);
+        // Lengths below, at, and across the 16-block batch boundary.
+        for nblocks in [1usize, 3, 15, 16, 17, 33, 256] {
+            let pt: Vec<u8> = (0..nblocks * 16).map(|i| (i * 37) as u8).collect();
+            let mut want = pt.clone();
+            modes::cbc_encrypt(&fast, &iv, &mut want);
+
+            let mut store = VecStore::new(layout.total_bytes());
+            let tracked = TrackedBitslicedAes::init(&mut store, &key).unwrap();
+            let mut got = pt.clone();
+            tracked.cbc_encrypt(&mut store, &iv, &mut got);
+            assert_eq!(got, want, "cbc_encrypt {nblocks} blocks");
+            tracked.cbc_decrypt(&mut store, &iv, &mut got);
+            assert_eq!(got, pt, "cbc_decrypt {nblocks} blocks");
+        }
+    }
+
+    #[test]
+    fn bitsliced_tracked_makes_no_table_accesses() {
+        // The whole point of the table-free variant: from key expansion
+        // through bulk CBC, not one lookup-table access occurs — the
+        // bus-monitoring side channel has no signal.
+        let layout = AesStateLayout::bitsliced(KeySize::Aes256);
+        let mut store = VecStore::recording(&layout);
+        let aes = TrackedBitslicedAes::init(&mut store, &[7u8; 32]).unwrap();
+        let mut data = vec![0x5Au8; 4096];
+        aes.cbc_encrypt(&mut store, &[1u8; 16], &mut data);
+        aes.cbc_decrypt(&mut store, &[1u8; 16], &mut data);
+        assert!(
+            store.events.is_empty(),
+            "table-free AES must never touch a lookup table"
+        );
+    }
+
+    #[test]
+    fn bitsliced_tracked_address_trace_is_data_independent() {
+        // Stronger than "no table accesses": the full (offset, len,
+        // direction) trace of store traffic is identical for different
+        // keys and different plaintexts, so even an attacker seeing every
+        // address on the bus learns nothing. Contrast with TrackedAes,
+        // whose Te-lookup offsets are key-dependent
+        // (`table_accesses_are_recorded_and_key_dependent`).
+        let layout = AesStateLayout::bitsliced(KeySize::Aes128);
+        let trace = |key: &[u8], fill: u8| {
+            let mut store = VecStore::recording(&layout);
+            let aes = TrackedBitslicedAes::init(&mut store, key).unwrap();
+            let mut data = vec![fill; 24 * 16];
+            aes.cbc_encrypt(&mut store, &[fill; 16], &mut data);
+            aes.cbc_decrypt(&mut store, &[fill; 16], &mut data);
+            store.touch_log
+        };
+        let a = trace(&[0u8; 16], 0x00);
+        let b = trace(&[0x5Au8; 16], 0xA7);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "address trace must not depend on key or data");
+    }
+
+    #[test]
+    fn bitsliced_tracked_key_is_confined_to_the_store() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let layout = AesStateLayout::bitsliced(KeySize::Aes128);
+        let mut store = VecStore::new(layout.total_bytes());
+        let _aes = TrackedBitslicedAes::init(&mut store, &key).unwrap();
+        let found = store
+            .as_bytes()
+            .windows(key.len())
+            .any(|w| w == key.as_slice());
+        assert!(found, "key bytes must live inside the store");
     }
 
     #[test]

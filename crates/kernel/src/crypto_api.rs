@@ -14,8 +14,8 @@
 
 use crate::error::KernelError;
 use crate::layout::CRYPTO_KEYS_BASE;
-use sentry_crypto::modes::{cbc_decrypt, cbc_encrypt};
-use sentry_crypto::Aes;
+use sentry_crypto::modes::{cbc_decrypt, cbc_decrypt_extents, cbc_encrypt};
+use sentry_crypto::{Aes, BitslicedAes};
 use sentry_soc::Soc;
 
 /// Where an engine's sensitive key state resides.
@@ -60,6 +60,77 @@ pub trait CipherEngine {
     /// Fails if no key is installed.
     fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8])
         -> Result<(), KernelError>;
+
+    /// CBC-encrypt a run of `ivs.len()` consecutive equal-sized extents
+    /// laid out back-to-back in `data`, the `i`-th chained from `ivs[i]`.
+    ///
+    /// This is how multi-sector dm-crypt requests and whole-pager sweeps
+    /// reach an engine: one call per request instead of one per unit, so
+    /// engines with a batch backend can keep their kernels full across
+    /// unit boundaries. The default simply loops over [`Self::encrypt`];
+    /// output bytes are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no key is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not divide evenly into `ivs.len()` extents
+    /// (an empty `ivs` requires an empty `data`).
+    fn encrypt_extent(
+        &mut self,
+        soc: &mut Soc,
+        ivs: &[[u8; 16]],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
+        if ivs.is_empty() {
+            assert!(data.is_empty(), "extent data without IVs");
+            return Ok(());
+        }
+        assert!(
+            data.len().is_multiple_of(ivs.len()),
+            "data does not divide into {} extents",
+            ivs.len()
+        );
+        let unit = data.len() / ivs.len();
+        for (iv, chunk) in ivs.iter().zip(data.chunks_exact_mut(unit)) {
+            self.encrypt(soc, iv, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// CBC-decrypt a run of consecutive extents; the counterpart of
+    /// [`Self::encrypt_extent`], with the same layout contract.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no key is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not divide evenly into `ivs.len()` extents.
+    fn decrypt_extent(
+        &mut self,
+        soc: &mut Soc,
+        ivs: &[[u8; 16]],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
+        if ivs.is_empty() {
+            assert!(data.is_empty(), "extent data without IVs");
+            return Ok(());
+        }
+        assert!(
+            data.len().is_multiple_of(ivs.len()),
+            "data does not divide into {} extents",
+            ivs.len()
+        );
+        let unit = data.len() / ivs.len();
+        for (iv, chunk) in ivs.iter().zip(data.chunks_exact_mut(unit)) {
+            self.decrypt(soc, iv, chunk)?;
+        }
+        Ok(())
+    }
 }
 
 /// The registry.
@@ -153,6 +224,13 @@ impl CryptoApi {
 /// them.
 pub struct GenericAesEngine {
     aes: Option<Aes>,
+    /// Bitsliced backend sharing `aes`'s schedule, built once at
+    /// key-install time ([`BitslicedAes::from_schedule`] reuses the
+    /// already-expanded schedule — no second key expansion) so the
+    /// per-op cost is pure block work. Drives the batched CBC-decrypt
+    /// and extent paths; CBC encryption is serially chained and stays on
+    /// the scalar implementation.
+    bits: Option<BitslicedAes>,
     /// DRAM slot index for this engine's key material.
     slot: u64,
 }
@@ -172,7 +250,11 @@ impl GenericAesEngine {
     /// Create an unkeyed engine using DRAM key slot `slot`.
     #[must_use]
     pub fn new(slot: u64) -> Self {
-        GenericAesEngine { aes: None, slot }
+        GenericAesEngine {
+            aes: None,
+            bits: None,
+            slot,
+        }
     }
 
     /// The DRAM address where this engine's key material lives — what a
@@ -190,6 +272,12 @@ impl GenericAesEngine {
 
     fn ready(&self) -> Result<&Aes, KernelError> {
         self.aes
+            .as_ref()
+            .ok_or_else(|| KernelError::UnknownCipher("generic AES: no key installed".into()))
+    }
+
+    fn ready_bits(&self) -> Result<&BitslicedAes, KernelError> {
+        self.bits
             .as_ref()
             .ok_or_else(|| KernelError::UnknownCipher("generic AES: no key installed".into()))
     }
@@ -221,6 +309,7 @@ impl CipherEngine for GenericAesEngine {
             sched.extend_from_slice(&w.to_be_bytes());
         }
         soc.mem_write_uncached(addr + 64, &sched)?;
+        self.bits = Some(BitslicedAes::from_schedule(aes.schedule()));
         self.aes = Some(aes);
         Ok(())
     }
@@ -243,8 +332,48 @@ impl CipherEngine for GenericAesEngine {
         iv: &[u8; 16],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
+        self.ready()?;
+        cbc_decrypt(self.ready_bits()?, iv, data);
+        soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
+        Ok(())
+    }
+
+    fn encrypt_extent(
+        &mut self,
+        soc: &mut Soc,
+        ivs: &[[u8; 16]],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
+        if ivs.is_empty() {
+            assert!(data.is_empty(), "extent data without IVs");
+            return Ok(());
+        }
+        assert!(
+            data.len().is_multiple_of(ivs.len()),
+            "data does not divide into {} extents",
+            ivs.len()
+        );
+        // CBC encryption is serially chained within each extent, so this
+        // only hoists the per-unit call overhead and clock charge.
         let aes = self.ready()?;
-        cbc_decrypt(aes, iv, data);
+        let unit = data.len() / ivs.len();
+        for (iv, chunk) in ivs.iter().zip(data.chunks_exact_mut(unit)) {
+            cbc_encrypt(aes, iv, chunk);
+        }
+        soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
+        Ok(())
+    }
+
+    fn decrypt_extent(
+        &mut self,
+        soc: &mut Soc,
+        ivs: &[[u8; 16]],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
+        // One batched kernel stream across all extents: sub-batch units
+        // (512-byte sectors are 32 blocks) no longer drain the 16-block
+        // pipeline at every unit boundary.
+        cbc_decrypt_extents(self.ready_bits()?, ivs, data);
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
         Ok(())
     }
@@ -380,6 +509,42 @@ mod tests {
         soc.dram.read(eng.key_material_addr(), &mut found);
         assert_eq!(found, key);
         assert_eq!(eng.key_residency(), KeyResidency::Dram);
+    }
+
+    #[test]
+    fn extent_paths_match_per_unit_paths() {
+        // The overridden (batched) extent methods and the default
+        // per-unit loop must agree byte-for-byte, for both the generic
+        // engine (override) and the accelerator (trait default).
+        let mut soc = Soc::tegra3_small();
+        let key = [0x9Cu8; 32];
+        let units = 8usize;
+        let unit = 512usize;
+        let ivs: Vec<[u8; 16]> = (0..units).map(|i| [i as u8 + 1; 16]).collect();
+        let pt: Vec<u8> = (0..units * unit).map(|i| (i * 11) as u8).collect();
+
+        let mut generic = GenericAesEngine::new(0);
+        generic.set_key(&mut soc, &key).unwrap();
+        let mut accel = AccelAesEngine::new();
+        accel.set_key(&mut soc, &key).unwrap();
+
+        let mut expect = pt.clone();
+        for (iv, chunk) in ivs.iter().zip(expect.chunks_exact_mut(unit)) {
+            generic.encrypt(&mut soc, iv, chunk).unwrap();
+        }
+
+        let mut got = pt.clone();
+        generic.encrypt_extent(&mut soc, &ivs, &mut got).unwrap();
+        assert_eq!(got, expect, "generic extent encrypt");
+        generic.decrypt_extent(&mut soc, &ivs, &mut got).unwrap();
+        assert_eq!(got, pt, "generic extent decrypt");
+
+        let mut hw = expect.clone();
+        accel.decrypt_extent(&mut soc, &ivs, &mut hw).unwrap();
+        assert_eq!(hw, pt, "accel default extent decrypt");
+
+        // Degenerate case.
+        generic.encrypt_extent(&mut soc, &[], &mut []).unwrap();
     }
 
     #[test]
