@@ -299,6 +299,77 @@ impl CipherEngine for AesOnSocEngine {
             })
         }
     }
+
+    fn encrypt_extent(
+        &mut self,
+        soc: &mut Soc,
+        ivs: &[[u8; 16]],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
+        if ivs.is_empty() {
+            assert!(data.is_empty(), "extent data without IVs");
+            return Ok(());
+        }
+        assert!(
+            data.len().is_multiple_of(ivs.len()),
+            "data does not divide into {} extents",
+            ivs.len()
+        );
+        if self.full_sim {
+            // Full simulation stays per-unit so every state access keeps
+            // its tracked trace.
+            let unit = data.len() / ivs.len();
+            for (iv, chunk) in ivs.iter().zip(data.chunks_exact_mut(unit)) {
+                self.encrypt(soc, iv, chunk)?;
+            }
+            return Ok(());
+        }
+        // One IRQ-critical section for the whole run. The extents are
+        // independent CBC chains, so the bitsliced context fills its 16
+        // lanes with one chain each; a single extent has nothing to
+        // batch against and stays on the scalar chain. The calibrated
+        // charge is linear in bytes, so the total simulated time is
+        // identical to the per-unit loop.
+        let ns = self.calibrated_ns(soc, data.len());
+        self.critical_native(soc, ns, |aes, bits| {
+            if ivs.len() == 1 {
+                sentry_crypto::modes::cbc_encrypt(aes, &ivs[0], data);
+            } else {
+                sentry_crypto::modes::cbc_encrypt_extents(bits, ivs, data);
+            }
+        })
+    }
+
+    fn decrypt_extent(
+        &mut self,
+        soc: &mut Soc,
+        ivs: &[[u8; 16]],
+        data: &mut [u8],
+    ) -> Result<(), KernelError> {
+        if ivs.is_empty() {
+            assert!(data.is_empty(), "extent data without IVs");
+            return Ok(());
+        }
+        assert!(
+            data.len().is_multiple_of(ivs.len()),
+            "data does not divide into {} extents",
+            ivs.len()
+        );
+        if self.full_sim {
+            let unit = data.len() / ivs.len();
+            for (iv, chunk) in ivs.iter().zip(data.chunks_exact_mut(unit)) {
+                self.decrypt(soc, iv, chunk)?;
+            }
+            return Ok(());
+        }
+        // One critical section, one batched stream across every extent
+        // boundary — this is the kernel call a fault-cluster readahead
+        // lands on.
+        let ns = self.calibrated_ns(soc, data.len());
+        self.critical_native(soc, ns, |_, bits| {
+            sentry_crypto::modes::cbc_decrypt_extents(bits, ivs, data);
+        })
+    }
 }
 
 /// Convenience: allocate a state page from `store` and build a keyed
@@ -455,6 +526,73 @@ mod tests {
             t_fast, soc2.cpu.irq_disabled_ns,
             "identical calibrated time charge"
         );
+    }
+
+    #[test]
+    fn extent_overrides_match_per_unit_paths_in_bytes_and_time() {
+        // The batched extent fast path must produce the same bytes *and*
+        // the same simulated time as looping the per-unit methods — the
+        // calibrated charge is linear, so hoisting it into one critical
+        // section must not perturb the clock.
+        let unit = 4096usize;
+        for units in [1usize, 3, 16, 21] {
+            let ivs: Vec<[u8; 16]> = (0..units).map(|i| [(i + 1) as u8; 16]).collect();
+            let pt: Vec<u8> = (0..units * unit).map(|i| (i * 13) as u8).collect();
+
+            let (mut soc_a, mut eng_a) = engine(OnSocBackend::Iram);
+            let mut per_unit = pt.clone();
+            let t0 = soc_a.clock.now_ns();
+            for (iv, chunk) in ivs.iter().zip(per_unit.chunks_exact_mut(unit)) {
+                eng_a.encrypt(&mut soc_a, iv, chunk).unwrap();
+            }
+            let per_unit_enc_ns = soc_a.clock.now_ns() - t0;
+
+            let (mut soc_b, mut eng_b) = engine(OnSocBackend::Iram);
+            let mut batched = pt.clone();
+            let t0 = soc_b.clock.now_ns();
+            eng_b
+                .encrypt_extent(&mut soc_b, &ivs, &mut batched)
+                .unwrap();
+            let batched_enc_ns = soc_b.clock.now_ns() - t0;
+
+            assert_eq!(batched, per_unit, "{units} units: ciphertext identical");
+            assert_eq!(
+                batched_enc_ns, per_unit_enc_ns,
+                "{units} units: encrypt time identical"
+            );
+
+            let t0 = soc_b.clock.now_ns();
+            eng_b
+                .decrypt_extent(&mut soc_b, &ivs, &mut batched)
+                .unwrap();
+            let batched_dec_ns = soc_b.clock.now_ns() - t0;
+            assert_eq!(batched, pt, "{units} units: extent decrypt roundtrips");
+            assert_eq!(
+                batched_dec_ns, batched_enc_ns,
+                "{units} units: decrypt charge matches encrypt charge"
+            );
+        }
+    }
+
+    #[test]
+    fn full_sim_extent_paths_agree_with_fast_path() {
+        let unit = 512usize;
+        let units = 5usize;
+        let ivs: Vec<[u8; 16]> = (0..units).map(|i| [(i * 7 + 2) as u8; 16]).collect();
+        let pt: Vec<u8> = (0..units * unit).map(|i| (i * 31) as u8).collect();
+
+        let (mut soc_a, mut eng_a) = engine(OnSocBackend::Iram);
+        let mut fast = pt.clone();
+        eng_a.encrypt_extent(&mut soc_a, &ivs, &mut fast).unwrap();
+
+        let (mut soc_b, mut eng_b) = engine(OnSocBackend::Iram);
+        eng_b.set_full_simulation(true);
+        let mut full = pt.clone();
+        eng_b.encrypt_extent(&mut soc_b, &ivs, &mut full).unwrap();
+        assert_eq!(fast, full, "fast and full-sim extent encrypt agree");
+
+        eng_b.decrypt_extent(&mut soc_b, &ivs, &mut full).unwrap();
+        assert_eq!(full, pt, "full-sim extent decrypt roundtrips");
     }
 
     #[test]

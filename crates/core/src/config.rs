@@ -52,6 +52,58 @@ impl ParallelConfig {
     }
 }
 
+/// Tuning for the unlock-latency engine: fault-cluster readahead plus
+/// the background decrypt sweeper (see `Sentry::handle_fault` and
+/// `Sentry::sweep`).
+///
+/// The paper decrypts on demand after unlock and "decrypts the rest in
+/// the background" (§7); this config controls both halves. Disabled (the
+/// default), every first touch costs a full single-page fault→decrypt
+/// round trip, exactly the pre-readahead behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadaheadConfig {
+    /// Pages decrypted per fault: the faulting page plus its spatially
+    /// adjacent encrypted neighbours in the same aligned window, in one
+    /// batched kernel call. `1` degenerates to single-page faulting.
+    pub cluster_pages: usize,
+    /// Pages the background sweeper drains per scheduler tick. `0`
+    /// disables sweeping even when readahead is enabled.
+    pub sweep_budget_pages: usize,
+    /// Master switch; when false the fault path and scheduler tick
+    /// behave exactly as if this config did not exist.
+    pub enabled: bool,
+}
+
+impl Default for ReadaheadConfig {
+    fn default() -> Self {
+        ReadaheadConfig {
+            cluster_pages: 8,
+            sweep_budget_pages: 32,
+            enabled: false,
+        }
+    }
+}
+
+impl ReadaheadConfig {
+    /// An enabled configuration with the given cluster size and the
+    /// default sweep budget.
+    #[must_use]
+    pub fn with_cluster(cluster_pages: usize) -> Self {
+        ReadaheadConfig {
+            cluster_pages: cluster_pages.max(1),
+            enabled: true,
+            ..ReadaheadConfig::default()
+        }
+    }
+
+    /// Builder: set the sweeper's per-tick page budget.
+    #[must_use]
+    pub fn sweep_budget(mut self, pages: usize) -> Self {
+        self.sweep_budget_pages = pages;
+        self
+    }
+}
+
 /// Full Sentry configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SentryConfig {
@@ -59,6 +111,9 @@ pub struct SentryConfig {
     pub backend: OnSocBackend,
     /// Parallel page-crypt tuning for bulk lock/unlock transitions.
     pub parallel: ParallelConfig,
+    /// Unlock-latency tuning: fault-cluster readahead and the background
+    /// decrypt sweeper.
+    pub readahead: ReadaheadConfig,
     /// Whether sensitive apps may run in the background while locked
     /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
     /// Without it, sensitive apps are parked unschedulable on lock (the
@@ -86,6 +141,7 @@ impl SentryConfig {
         SentryConfig {
             backend: OnSocBackend::LockedL2 { max_ways },
             parallel: ParallelConfig::default(),
+            readahead: ReadaheadConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -97,6 +153,7 @@ impl SentryConfig {
         SentryConfig {
             backend: OnSocBackend::Iram,
             parallel: ParallelConfig::default(),
+            readahead: ReadaheadConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -110,6 +167,7 @@ impl SentryConfig {
         SentryConfig {
             backend: OnSocBackend::Iram,
             parallel: ParallelConfig::default(),
+            readahead: ReadaheadConfig::default(),
             background_support: false,
             slot_limit: None,
         }
@@ -134,6 +192,13 @@ impl SentryConfig {
     #[must_use]
     pub fn with_parallel_workers(mut self, workers: usize) -> Self {
         self.parallel = ParallelConfig::with_workers(workers);
+        self
+    }
+
+    /// Set the unlock-latency tuning (see [`ReadaheadConfig`]).
+    #[must_use]
+    pub fn with_readahead(mut self, readahead: ReadaheadConfig) -> Self {
+        self.readahead = readahead;
         self
     }
 }

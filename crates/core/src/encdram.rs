@@ -72,6 +72,13 @@ pub struct Pager {
     slots: Vec<Slot>,
     /// FIFO of occupied slot indices, oldest first.
     resident: std::collections::VecDeque<usize>,
+    /// Indices of empty slots. Invariant: `free` holds exactly the slots
+    /// whose `occupant` is `None`, so acquiring a slot is O(1) instead of
+    /// a scan over every slot (the fault path runs this on each trap).
+    free: Vec<usize>,
+    /// Page-sized bounce buffer reused by `page_in`/`evict` so the
+    /// per-fault path does not allocate.
+    scratch: Vec<u8>,
     slot_limit: Option<usize>,
     /// Statistics.
     pub stats: PagerStats,
@@ -151,7 +158,8 @@ impl Pager {
         kernel: &mut Kernel,
         epoch: u64,
     ) -> Result<usize, SentryError> {
-        if let Some(i) = self.slots.iter().position(|s| s.occupant.is_none()) {
+        if let Some(i) = self.free.pop() {
+            debug_assert!(self.slots[i].occupant.is_none(), "free list out of sync");
             return Ok(i);
         }
         let may_grow = self.slot_limit.is_none_or(|lim| self.slots.len() < lim);
@@ -173,7 +181,10 @@ impl Pager {
             .pop_front()
             .ok_or(SentryError::OnSocExhausted)?;
         self.evict(kernel, victim, epoch)?;
-        Ok(victim)
+        // `evict` pushed the victim onto the free list; claim it back.
+        let reclaimed = self.free.pop().expect("evict frees its slot");
+        debug_assert_eq!(reclaimed, victim);
+        Ok(reclaimed)
     }
 
     /// Figure 1 in reverse: encrypt the slot's page in place and copy it
@@ -187,8 +198,9 @@ impl Pager {
         let slot = self.slots[slot_idx];
         let (pid, vpn) = slot.occupant.expect("evicting an empty slot");
 
-        let mut page = vec![0u8; PAGE_SIZE as usize];
-        kernel.soc.mem_read(slot.addr, &mut page)?;
+        self.scratch.resize(PAGE_SIZE as usize, 0);
+        let page = &mut self.scratch;
+        kernel.soc.mem_read(slot.addr, page.as_mut_slice())?;
 
         let home = {
             let pte = kernel
@@ -206,10 +218,10 @@ impl Pager {
         crypto
             .preferred_mut()
             .map_err(SentryError::Kernel)?
-            .encrypt(soc, &iv, &mut page)
+            .encrypt(soc, &iv, page.as_mut_slice())
             .map_err(SentryError::Kernel)?;
         soc.clock.advance(soc.costs.page_copy_ns);
-        soc.mem_write(home, &page)?;
+        soc.mem_write(home, page.as_slice())?;
 
         let proc = kernel.proc_mut(pid)?;
         let pte = proc
@@ -225,6 +237,7 @@ impl Pager {
         proc.stats.bytes_encrypted += PAGE_SIZE;
 
         self.slots[slot_idx].occupant = None;
+        self.free.push(slot_idx);
         self.stats.pageouts += 1;
         self.stats.bytes_encrypted += PAGE_SIZE;
         Ok(())
@@ -241,10 +254,11 @@ impl Pager {
         frame: u64,
     ) -> Result<(), SentryError> {
         let slot_addr = self.slots[slot_idx].addr;
-        let mut page = vec![0u8; PAGE_SIZE as usize];
+        self.scratch.resize(PAGE_SIZE as usize, 0);
+        let page = &mut self.scratch;
 
         // Step 1: copy the encrypted page into the on-SoC slot.
-        kernel.soc.mem_read(frame, &mut page)?;
+        kernel.soc.mem_read(frame, page.as_mut_slice())?;
         kernel.soc.clock.advance(kernel.soc.costs.page_copy_ns);
 
         // Step 2: decrypt in place, under the IV the page was actually
@@ -260,9 +274,9 @@ impl Pager {
         crypto
             .preferred_mut()
             .map_err(SentryError::Kernel)?
-            .decrypt(soc, &iv, &mut page)
+            .decrypt(soc, &iv, page.as_mut_slice())
             .map_err(SentryError::Kernel)?;
-        soc.mem_write(slot_addr, &page)?;
+        soc.mem_write(slot_addr, page.as_slice())?;
 
         // Step 3: repoint the PTE and set young.
         let proc = kernel.proc_mut(pid)?;
@@ -350,6 +364,7 @@ impl Pager {
             pte.crypt_epoch = epoch;
             proc.stats.bytes_encrypted += PAGE_SIZE;
             self.slots[slot_idx].occupant = None;
+            self.free.push(slot_idx);
             self.stats.pageouts += 1;
             self.stats.bytes_encrypted += PAGE_SIZE;
         }
@@ -370,6 +385,7 @@ impl Pager {
         kernel: &mut Kernel,
     ) -> Result<(), SentryError> {
         debug_assert!(self.resident.is_empty(), "evict_all first");
+        self.free.clear();
         for slot in self.slots.drain(..) {
             store.free_page(&mut kernel.soc, slot.addr)?;
         }

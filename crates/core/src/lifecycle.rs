@@ -17,8 +17,8 @@ use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
 use sentry_crypto::parallel::{crypt_batch, BatchReport, Direction, PageJob};
 use sentry_crypto::Aes;
-use sentry_kernel::fault::PageFault;
-use sentry_kernel::pagetable::{Backing, Sharing};
+use sentry_kernel::fault::{FaultResolution, PageFault};
+use sentry_kernel::pagetable::{Backing, Pte, Sharing};
 use sentry_kernel::{Kernel, KernelError, Pid};
 use sentry_soc::addr::PAGE_SIZE;
 
@@ -81,6 +81,40 @@ pub struct LifecycleStats {
     pub crypt_batch_pages: u64,
     /// Largest single batch seen, in pages.
     pub largest_batch_pages: u64,
+    /// Slowest single on-demand fault resolution seen, nanoseconds.
+    pub ondemand_max_ns: u64,
+    /// Faults that pulled at least one readahead companion in.
+    pub readahead_clusters: u64,
+    /// Extra pages decrypted by readahead (beyond the faulting pages
+    /// themselves).
+    pub readahead_pages: u64,
+    /// Background sweeper steps that ran (with a non-empty residual).
+    pub sweep_runs: u64,
+    /// Pages drained by the background sweeper.
+    pub sweep_pages: u64,
+    /// Simulated time spent in background sweeper steps.
+    pub sweep_ns: u64,
+}
+
+/// What one background sweeper step did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Frames decrypted by this step.
+    pub pages: usize,
+    /// Simulated time of the step, nanoseconds.
+    pub duration_ns: u64,
+    /// Encrypted DRAM mappings remaining after the step (the
+    /// residual-encrypted-pages gauge).
+    pub residual_pages: usize,
+}
+
+/// One gathered page of fault-cluster or sweeper work: a mapping, the
+/// frame behind it, and the IV its ciphertext was produced under.
+struct ClusterPage {
+    pid: Pid,
+    vpn: u64,
+    frame: u64,
+    iv: [u8; 16],
 }
 
 /// Cumulative parallel-engine statistics. Kept separate from
@@ -132,12 +166,20 @@ pub struct Sentry {
     pub stats: LifecycleStats,
     /// Cumulative parallel-engine statistics (per-lane byte loads).
     pub parallel: ParallelStats,
+    /// The most recently resolved on-demand fault (telemetry; `pages >
+    /// 1` means the readahead cluster pulled in encrypted neighbours).
+    pub last_fault: Option<FaultResolution>,
     state: DeviceState,
     volatile_key: VolatileRootKey,
     /// Monotone lock counter mixed into every page IV so ciphertext
     /// never repeats across lock cycles under the surviving volatile
     /// key. Incremented at the start of each lock transition.
     lock_epoch: u64,
+    /// Background sweeper resume point: the first (pid, vpn) at or after
+    /// which the next sweep step scans. Faults push it past their
+    /// cluster window, so the sweeper drains in recency order — right
+    /// behind wherever the app is touching.
+    sweep_cursor: Option<(Pid, u64)>,
 }
 
 impl Sentry {
@@ -165,9 +207,11 @@ impl Sentry {
             config,
             stats: LifecycleStats::default(),
             parallel: ParallelStats::default(),
+            last_fault: None,
             state: DeviceState::Unlocked,
             volatile_key,
             lock_epoch: 0,
+            sweep_cursor: None,
         })
     }
 
@@ -262,13 +306,41 @@ impl Sentry {
         let min_batch = self.config.parallel.min_batch_pages.max(1);
 
         let report = if workers <= 1 || pages < min_batch {
-            for &(frame, iv) in jobs {
-                Self::crypt_page_in_dram(
-                    &mut self.kernel,
-                    &iv,
-                    frame,
-                    direction == Direction::Encrypt,
-                )?;
+            if pages <= 1 {
+                for &(frame, iv) in jobs {
+                    Self::crypt_page_in_dram(
+                        &mut self.kernel,
+                        &iv,
+                        frame,
+                        direction == Direction::Encrypt,
+                    )?;
+                }
+            } else {
+                // Gather the run into one buffer and make a single
+                // extent call: one batched kernel stream, one
+                // IRQ-critical section. The engine charge is linear in
+                // bytes, so this is cycle-identical to the per-page
+                // loop, while the backend batches across page
+                // boundaries (the encrypt side fills its lanes with
+                // independent page chains).
+                let mut buf = vec![0u8; pages * PAGE_SIZE as usize];
+                let mut ivs = Vec::with_capacity(pages);
+                for (chunk, &(frame, iv)) in buf.chunks_exact_mut(PAGE_SIZE as usize).zip(jobs) {
+                    self.kernel.soc.mem_read(frame, chunk)?;
+                    ivs.push(iv);
+                }
+                {
+                    let Kernel { soc, crypto, .. } = &mut self.kernel;
+                    let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
+                    match direction {
+                        Direction::Encrypt => engine.encrypt_extent(soc, &ivs, &mut buf),
+                        Direction::Decrypt => engine.decrypt_extent(soc, &ivs, &mut buf),
+                    }
+                    .map_err(SentryError::Kernel)?;
+                }
+                for (chunk, &(frame, _)) in buf.chunks_exact(PAGE_SIZE as usize).zip(jobs) {
+                    self.kernel.soc.mem_write(frame, chunk)?;
+                }
             }
             BatchReport {
                 pages,
@@ -298,18 +370,14 @@ impl Sentry {
                     data: page.as_mut_slice(),
                 })
                 .collect();
-            // Decrypt lanes run the batched bitsliced kernel (CBC
-            // decryption is data-parallel within a page); encrypt lanes
-            // are chained per page and keep the scalar context. Either
-            // way the lanes share one reference — the schedule expanded
-            // above is the only key expansion in the whole batch.
-            let report = match direction {
-                Direction::Encrypt => crypt_batch(&aes, direction, &mut batch, workers, min_batch),
-                Direction::Decrypt => {
-                    let bits = sentry_crypto::BitslicedAes::from_schedule(aes.schedule());
-                    crypt_batch(&bits, direction, &mut batch, workers, min_batch)
-                }
-            };
+            // Both directions run the batched bitsliced kernel: decrypt
+            // lanes stream each page 16 blocks per call (CBC decryption
+            // is data-parallel within a page), encrypt lanes fill the 16
+            // lanes with independent page chains. All lanes share one
+            // reference — the schedule expanded above is the only key
+            // expansion in the whole batch.
+            let bits = sentry_crypto::BitslicedAes::from_schedule(aes.schedule());
+            let report = crypt_batch(&bits, direction, &mut batch, workers, min_batch);
 
             // Same calibrated per-block cost as the AES-On-SoC engine,
             // spread across the lanes that actually ran.
@@ -339,6 +407,207 @@ impl Sentry {
             self.parallel.record(&report);
         }
         Ok(report)
+    }
+
+    /// The IV a frame's ciphertext was produced under: shared frames
+    /// were encrypted under the *first* sharer's mapping identity, at
+    /// the epoch stored in the IV owner's PTE; private frames under
+    /// their own mapping.
+    fn frame_iv(&self, pid: Pid, vpn: u64, pte: &Pte, frame: u64) -> [u8; 16] {
+        let (iv_pid, iv_vpn) = self
+            .kernel
+            .sharers_of(frame)
+            .and_then(|s| s.first().copied())
+            .unwrap_or((pid, vpn));
+        let stored_epoch = self
+            .kernel
+            .procs
+            .get(&iv_pid)
+            .and_then(|p| p.page_table.get(iv_vpn))
+            .map_or(pte.crypt_epoch, |p| p.crypt_epoch);
+        page_iv(iv_pid, iv_vpn, stored_epoch)
+    }
+
+    /// Decrypt a gathered set of encrypted DRAM pages in one dispatch
+    /// and flip every mapping of each decrypted frame back to plaintext
+    /// state. Returns the number of frames decrypted.
+    ///
+    /// Coherence rule: the PTE `encrypted` bit is the single source of
+    /// truth, re-checked here immediately before the kernel call, and
+    /// frames are deduped within the batch — so a fault cluster racing
+    /// the sweeper (or two mappings of one shared frame landing in the
+    /// same batch) can never decrypt the same frame twice, which under
+    /// CBC would turn plaintext into garbage.
+    fn decrypt_gathered(&mut self, pages: &[ClusterPage]) -> Result<usize, SentryError> {
+        let mut jobs: Vec<(u64, [u8; 16])> = Vec::with_capacity(pages.len());
+        let mut live: Vec<&ClusterPage> = Vec::with_capacity(pages.len());
+        for cp in pages {
+            let still_encrypted = self
+                .kernel
+                .procs
+                .get(&cp.pid)
+                .and_then(|p| p.page_table.get(cp.vpn))
+                .is_some_and(|pte| pte.encrypted);
+            if !still_encrypted || jobs.iter().any(|&(f, _)| f == cp.frame) {
+                continue;
+            }
+            jobs.push((cp.frame, cp.iv));
+            live.push(cp);
+        }
+        if jobs.is_empty() {
+            return Ok(0);
+        }
+        if jobs.len() == 1 {
+            // A lone page takes the exact single-page dispatch —
+            // byte- and cycle-identical to pre-readahead faulting.
+            Self::crypt_page_in_dram(&mut self.kernel, &jobs[0].1, jobs[0].0, false)?;
+        } else {
+            self.crypt_frames_bulk(Direction::Decrypt, &jobs)?;
+        }
+        for cp in live {
+            // Re-arm every mapping of the frame, not just the gathered
+            // one — a second sharer must not decrypt the now-plaintext
+            // frame again.
+            if let Some(sharers) = self.kernel.sharers_of(cp.frame).map(<[(u32, u64)]>::to_vec) {
+                for (spid, svpn) in sharers {
+                    if let Some(spte) = self
+                        .kernel
+                        .procs
+                        .get_mut(&spid)
+                        .and_then(|p| p.page_table.get_mut(svpn))
+                    {
+                        spte.encrypted = false;
+                        spte.young = true;
+                    }
+                }
+            }
+            if let Some(proc) = self.kernel.procs.get_mut(&cp.pid) {
+                if let Some(pte) = proc.page_table.get_mut(cp.vpn) {
+                    pte.encrypted = false;
+                    pte.young = true;
+                }
+                proc.stats.bytes_decrypted += PAGE_SIZE;
+            }
+        }
+        Ok(jobs.len())
+    }
+
+    /// Residual-encrypted-pages gauge: encrypted DRAM mappings across
+    /// all sensitive processes. Zero means post-unlock decryption is
+    /// complete and no further first-touch fault can cost a decrypt.
+    #[must_use]
+    pub fn residual_encrypted_pages(&self) -> usize {
+        self.kernel
+            .procs
+            .values()
+            .filter(|p| p.sensitive)
+            .map(|p| {
+                p.page_table
+                    .iter()
+                    .filter(|(_, pte)| pte.encrypted && matches!(pte.backing, Backing::Dram(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// One budgeted background-sweeper step — the paper's "decrypt the
+    /// rest in the background" (§7). Walks the residual encrypted set
+    /// starting at the sweep cursor (just past the most recent fault
+    /// cluster or previous sweep batch, i.e. recency order) and drains
+    /// up to `budget_pages` frames through the bulk decrypt engine.
+    ///
+    /// A no-op unless the device is unlocked. Pages the demand path
+    /// decrypts between steps are skipped by the gather step's coherence
+    /// re-check of the PTE `encrypted` bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory and cipher errors.
+    pub fn sweep(&mut self, budget_pages: usize) -> Result<SweepReport, SentryError> {
+        if self.state != DeviceState::Unlocked || budget_pages == 0 {
+            return Ok(SweepReport {
+                residual_pages: self.residual_encrypted_pages(),
+                ..SweepReport::default()
+            });
+        }
+        let t0 = self.kernel.soc.clock.now_ns();
+        // Candidates in (pid, vpn) order, rotated so the scan resumes at
+        // the cursor and wraps.
+        let mut all: Vec<(Pid, u64, u64)> = Vec::new();
+        for pid in self.sensitive_pids() {
+            let proc = self.kernel.proc(pid)?;
+            for (vpn, pte) in proc.page_table.iter() {
+                if let Backing::Dram(frame) = pte.backing {
+                    if pte.encrypted {
+                        all.push((pid, vpn, frame));
+                    }
+                }
+            }
+        }
+        if all.is_empty() {
+            return Ok(SweepReport::default());
+        }
+        let start = self
+            .sweep_cursor
+            .and_then(|cur| all.iter().position(|&(pid, vpn, _)| (pid, vpn) >= cur))
+            .unwrap_or(0);
+        all.rotate_left(start);
+
+        let mut gathered: Vec<ClusterPage> = Vec::with_capacity(budget_pages.min(all.len()));
+        for &(pid, vpn, frame) in &all {
+            if gathered.len() >= budget_pages {
+                break;
+            }
+            if gathered.iter().any(|g| g.frame == frame) {
+                continue;
+            }
+            let pte = *self
+                .kernel
+                .proc(pid)?
+                .page_table
+                .get(vpn)
+                .expect("walked above");
+            let iv = self.frame_iv(pid, vpn, &pte, frame);
+            gathered.push(ClusterPage {
+                pid,
+                vpn,
+                frame,
+                iv,
+            });
+        }
+        let next_cursor = gathered.last().map(|g| (g.pid, g.vpn + 1));
+        let pages = self.decrypt_gathered(&gathered)?;
+        if let Some(cur) = next_cursor {
+            self.sweep_cursor = Some(cur);
+        }
+        let duration_ns = self.kernel.soc.clock.now_ns() - t0;
+        self.stats.sweep_runs += 1;
+        self.stats.sweep_pages += pages as u64;
+        self.stats.sweep_ns += duration_ns;
+        Ok(SweepReport {
+            pages,
+            duration_ns,
+            residual_pages: self.residual_encrypted_pages(),
+        })
+    }
+
+    /// Deliver one scheduler timer tick: bump the kernel scheduler's
+    /// tick counter and, when readahead is enabled and the device is
+    /// unlocked, run one budgeted sweeper step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweeper errors.
+    pub fn scheduler_tick(&mut self) -> Result<SweepReport, SentryError> {
+        self.kernel.sched.tick();
+        if self.config.readahead.enabled && self.state == DeviceState::Unlocked {
+            self.sweep(self.config.readahead.sweep_budget_pages)
+        } else {
+            Ok(SweepReport {
+                residual_pages: self.residual_encrypted_pages(),
+                ..SweepReport::default()
+            })
+        }
     }
 
     /// Transition to the locked state (§7): drain the freed-page zeroing
@@ -559,6 +828,8 @@ impl Sentry {
         }
         self.state = DeviceState::Unlocked;
         self.stats.unlocks += 1;
+        // Each unlock starts a fresh drain of the encrypted residue.
+        self.sweep_cursor = None;
         Ok(UnlockReport {
             duration_ns: self.kernel.soc.clock.now_ns() - t0,
             eager_bytes_decrypted: report.bytes,
@@ -604,50 +875,58 @@ impl Sentry {
                         vpn: fault.vpn,
                     })?;
                 match pte.backing {
-                    Backing::Dram(frame) if pte.encrypted => {
-                        // On-demand decryption in the fault handler (§7).
-                        // Shared frames were encrypted under the first
-                        // sharer's IV; decrypt with the same one, at the
-                        // epoch the ciphertext was produced under.
-                        let (iv_pid, iv_vpn) = self
-                            .kernel
-                            .sharers_of(frame)
-                            .and_then(|s| s.first().copied())
-                            .unwrap_or((fault.pid, fault.vpn));
-                        let stored_epoch = self
-                            .kernel
-                            .procs
-                            .get(&iv_pid)
-                            .and_then(|p| p.page_table.get(iv_vpn))
-                            .map_or(pte.crypt_epoch, |p| p.crypt_epoch);
-                        let iv = page_iv(iv_pid, iv_vpn, stored_epoch);
-                        Self::crypt_page_in_dram(&mut self.kernel, &iv, frame, false)?;
-                        // Re-arm every mapping of the frame, not just the
-                        // faulting one — a second sharer must not decrypt
-                        // the now-plaintext page again.
-                        if let Some(sharers) =
-                            self.kernel.sharers_of(frame).map(<[(u32, u64)]>::to_vec)
-                        {
-                            for (spid, svpn) in sharers {
-                                if let Some(spte) = self
-                                    .kernel
-                                    .procs
-                                    .get_mut(&spid)
-                                    .and_then(|p| p.page_table.get_mut(svpn))
-                                {
-                                    spte.encrypted = false;
-                                    spte.young = true;
-                                }
-                            }
+                    Backing::Dram(_) if pte.encrypted => {
+                        // On-demand decryption in the fault handler (§7),
+                        // with fault-cluster readahead: gather the
+                        // faulting page plus its spatially-adjacent
+                        // encrypted DRAM neighbours in the same aligned
+                        // window and decrypt them in one batched kernel
+                        // call — N first-touch faults become 1.
+                        let cluster = if self.config.readahead.enabled {
+                            self.config.readahead.cluster_pages.max(1)
+                        } else {
+                            1
+                        };
+                        let base = fault.vpn - fault.vpn % cluster as u64;
+                        let mut gathered: Vec<ClusterPage> = Vec::with_capacity(cluster);
+                        for vpn in base..base + cluster as u64 {
+                            let cand = match self.kernel.proc(fault.pid)?.page_table.get(vpn) {
+                                Some(p) => *p,
+                                None => continue,
+                            };
+                            let frame = match cand.backing {
+                                Backing::Dram(f) if cand.encrypted => f,
+                                _ => continue,
+                            };
+                            let iv = self.frame_iv(fault.pid, vpn, &cand, frame);
+                            gathered.push(ClusterPage {
+                                pid: fault.pid,
+                                vpn,
+                                frame,
+                                iv,
+                            });
                         }
-                        let proc = self.kernel.proc_mut(fault.pid)?;
-                        let pte = proc.page_table.get_mut(fault.vpn).expect("present");
-                        pte.encrypted = false;
-                        pte.young = true;
-                        proc.stats.bytes_decrypted += PAGE_SIZE;
+                        let decrypted = self.decrypt_gathered(&gathered)?;
+                        let duration_ns = self.kernel.soc.clock.now_ns() - t0;
                         self.stats.ondemand_faults += 1;
-                        self.stats.ondemand_bytes += PAGE_SIZE;
-                        self.stats.ondemand_ns += self.kernel.soc.clock.now_ns() - t0;
+                        self.stats.ondemand_bytes += decrypted as u64 * PAGE_SIZE;
+                        self.stats.ondemand_ns += duration_ns;
+                        self.stats.ondemand_max_ns = self.stats.ondemand_max_ns.max(duration_ns);
+                        if decrypted > 1 {
+                            self.stats.readahead_clusters += 1;
+                            self.stats.readahead_pages += decrypted as u64 - 1;
+                        }
+                        self.last_fault = Some(FaultResolution {
+                            pid: fault.pid,
+                            vpn: fault.vpn,
+                            pages: decrypted,
+                            duration_ns,
+                        });
+                        if self.config.readahead.enabled {
+                            // Recency hint: the sweeper resumes right
+                            // past this cluster's window.
+                            self.sweep_cursor = Some((fault.pid, base + cluster as u64));
+                        }
                         Ok(())
                     }
                     _ => {
@@ -748,6 +1027,10 @@ impl Sentry {
         self.stats.ondemand_faults = 0;
         self.stats.ondemand_bytes = 0;
         self.stats.ondemand_ns = 0;
+        self.stats.ondemand_max_ns = 0;
+        self.stats.readahead_clusters = 0;
+        self.stats.readahead_pages = 0;
+        self.last_fault = None;
     }
 }
 
@@ -1171,6 +1454,200 @@ mod tests {
             8 * 4096,
             "lane bytes must add up to the batch"
         );
+    }
+
+    fn readahead_sentry(cluster: usize, budget: usize) -> Sentry {
+        Sentry::new(
+            Kernel::new(Soc::tegra3_small()),
+            SentryConfig::tegra3_locked_l2(2).with_readahead(
+                crate::config::ReadaheadConfig::with_cluster(cluster).sweep_budget(budget),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn readahead_cluster_turns_n_faults_into_one() {
+        let mut s = readahead_sentry(4, 0);
+        let pid = s.kernel.spawn("app");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..199u8).cycle().take(8 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+
+        s.touch_pages(pid, &[0]).unwrap();
+        assert_eq!(s.stats.ondemand_faults, 1);
+        assert_eq!(s.stats.readahead_clusters, 1);
+        assert_eq!(s.stats.readahead_pages, 3);
+        assert_eq!(s.last_fault.unwrap().pages, 4);
+        let traps: Vec<bool> = (0..8)
+            .map(|vpn| {
+                s.kernel
+                    .proc(pid)
+                    .unwrap()
+                    .page_table
+                    .get(vpn)
+                    .unwrap()
+                    .traps()
+            })
+            .collect();
+        assert_eq!(
+            traps,
+            [false, false, false, false, true, true, true, true],
+            "the aligned 4-page window around vpn 0 is decrypted, the rest still traps"
+        );
+
+        // The whole set reads back intact with only two faults total.
+        let mut back = vec![0u8; data.len()];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(s.stats.ondemand_faults, 2, "one fault per 4-page cluster");
+    }
+
+    #[test]
+    fn sweeper_drains_residual_to_zero() {
+        let mut s = readahead_sentry(4, 3);
+        let pid = s.kernel.spawn("app");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..97u8).cycle().take(8 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+        assert_eq!(s.residual_encrypted_pages(), 8);
+
+        let report = s.scheduler_tick().unwrap();
+        assert_eq!(report.pages, 3);
+        assert_eq!(report.residual_pages, 5);
+        assert_eq!(s.kernel.sched.ticks, 1);
+
+        let mut guard = 0;
+        while s.residual_encrypted_pages() > 0 {
+            s.scheduler_tick().unwrap();
+            guard += 1;
+            assert!(guard < 16, "sweeper failed to converge");
+        }
+        assert_eq!(s.stats.sweep_pages, 8);
+        assert!(s.stats.sweep_ns > 0);
+
+        // Fully drained: reading everything back faults zero times.
+        let mut back = vec![0u8; data.len()];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(s.stats.ondemand_faults, 0);
+    }
+
+    #[test]
+    fn faults_mid_sweep_dedupe_coherently() {
+        let mut s = readahead_sentry(8, 3);
+        let pid = s.kernel.spawn("app");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..251u8).cycle().take(8 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+
+        // Sweeper drains vpns 0..3; the fault cluster on vpn 4 must then
+        // gather only the still-encrypted remainder (coherence rule:
+        // the PTE encrypted bit is re-checked at decrypt time).
+        s.scheduler_tick().unwrap();
+        assert_eq!(s.residual_encrypted_pages(), 5);
+        s.touch_pages(pid, &[4]).unwrap();
+        assert_eq!(s.stats.ondemand_faults, 1);
+        assert_eq!(
+            s.last_fault.unwrap().pages,
+            5,
+            "only the residue is decrypted"
+        );
+        assert_eq!(s.residual_encrypted_pages(), 0);
+
+        let mut back = vec![0u8; data.len()];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, data, "no frame was double-decrypted");
+    }
+
+    #[test]
+    fn cluster_one_degenerates_to_single_page_faulting() {
+        let run = |readahead: bool| {
+            let mut s = if readahead {
+                readahead_sentry(1, 0)
+            } else {
+                tegra_sentry()
+            };
+            let pid = s.kernel.spawn("app");
+            s.mark_sensitive(pid).unwrap();
+            let data: Vec<u8> = (0..53u8).cycle().take(6 * 4096).collect();
+            s.write(pid, 0, &data).unwrap();
+            s.on_lock().unwrap();
+            s.on_unlock().unwrap();
+            let mut back = vec![0u8; data.len()];
+            s.read(pid, 0, &mut back).unwrap();
+            assert_eq!(back, data);
+            (
+                s.stats.ondemand_faults,
+                s.stats.ondemand_bytes,
+                s.stats.ondemand_ns,
+                s.stats.readahead_clusters,
+            )
+        };
+        let (faults, bytes, ns, clusters) = run(true);
+        assert_eq!(
+            (faults, bytes, ns, clusters),
+            run(false),
+            "cluster_pages=1 must equal disabled readahead exactly"
+        );
+        assert_eq!(faults, 6);
+        assert_eq!(clusters, 0);
+        assert!(ns > 0 && bytes == 6 * 4096);
+    }
+
+    #[test]
+    fn sweep_is_a_noop_while_locked() {
+        let mut s = readahead_sentry(8, 4);
+        let pid = s.kernel.spawn("app");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[6u8; 4 * 4096]).unwrap();
+        s.on_lock().unwrap();
+        let report = s.scheduler_tick().unwrap();
+        assert_eq!(report.pages, 0);
+        assert_eq!(s.stats.sweep_runs, 0);
+        assert_eq!(
+            s.residual_encrypted_pages(),
+            4,
+            "nothing decrypted while locked"
+        );
+        assert_eq!(s.kernel.sched.ticks, 1, "the tick itself still counts");
+    }
+
+    #[test]
+    fn shared_frames_decrypt_once_under_readahead() {
+        let mut s = readahead_sentry(8, 0);
+        let a = s.kernel.spawn("writer");
+        let b = s.kernel.spawn("reader");
+        s.mark_sensitive(a).unwrap();
+        s.mark_sensitive(b).unwrap();
+        s.write(a, 0, &[0x5Au8; 2 * 4096]).unwrap();
+        s.kernel.map_shared(a, 0, b, 0).unwrap();
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+
+        s.touch_pages(a, &[0]).unwrap();
+        // Both mappings of the shared frame are re-armed by one decrypt.
+        for pid in [a, b] {
+            assert!(
+                !s.kernel
+                    .proc(pid)
+                    .unwrap()
+                    .page_table
+                    .get(0)
+                    .unwrap()
+                    .encrypted,
+                "pid {pid} still marked encrypted"
+            );
+        }
+        let mut via_b = vec![0u8; 4096];
+        s.read(b, 0, &mut via_b).unwrap();
+        assert_eq!(via_b, vec![0x5Au8; 4096]);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!   which path was taken so callers can account for it.
 
 use crate::batch::BlockCipherBatch;
-use crate::modes::{cbc_decrypt, cbc_encrypt};
+use crate::modes::{cbc_decrypt, cbc_encrypt_batch};
 
 /// Which way a batch transforms its pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,8 +72,9 @@ pub struct BatchReport {
 /// reference across all lanes — no per-lane clone, no per-page key
 /// expansion. Any [`BlockCipherBatch`] backend works; a
 /// [`crate::BitslicedAes`] makes each lane's CBC decryption run 16
-/// blocks per kernel call (CBC encryption remains serial within a page
-/// regardless of backend). Falls back to the in-thread sequential loop
+/// blocks per kernel call, and each lane's CBC *encryption* fill those
+/// 16 lanes with independent page chains via [`cbc_encrypt_batch`].
+/// Falls back to the in-thread sequential loop
 /// when `workers <= 1` or `jobs.len() < min_batch_pages`; output bytes
 /// are identical either way.
 pub fn crypt_batch<C: BlockCipherBatch + Sync>(
@@ -87,9 +88,7 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
     let bytes: u64 = jobs.iter().map(|j| j.data.len() as u64).sum();
 
     if workers <= 1 || pages < min_batch_pages.max(1) {
-        for job in jobs.iter_mut() {
-            crypt_one(cipher, direction, job);
-        }
+        crypt_chunk(cipher, direction, jobs);
         return BatchReport {
             pages,
             bytes,
@@ -114,14 +113,7 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
             rest = tail;
             // Every lane borrows the caller's context: one expanded
             // schedule serves the whole pool.
-            handles.push(scope.spawn(move || {
-                let mut done = 0u64;
-                for job in chunk {
-                    crypt_one(cipher, direction, job);
-                    done += job.data.len() as u64;
-                }
-                done
-            }));
+            handles.push(scope.spawn(move || crypt_chunk(cipher, direction, chunk)));
         }
         for (lane, handle) in handles.into_iter().enumerate() {
             per_worker_bytes[lane] = handle.join().expect("crypt worker panicked");
@@ -137,11 +129,32 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
     }
 }
 
-fn crypt_one<C: BlockCipherBatch>(cipher: &C, direction: Direction, job: &mut PageJob<'_>) {
+/// Transform one lane's chunk of jobs, returning the bytes processed.
+///
+/// Decryption is data-parallel *within* a page, so each job streams
+/// through [`cbc_decrypt`]'s own batching. Encryption chains are serial
+/// within a page but independent *across* pages, so the whole chunk goes
+/// through [`cbc_encrypt_batch`], which fills the backend's lanes with
+/// one page chain each.
+fn crypt_chunk<C: BlockCipherBatch>(
+    cipher: &C,
+    direction: Direction,
+    chunk: &mut [PageJob<'_>],
+) -> u64 {
+    let bytes: u64 = chunk.iter().map(|j| j.data.len() as u64).sum();
     match direction {
-        Direction::Encrypt => cbc_encrypt(cipher, &job.iv, job.data),
-        Direction::Decrypt => cbc_decrypt(cipher, &job.iv, job.data),
+        Direction::Encrypt => {
+            let ivs: Vec<[u8; 16]> = chunk.iter().map(|j| j.iv).collect();
+            let mut bufs: Vec<&mut [u8]> = chunk.iter_mut().map(|j| &mut *j.data).collect();
+            cbc_encrypt_batch(cipher, &ivs, &mut bufs);
+        }
+        Direction::Decrypt => {
+            for job in chunk.iter_mut() {
+                cbc_decrypt(cipher, &job.iv, job.data);
+            }
+        }
     }
+    bytes
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 
 use crate::error::KernelError;
 use crate::layout::CRYPTO_KEYS_BASE;
-use sentry_crypto::modes::{cbc_decrypt, cbc_decrypt_extents, cbc_encrypt};
+use sentry_crypto::modes::{cbc_decrypt, cbc_decrypt_extents, cbc_encrypt, cbc_encrypt_extents};
 use sentry_crypto::{Aes, BitslicedAes};
 use sentry_soc::Soc;
 
@@ -228,8 +228,9 @@ pub struct GenericAesEngine {
     /// key-install time ([`BitslicedAes::from_schedule`] reuses the
     /// already-expanded schedule — no second key expansion) so the
     /// per-op cost is pure block work. Drives the batched CBC-decrypt
-    /// and extent paths; CBC encryption is serially chained and stays on
-    /// the scalar implementation.
+    /// and extent paths; single-buffer CBC encryption is serially chained
+    /// and stays on the scalar implementation, while multi-extent
+    /// encryption fills the lanes with independent per-extent chains.
     bits: Option<BitslicedAes>,
     /// DRAM slot index for this engine's key material.
     slot: u64,
@@ -353,12 +354,14 @@ impl CipherEngine for GenericAesEngine {
             "data does not divide into {} extents",
             ivs.len()
         );
-        // CBC encryption is serially chained within each extent, so this
-        // only hoists the per-unit call overhead and clock charge.
-        let aes = self.ready()?;
-        let unit = data.len() / ivs.len();
-        for (iv, chunk) in ivs.iter().zip(data.chunks_exact_mut(unit)) {
-            cbc_encrypt(aes, iv, chunk);
+        // CBC encryption is serially chained *within* each extent but the
+        // extents are independent chains, so a multi-extent request fills
+        // the bitsliced lanes with one chain each. A single extent has
+        // nothing to batch against and stays on the scalar chain loop.
+        if ivs.len() == 1 {
+            cbc_encrypt(self.ready()?, &ivs[0], data);
+        } else {
+            cbc_encrypt_extents(self.ready_bits()?, ivs, data);
         }
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
         Ok(())

@@ -17,6 +17,10 @@ pub struct Scheduler {
     queue: VecDeque<Pid>,
     /// Number of scheduling decisions taken.
     pub decisions: u64,
+    /// Timer ticks delivered via [`Scheduler::tick`]. The tick is where
+    /// periodic kernel work hangs — for Sentry, the background decrypt
+    /// sweeper runs a budgeted step per tick.
+    pub ticks: u64,
 }
 
 impl Scheduler {
@@ -36,6 +40,13 @@ impl Scheduler {
     /// Remove a process entirely (exit).
     pub fn remove(&mut self, pid: Pid) {
         self.queue.retain(|&p| p != pid);
+    }
+
+    /// Deliver one timer tick. Returns the tick count so periodic work
+    /// (like the decrypt sweeper) can key off it.
+    pub fn tick(&mut self) -> u64 {
+        self.ticks += 1;
+        self.ticks
     }
 
     /// Pick the next schedulable process, rotating the queue. Returns
@@ -104,6 +115,14 @@ mod tests {
         s.admit(1);
         s.admit(2);
         assert_eq!(s.next(&map), None);
+    }
+
+    #[test]
+    fn ticks_count_monotonically() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.tick(), 1);
+        assert_eq!(s.tick(), 2);
+        assert_eq!(s.ticks, 2);
     }
 
     #[test]
