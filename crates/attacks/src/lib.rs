@@ -14,7 +14,10 @@
 //!   without CPU cooperation (Firewire-style).
 //!
 //! [`matrix`] runs all three against each storage option and produces
-//! the paper's Table 3.
+//! the paper's Table 3. [`faultmatrix`] turns the attacks inward:
+//! exhaustive power-cut injection at every reachable failpoint of a
+//! lock/unlock/fault/sweep schedule, with a cold-boot scan and a
+//! recovery-convergence check at each kill point.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@
 pub mod busmon;
 pub mod coldboot;
 pub mod dmaattack;
+pub mod faultmatrix;
 pub mod matrix;
 pub mod related;
 pub mod threat_model;

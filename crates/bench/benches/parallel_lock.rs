@@ -38,7 +38,7 @@ fn bench_crypt_batch(c: &mut Criterion) {
                             data: p.as_mut_slice(),
                         })
                         .collect();
-                    crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1)
+                    crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1).unwrap()
                 });
             },
         );

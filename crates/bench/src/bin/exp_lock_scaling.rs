@@ -70,7 +70,8 @@ fn host_point(aes: &Aes, workers: usize) -> (u64, usize) {
             })
             .collect();
         let t0 = Instant::now();
-        let report = crypt_batch(aes, Direction::Encrypt, &mut jobs, workers, 1);
+        let report =
+            crypt_batch(aes, Direction::Encrypt, &mut jobs, workers, 1).expect("batch crypt");
         let elapsed = t0.elapsed().as_nanos() as u64;
         workers_used = report.workers_used;
         if rep > 0 {

@@ -165,10 +165,9 @@ impl AesOnSocEngine {
         calibrated_ns: u64,
         f: impl FnOnce(&TrackedCtx, &mut CachedSocStore<'_>) -> T,
     ) -> Result<T, KernelError> {
-        let tracked = self
-            .tracked
-            .as_ref()
-            .ok_or_else(|| KernelError::UnknownCipher("AES On SoC: no key installed".into()))?;
+        let tracked = self.tracked.as_ref().ok_or(KernelError::NoKeyInstalled {
+            engine: "aes-cbc-onsoc",
+        })?;
         // Call discipline: the engine entry takes (state, iv, data, len)
         // — four register arguments, nothing on the stack.
         let entry_args = [0u32, 1, 2, 3];
@@ -196,14 +195,15 @@ impl AesOnSocEngine {
         calibrated_ns: u64,
         f: impl FnOnce(&sentry_crypto::Aes, &BitslicedAes) -> T,
     ) -> Result<T, KernelError> {
-        let native = self
-            .native
-            .as_ref()
-            .ok_or_else(|| KernelError::UnknownCipher("AES On SoC: no key installed".into()))?;
+        let native = self.native.as_ref().ok_or(KernelError::NoKeyInstalled {
+            engine: "aes-cbc-onsoc",
+        })?;
         let native_bits = self
             .native_bits
             .as_ref()
-            .ok_or_else(|| KernelError::UnknownCipher("AES On SoC: no key installed".into()))?;
+            .ok_or(KernelError::NoKeyInstalled {
+                engine: "aes-cbc-onsoc",
+            })?;
         let entry_args = [0u32, 1, 2, 3];
         let spilled = soc.cpu.pass_args(&entry_args);
         debug_assert!(spilled.is_empty(), "no sensitive argument may spill");
@@ -238,19 +238,18 @@ impl CipherEngine for AesOnSocEngine {
             match self.backend {
                 OnSocCipherBackend::TableDriven => TrackedAes::init(&mut store, key)
                     .map(TrackedCtx::Table)
-                    .map_err(|e| KernelError::UnknownCipher(e.to_string()))?,
+                    .map_err(KernelError::InvalidKey)?,
                 OnSocCipherBackend::BitslicedTableFree => {
                     TrackedBitslicedAes::init(&mut store, key)
                         .map(TrackedCtx::Bitsliced)
-                        .map_err(|e| KernelError::UnknownCipher(e.to_string()))?
+                        .map_err(KernelError::InvalidKey)?
                 }
             }
         };
         let dt = soc.clock.now_ns() - t0;
         soc.cpu.end_critical(was_enabled, dt);
         self.tracked = Some(tracked);
-        let native =
-            sentry_crypto::Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?;
+        let native = sentry_crypto::Aes::new(key).map_err(KernelError::InvalidKey)?;
         // The batched context shares the already-expanded schedule — the
         // key is expanded once per install, never per operation.
         self.native_bits = Some(BitslicedAes::from_schedule(native.schedule()));
@@ -264,6 +263,7 @@ impl CipherEngine for AesOnSocEngine {
         iv: &[u8; 16],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
+        soc.failpoint("crypt.one")?;
         let ns = self.calibrated_ns(soc, data.len());
         if self.full_sim {
             self.critical(soc, ns, |ctx, store| match ctx {
@@ -285,6 +285,7 @@ impl CipherEngine for AesOnSocEngine {
         iv: &[u8; 16],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
+        soc.failpoint("crypt.one")?;
         let ns = self.calibrated_ns(soc, data.len());
         if self.full_sim {
             self.critical(soc, ns, |ctx, store| match ctx {
@@ -306,6 +307,7 @@ impl CipherEngine for AesOnSocEngine {
         ivs: &[[u8; 16]],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
+        soc.failpoint("crypt.extent")?;
         if ivs.is_empty() {
             assert!(data.is_empty(), "extent data without IVs");
             return Ok(());
@@ -346,6 +348,7 @@ impl CipherEngine for AesOnSocEngine {
         ivs: &[[u8; 16]],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
+        soc.failpoint("crypt.extent")?;
         if ivs.is_empty() {
             assert!(data.is_empty(), "extent data without IVs");
             return Ok(());

@@ -17,6 +17,7 @@
 
 use crate::error::SentryError;
 use crate::onsoc::OnSocStore;
+use crate::txn::{JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_kernel::fault::PageFault;
 use sentry_kernel::pagetable::Backing;
 use sentry_kernel::Kernel;
@@ -117,6 +118,7 @@ impl Pager {
         &mut self,
         store: &mut OnSocStore,
         kernel: &mut Kernel,
+        txn: &mut TxnJournal,
         fault: &PageFault,
         epoch: u64,
     ) -> Result<(), SentryError> {
@@ -138,7 +140,7 @@ impl Pager {
                 Ok(())
             }
             Backing::Dram(frame) if pte.encrypted => {
-                let slot_idx = self.acquire_slot(store, kernel, epoch)?;
+                let slot_idx = self.acquire_slot(store, kernel, txn, epoch)?;
                 self.page_in(kernel, slot_idx, fault.pid, fault.vpn, frame)
             }
             Backing::Dram(_) => {
@@ -156,6 +158,7 @@ impl Pager {
         &mut self,
         store: &mut OnSocStore,
         kernel: &mut Kernel,
+        txn: &mut TxnJournal,
         epoch: u64,
     ) -> Result<usize, SentryError> {
         if let Some(i) = self.free.pop() {
@@ -176,11 +179,12 @@ impl Pager {
                 Err(e) => return Err(e),
             }
         }
-        let victim = self
-            .resident
-            .pop_front()
-            .ok_or(SentryError::OnSocExhausted)?;
-        self.evict(kernel, victim, epoch)?;
+        // Peek, don't pop: a kill inside `evict` must leave the victim
+        // at the FIFO head so recovery (and the retried fault) still
+        // agree with an uninterrupted run on who gets evicted.
+        let victim = *self.resident.front().ok_or(SentryError::OnSocExhausted)?;
+        self.evict(kernel, txn, victim, epoch)?;
+        self.resident.pop_front();
         // `evict` pushed the victim onto the free list; claim it back.
         let reclaimed = self.free.pop().expect("evict frees its slot");
         debug_assert_eq!(reclaimed, victim);
@@ -189,9 +193,17 @@ impl Pager {
 
     /// Figure 1 in reverse: encrypt the slot's page in place and copy it
     /// back to its home DRAM frame; re-arm the trap.
+    ///
+    /// Runs as a journaled two-phase commit: the ciphertext is computed
+    /// in scratch, the intent (slot address, home frame, IV, ciphertext
+    /// tag) is journaled on-SoC, and only then are the frame published
+    /// and the PTE flipped. A kill anywhere in between is completed or
+    /// rolled forward by [`crate::Sentry::recover`]; the slot itself is
+    /// only reclaimed in the in-memory tail, after the journal closes.
     fn evict(
         &mut self,
         kernel: &mut Kernel,
+        txn: &mut TxnJournal,
         slot_idx: usize,
         epoch: u64,
     ) -> Result<(), SentryError> {
@@ -212,16 +224,42 @@ impl Pager {
                 .ok_or(SentryError::Unresolvable { pid, vpn })?
         };
 
-        // Encrypt in place (on the SoC), then copy out to DRAM.
+        // Encrypt in scratch (on the SoC): no DRAM mutation yet.
         let iv = page_iv(pid, vpn, epoch);
-        let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
-        crypto
-            .preferred_mut()
-            .map_err(SentryError::Kernel)?
-            .encrypt(soc, &iv, page.as_mut_slice())
-            .map_err(SentryError::Kernel)?;
-        soc.clock.advance(soc.costs.page_copy_ns);
-        soc.mem_write(home, page.as_slice())?;
+        {
+            let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
+            crypto
+                .preferred_mut()
+                .map_err(SentryError::Kernel)?
+                .encrypt(soc, &iv, page.as_mut_slice())
+                .map_err(SentryError::Kernel)?;
+        }
+        // The tag is the *final* CBC block: it chains over the whole
+        // page, so it cannot collide between old and new ciphertexts of
+        // a rewritten page the way the first block does.
+        let mut tag = [0u8; 16];
+        tag.copy_from_slice(&self.scratch[PAGE_SIZE as usize - 16..]);
+
+        // Journal the intent, then publish and flip.
+        let entry = JournalEntry {
+            pid,
+            vpn,
+            src: slot.addr,
+            frame: home,
+            epoch,
+            iv,
+            tag,
+            done: false,
+        };
+        txn.open(
+            &mut kernel.soc,
+            TxnOp::Encrypt,
+            epoch,
+            std::slice::from_ref(&entry),
+        )?;
+        kernel.soc.failpoint("pager.evict")?;
+        kernel.soc.clock.advance(kernel.soc.costs.page_copy_ns);
+        kernel.soc.mem_write(home, &self.scratch)?;
 
         let proc = kernel.proc_mut(pid)?;
         let pte = proc
@@ -235,7 +273,10 @@ impl Pager {
         pte.dirty = false;
         pte.crypt_epoch = epoch;
         proc.stats.bytes_encrypted += PAGE_SIZE;
+        txn.mark_done(&mut kernel.soc, 0)?;
+        txn.close(&mut kernel.soc)?;
 
+        // In-memory tail: reclaim the slot.
         self.slots[slot_idx].occupant = None;
         self.free.push(slot_idx);
         self.stats.pageouts += 1;
@@ -253,6 +294,10 @@ impl Pager {
         vpn: u64,
         frame: u64,
     ) -> Result<(), SentryError> {
+        // Journal-free by design: every byte this path writes lands
+        // on-SoC (the slot), never in DRAM, so a kill at any step leaves
+        // DRAM and the PTE exactly as they were before the fault.
+        kernel.soc.failpoint("pager.pagein")?;
         let slot_addr = self.slots[slot_idx].addr;
         self.scratch.resize(PAGE_SIZE as usize, 0);
         let page = &mut self.scratch;
@@ -304,8 +349,17 @@ impl Pager {
     /// # Errors
     ///
     /// Propagates eviction errors.
-    pub fn evict_all(&mut self, kernel: &mut Kernel, epoch: u64) -> Result<(), SentryError> {
-        let victims: Vec<usize> = self.resident.drain(..).collect();
+    pub fn evict_all(
+        &mut self,
+        kernel: &mut Kernel,
+        txn: &mut TxnJournal,
+        epoch: u64,
+    ) -> Result<(), SentryError> {
+        // The FIFO is *not* drained up front: a kill mid-sweep must
+        // leave the not-yet-published victims resident, so recovery (and
+        // a retried lock) still sees them. Slot bookkeeping happens only
+        // in the in-memory tail, after every journal chunk has closed.
+        let victims: Vec<usize> = self.resident.iter().copied().collect();
         if victims.is_empty() {
             return Ok(());
         }
@@ -337,32 +391,66 @@ impl Pager {
             targets.push((pid, vpn, home));
         }
 
-        let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
-        crypto
-            .preferred_mut()
-            .map_err(SentryError::Kernel)?
-            .encrypt_extent(soc, &ivs, &mut buf)
-            .map_err(SentryError::Kernel)?;
-        soc.clock.advance(soc.costs.page_copy_ns * n as u64);
+        {
+            let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
+            crypto
+                .preferred_mut()
+                .map_err(SentryError::Kernel)?
+                .encrypt_extent(soc, &ivs, &mut buf)
+                .map_err(SentryError::Kernel)?;
+            soc.clock.advance(soc.costs.page_copy_ns * n as u64);
+        }
 
         // Scatter the ciphertext back to each page's home frame and
-        // re-arm the traps.
-        for ((chunk, &slot_idx), &(pid, vpn, home)) in
-            buf.chunks_exact(page).zip(&victims).zip(&targets)
-        {
-            kernel.soc.mem_write(home, chunk)?;
-            let proc = kernel.proc_mut(pid)?;
-            let pte = proc
-                .page_table
-                .get_mut(vpn)
-                .ok_or(SentryError::Unresolvable { pid, vpn })?;
-            pte.backing = Backing::Dram(home);
-            pte.home_frame = None;
-            pte.encrypted = true;
-            pte.young = false;
-            pte.dirty = false;
-            pte.crypt_epoch = epoch;
-            proc.stats.bytes_encrypted += PAGE_SIZE;
+        // re-arm the traps, in journaled chunks: every publish + PTE
+        // flip is covered by an open journal entry, so a kill anywhere
+        // in the sweep is completed by recovery.
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + MAX_ENTRIES).min(n);
+            let entries: Vec<JournalEntry> = (start..end)
+                .map(|i| {
+                    let (pid, vpn, home) = targets[i];
+                    let mut tag = [0u8; 16];
+                    tag.copy_from_slice(&buf[(i + 1) * page - 16..(i + 1) * page]);
+                    JournalEntry {
+                        pid,
+                        vpn,
+                        src: self.slots[victims[i]].addr,
+                        frame: home,
+                        epoch,
+                        iv: ivs[i],
+                        tag,
+                        done: false,
+                    }
+                })
+                .collect();
+            txn.open(&mut kernel.soc, TxnOp::Encrypt, epoch, &entries)?;
+            for i in start..end {
+                let (pid, vpn, home) = targets[i];
+                kernel.soc.failpoint("pager.evict")?;
+                kernel.soc.mem_write(home, &buf[i * page..(i + 1) * page])?;
+                let proc = kernel.proc_mut(pid)?;
+                let pte = proc
+                    .page_table
+                    .get_mut(vpn)
+                    .ok_or(SentryError::Unresolvable { pid, vpn })?;
+                pte.backing = Backing::Dram(home);
+                pte.home_frame = None;
+                pte.encrypted = true;
+                pte.young = false;
+                pte.dirty = false;
+                pte.crypt_epoch = epoch;
+                proc.stats.bytes_encrypted += PAGE_SIZE;
+                txn.mark_done(&mut kernel.soc, i - start)?;
+            }
+            txn.close(&mut kernel.soc)?;
+            start = end;
+        }
+
+        // In-memory tail: reclaim every slot at once.
+        self.resident.clear();
+        for &slot_idx in &victims {
             self.slots[slot_idx].occupant = None;
             self.free.push(slot_idx);
             self.stats.pageouts += 1;
@@ -371,6 +459,32 @@ impl Pager {
         self.stats.evict_batches += 1;
         self.stats.evict_batch_pages += n as u64;
         Ok(())
+    }
+
+    /// Post-recovery reconciliation: drop any resident slot whose
+    /// occupant's PTE no longer points at it. Recovery completes
+    /// interrupted evictions by flipping PTEs back to their DRAM frames;
+    /// the pager's in-memory FIFO (which never reached its tail commit)
+    /// is re-synchronized here from the page tables — the single source
+    /// of truth.
+    pub fn reconcile(&mut self, kernel: &Kernel) {
+        let resident: Vec<usize> = self.resident.drain(..).collect();
+        for slot_idx in resident {
+            let slot = self.slots[slot_idx];
+            let still_resident = slot.occupant.is_some_and(|(pid, vpn)| {
+                kernel
+                    .procs
+                    .get(&pid)
+                    .and_then(|p| p.page_table.get(vpn))
+                    .is_some_and(|pte| matches!(pte.backing, Backing::OnSoc(a) if a == slot.addr))
+            });
+            if still_resident {
+                self.resident.push_back(slot_idx);
+            } else {
+                self.slots[slot_idx].occupant = None;
+                self.free.push(slot_idx);
+            }
+        }
     }
 
     /// Release all on-SoC slots back to the store (after

@@ -1,5 +1,6 @@
 //! Sentry error types.
 
+use sentry_crypto::CryptoError;
 use sentry_kernel::KernelError;
 use sentry_soc::SocError;
 use std::error::Error;
@@ -12,6 +13,8 @@ pub enum SentryError {
     Kernel(KernelError),
     /// An error from the SoC layer.
     Soc(SocError),
+    /// An error from the bulk crypt machinery (parallel worker pool).
+    Crypto(CryptoError),
     /// On-SoC storage (iRAM or lockable cache ways) is exhausted.
     OnSocExhausted,
     /// The operation applies only to processes marked sensitive.
@@ -33,6 +36,41 @@ pub enum SentryError {
         /// What the operation needed.
         expected_locked: bool,
     },
+    /// A lock/unlock/fault/sweep entry point was called while a
+    /// crash-consistency transition is still journaled in flight —
+    /// [`crate::Sentry::recover`] must run first.
+    TransitionInFlight {
+        /// The entry point that was refused.
+        op: &'static str,
+    },
+}
+
+impl SentryError {
+    /// True when this error (or anything in its source chain) is the
+    /// fault plane's simulated power cut — the one failure whose
+    /// aftermath is handled by [`crate::Sentry::recover`], not retry.
+    #[must_use]
+    pub fn is_power_loss(&self) -> bool {
+        matches!(
+            self,
+            SentryError::Soc(SocError::PowerLost { .. })
+                | SentryError::Kernel(KernelError::Soc(SocError::PowerLost { .. }))
+        )
+    }
+
+    /// True when this error is an injected crypt-engine fault or batch
+    /// abort from the fault plane: the transition failed cleanly before
+    /// mutating anything, and the operation can simply be retried.
+    #[must_use]
+    pub fn is_injected_crypt_fault(&self) -> bool {
+        matches!(
+            self,
+            SentryError::Soc(SocError::CryptFault { .. } | SocError::BatchAborted { .. })
+                | SentryError::Kernel(KernelError::Soc(
+                    SocError::CryptFault { .. } | SocError::BatchAborted { .. }
+                ))
+        )
+    }
 }
 
 impl fmt::Display for SentryError {
@@ -40,6 +78,7 @@ impl fmt::Display for SentryError {
         match self {
             SentryError::Kernel(e) => write!(f, "kernel: {e}"),
             SentryError::Soc(e) => write!(f, "soc: {e}"),
+            SentryError::Crypto(e) => write!(f, "crypto: {e}"),
             SentryError::OnSocExhausted => write!(f, "on-SoC storage exhausted"),
             SentryError::NotSensitive { pid } => {
                 write!(f, "process {pid} is not marked sensitive")
@@ -56,6 +95,10 @@ impl fmt::Display for SentryError {
                     "unlocked"
                 }
             ),
+            SentryError::TransitionInFlight { op } => write!(
+                f,
+                "{op} refused: a journaled transition is in flight (run recover() first)"
+            ),
         }
     }
 }
@@ -65,8 +108,15 @@ impl Error for SentryError {
         match self {
             SentryError::Kernel(e) => Some(e),
             SentryError::Soc(e) => Some(e),
+            SentryError::Crypto(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CryptoError> for SentryError {
+    fn from(e: CryptoError) -> Self {
+        SentryError::Crypto(e)
     }
 }
 
@@ -94,5 +144,32 @@ mod tests {
         assert!(SentryError::OnSocExhausted
             .to_string()
             .contains("exhausted"));
+    }
+
+    #[test]
+    fn power_loss_is_recognised_through_the_source_chain() {
+        let direct: SentryError = SocError::PowerLost { site: "dram.write" }.into();
+        assert!(direct.is_power_loss());
+        let via_kernel: SentryError = KernelError::Soc(SocError::PowerLost {
+            site: "pager.evict",
+        })
+        .into();
+        assert!(via_kernel.is_power_loss());
+        assert!(!SentryError::OnSocExhausted.is_power_loss());
+
+        let crypt: SentryError = SocError::CryptFault { site: "crypt" }.into();
+        assert!(crypt.is_injected_crypt_fault());
+        assert!(!crypt.is_power_loss());
+    }
+
+    #[test]
+    fn crypto_errors_convert_and_chain() {
+        let e: SentryError = CryptoError::WorkerPanicked {
+            lane: 1,
+            detail: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("crypto"));
+        assert!(Error::source(&e).is_some());
     }
 }

@@ -64,8 +64,10 @@ pub mod keys;
 pub mod lifecycle;
 pub mod onsoc;
 pub mod store;
+pub mod txn;
 
 pub use config::{OnSocBackend, ParallelConfig, SentryConfig};
 pub use device::{DeviceAgent, ScreenState, UnlockOutcome};
 pub use error::SentryError;
-pub use lifecycle::{DeviceState, LifecycleStats, ParallelStats, Sentry};
+pub use lifecycle::{DeviceState, LifecycleStats, ParallelStats, RecoveryReport, Sentry};
+pub use txn::{JournalEntry, TxnJournal, TxnOp};

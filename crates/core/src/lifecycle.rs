@@ -15,12 +15,13 @@ use crate::encdram::{page_iv, Pager};
 use crate::error::SentryError;
 use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
+use crate::txn::{JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_crypto::parallel::{crypt_batch, BatchReport, Direction, PageJob};
-use sentry_crypto::Aes;
+use sentry_crypto::{Aes, CryptoError};
 use sentry_kernel::fault::{FaultResolution, PageFault};
 use sentry_kernel::pagetable::{Backing, Pte, Sharing};
 use sentry_kernel::{Kernel, KernelError, Pid};
-use sentry_soc::addr::PAGE_SIZE;
+use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, PAGE_SIZE};
 
 /// Whether the device screen is locked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +118,39 @@ struct ClusterPage {
     iv: [u8; 16],
 }
 
+/// Who owns a bulk-encrypt job's frame — what the publish loop must
+/// flip once the ciphertext lands.
+enum JobOwner {
+    /// A single private mapping.
+    Private(Pid, u64),
+    /// A freshly encrypted shared frame: every sharer's PTE flips.
+    Shared(Vec<(Pid, u64)>),
+}
+
+/// What [`Sentry::recover`] did with the journal it found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Entries in the journaled chunk that was open at the kill.
+    pub journaled: usize,
+    /// Entries recovery completed (published and/or flipped).
+    pub completed: usize,
+    /// Entries already marked done before the kill.
+    pub already_done: usize,
+}
+
+/// Last 16 bytes of each page-sized chunk — the journal tags of a
+/// ciphertext image. The *final* CBC block is the tag because it chains
+/// over the whole page: two ciphertexts of different page contents
+/// under the same IV always differ there, whereas their first blocks
+/// collide whenever the pages share a first plaintext block (e.g. a
+/// common header rewritten with different bodies).
+fn page_tags(buf: &[u8]) -> Vec<[u8; 16]> {
+    let page = PAGE_SIZE as usize;
+    buf.chunks_exact(page)
+        .map(|c| c[page - 16..].try_into().expect("page has a 16-byte tail"))
+        .collect()
+}
+
 /// Cumulative parallel-engine statistics. Kept separate from
 /// [`LifecycleStats`] because the per-lane byte loads are variable
 /// length (one slot per worker lane ever used).
@@ -171,6 +205,8 @@ pub struct Sentry {
     pub last_fault: Option<FaultResolution>,
     state: DeviceState,
     volatile_key: VolatileRootKey,
+    /// The crash-consistency transition journal (one on-SoC page).
+    txn: TxnJournal,
     /// Monotone lock counter mixed into every page IV so ciphertext
     /// never repeats across lock cycles under the surviving volatile
     /// key. Incremented at the start of each lock transition.
@@ -200,6 +236,14 @@ impl Sentry {
         let key = volatile_key.read(&mut kernel.soc)?;
         let engine = build_engine(&mut store, &mut kernel.soc, &key)?;
         kernel.crypto.register(Box::new(engine));
+        // The transition journal lives in iRAM — on-SoC, so it dies with
+        // power exactly like the volatile key. With the iRAM backend it
+        // is an allocated page; with locked L2, iRAM is otherwise unused
+        // and the first post-firmware page is taken directly.
+        let journal_page = match config.backend {
+            OnSocBackend::Iram => store.alloc_page(&mut kernel.soc)?,
+            OnSocBackend::LockedL2 { .. } => IRAM_BASE + IRAM_FIRMWARE_RESERVED,
+        };
         Ok(Sentry {
             kernel,
             store,
@@ -210,6 +254,7 @@ impl Sentry {
             last_fault: None,
             state: DeviceState::Unlocked,
             volatile_key,
+            txn: TxnJournal::new(journal_page),
             lock_epoch: 0,
             sweep_cursor: None,
         })
@@ -252,35 +297,32 @@ impl Sentry {
             .collect()
     }
 
-    /// Encrypt or decrypt a single page in place in DRAM through the
-    /// preferred cipher engine (AES On SoC when registered). The caller
-    /// supplies the IV — [`page_iv`] of the frame's IV-owner mapping and
-    /// the lock epoch the ciphertext belongs to.
-    fn crypt_page_in_dram(
-        kernel: &mut Kernel,
-        iv: &[u8; 16],
-        frame: u64,
-        encrypt: bool,
-    ) -> Result<(), SentryError> {
-        let mut page = vec![0u8; PAGE_SIZE as usize];
-        kernel.soc.mem_read(frame, &mut page)?;
-        let Kernel { soc, crypto, .. } = kernel;
-        let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
-        if encrypt {
-            engine
-                .encrypt(soc, iv, &mut page)
-                .map_err(SentryError::Kernel)?;
+    /// Whether a journaled transition chunk is open right now — i.e., a
+    /// previous transition was killed mid-commit and [`Sentry::recover`]
+    /// has not yet run.
+    #[must_use]
+    pub fn txn_in_flight(&self) -> bool {
+        self.txn.in_flight()
+    }
+
+    /// Re-entrancy guard: every transition entry point refuses to start
+    /// while a journaled transition is still in flight.
+    fn ensure_no_txn(&self, op: &'static str) -> Result<(), SentryError> {
+        if self.txn.in_flight() {
+            Err(SentryError::TransitionInFlight { op })
         } else {
-            engine
-                .decrypt(soc, iv, &mut page)
-                .map_err(SentryError::Kernel)?;
+            Ok(())
         }
-        soc.mem_write(frame, &page)?;
-        Ok(())
     }
 
     /// Run a batch of DRAM-side `(frame, iv)` crypt jobs — the bulk path
-    /// of the lock and eager-unlock transitions.
+    /// of every transition — *into host scratch buffers*, without
+    /// touching DRAM. Returns the transformed pages (one contiguous
+    /// buffer, page-sized chunks in job order), the per-page ciphertext
+    /// tags (first 16 bytes of each page's *ciphertext* image — post-
+    /// transform for encrypt, pre-transform for decrypt), and the batch
+    /// report. The caller journals the tags, then publishes each chunk
+    /// with its PTE flip as a two-phase commit.
     ///
     /// With `parallel.workers <= 1`, or a batch below
     /// `parallel.min_batch_pages`, every page dispatches one at a time
@@ -295,52 +337,66 @@ impl Sentry {
     /// SoC at full cost). AES On SoC itself stays single-lane — its
     /// state page cannot be replicated — so the parallel path models
     /// per-core register-resident contexts derived from the same key.
-    fn crypt_frames_bulk(
+    #[allow(clippy::type_complexity)]
+    fn crypt_frames_to_buffers(
         &mut self,
         direction: Direction,
         jobs: &[(u64, [u8; 16])],
-    ) -> Result<BatchReport, SentryError> {
+    ) -> Result<(Vec<u8>, Vec<[u8; 16]>, BatchReport), SentryError> {
         let pages = jobs.len();
         let bytes = pages as u64 * PAGE_SIZE;
+        let page = PAGE_SIZE as usize;
+        if pages == 0 {
+            let report = BatchReport {
+                pages: 0,
+                bytes: 0,
+                workers_used: 1,
+                per_worker_bytes: vec![0],
+                sequential_fallback: true,
+            };
+            return Ok((Vec::new(), Vec::new(), report));
+        }
+        self.kernel.soc.failpoint("crypt.dispatch")?;
         let workers = self.config.parallel.workers;
         let min_batch = self.config.parallel.min_batch_pages.max(1);
 
+        // Gather every source page into one contiguous run. Nothing
+        // below writes DRAM.
+        let mut buf = vec![0u8; pages * page];
+        for (chunk, &(frame, _)) in buf.chunks_exact_mut(page).zip(jobs) {
+            self.kernel.soc.mem_read(frame, chunk)?;
+        }
+        // Decrypt jobs carry the ciphertext *now*; snapshot the tags
+        // before the transform destroys them.
+        let pre_tags = (direction == Direction::Decrypt).then(|| page_tags(&buf));
+
         let report = if workers <= 1 || pages < min_batch {
-            if pages <= 1 {
-                for &(frame, iv) in jobs {
-                    Self::crypt_page_in_dram(
-                        &mut self.kernel,
-                        &iv,
-                        frame,
-                        direction == Direction::Encrypt,
-                    )?;
+            if pages == 1 {
+                // A lone page takes the exact single-page dispatch —
+                // byte- and cycle-identical to the unbatched prototype.
+                let iv = jobs[0].1;
+                let Kernel { soc, crypto, .. } = &mut self.kernel;
+                let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
+                match direction {
+                    Direction::Encrypt => engine.encrypt(soc, &iv, &mut buf),
+                    Direction::Decrypt => engine.decrypt(soc, &iv, &mut buf),
                 }
+                .map_err(SentryError::Kernel)?;
             } else {
-                // Gather the run into one buffer and make a single
-                // extent call: one batched kernel stream, one
+                // One extent call: one batched kernel stream, one
                 // IRQ-critical section. The engine charge is linear in
                 // bytes, so this is cycle-identical to the per-page
                 // loop, while the backend batches across page
                 // boundaries (the encrypt side fills its lanes with
                 // independent page chains).
-                let mut buf = vec![0u8; pages * PAGE_SIZE as usize];
-                let mut ivs = Vec::with_capacity(pages);
-                for (chunk, &(frame, iv)) in buf.chunks_exact_mut(PAGE_SIZE as usize).zip(jobs) {
-                    self.kernel.soc.mem_read(frame, chunk)?;
-                    ivs.push(iv);
+                let ivs: Vec<[u8; 16]> = jobs.iter().map(|&(_, iv)| iv).collect();
+                let Kernel { soc, crypto, .. } = &mut self.kernel;
+                let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
+                match direction {
+                    Direction::Encrypt => engine.encrypt_extent(soc, &ivs, &mut buf),
+                    Direction::Decrypt => engine.decrypt_extent(soc, &ivs, &mut buf),
                 }
-                {
-                    let Kernel { soc, crypto, .. } = &mut self.kernel;
-                    let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
-                    match direction {
-                        Direction::Encrypt => engine.encrypt_extent(soc, &ivs, &mut buf),
-                        Direction::Decrypt => engine.decrypt_extent(soc, &ivs, &mut buf),
-                    }
-                    .map_err(SentryError::Kernel)?;
-                }
-                for (chunk, &(frame, _)) in buf.chunks_exact(PAGE_SIZE as usize).zip(jobs) {
-                    self.kernel.soc.mem_write(frame, chunk)?;
-                }
+                .map_err(SentryError::Kernel)?;
             }
             BatchReport {
                 pages,
@@ -353,22 +409,12 @@ impl Sentry {
             // Expand the key schedule exactly once for the whole batch;
             // worker lanes share the expanded context by reference.
             let key = self.volatile_key.read(&mut self.kernel.soc)?;
-            let aes = Aes::new(&key)
-                .map_err(|e| SentryError::Kernel(KernelError::UnknownCipher(e.to_string())))?;
+            let aes = Aes::new(&key).map_err(|e| SentryError::Crypto(CryptoError::Key(e)))?;
 
-            let mut buffers: Vec<Vec<u8>> = Vec::with_capacity(pages);
-            for &(frame, _) in jobs {
-                let mut page = vec![0u8; PAGE_SIZE as usize];
-                self.kernel.soc.mem_read(frame, &mut page)?;
-                buffers.push(page);
-            }
-            let mut batch: Vec<PageJob<'_>> = buffers
-                .iter_mut()
+            let mut batch: Vec<PageJob<'_>> = buf
+                .chunks_exact_mut(page)
                 .zip(jobs)
-                .map(|(page, &(_, iv))| PageJob {
-                    iv,
-                    data: page.as_mut_slice(),
-                })
+                .map(|(data, &(_, iv))| PageJob { iv, data })
                 .collect();
             // Both directions run the batched bitsliced kernel: decrypt
             // lanes stream each page 16 blocks per call (CBC decryption
@@ -377,7 +423,8 @@ impl Sentry {
             // reference — the schedule expanded above is the only key
             // expansion in the whole batch.
             let bits = sentry_crypto::BitslicedAes::from_schedule(aes.schedule());
-            let report = crypt_batch(&bits, direction, &mut batch, workers, min_batch);
+            let report = crypt_batch(&bits, direction, &mut batch, workers, min_batch)
+                .map_err(SentryError::Crypto)?;
 
             // Same calibrated per-block cost as the AES-On-SoC engine,
             // spread across the lanes that actually ran.
@@ -392,13 +439,10 @@ impl Sentry {
             let was_enabled = soc.cpu.begin_critical();
             soc.clock.advance(charged_ns);
             soc.cpu.end_critical(was_enabled, charged_ns);
-
-            for (&(frame, _), page) in jobs.iter().zip(&buffers) {
-                self.kernel.soc.mem_write(frame, page)?;
-            }
             report
         };
 
+        let tags = pre_tags.unwrap_or_else(|| page_tags(&buf));
         if report.pages > 0 {
             self.stats.crypt_batches += 1;
             self.stats.crypt_batch_pages += report.pages as u64;
@@ -406,7 +450,7 @@ impl Sentry {
                 self.stats.largest_batch_pages.max(report.pages as u64);
             self.parallel.record(&report);
         }
-        Ok(report)
+        Ok((buf, tags, report))
     }
 
     /// The IV a frame's ciphertext was produced under: shared frames
@@ -457,37 +501,66 @@ impl Sentry {
         if jobs.is_empty() {
             return Ok(0);
         }
-        if jobs.len() == 1 {
-            // A lone page takes the exact single-page dispatch —
-            // byte- and cycle-identical to pre-readahead faulting.
-            Self::crypt_page_in_dram(&mut self.kernel, &jobs[0].1, jobs[0].0, false)?;
-        } else {
-            self.crypt_frames_bulk(Direction::Decrypt, &jobs)?;
-        }
-        for cp in live {
-            // Re-arm every mapping of the frame, not just the gathered
-            // one — a second sharer must not decrypt the now-plaintext
-            // frame again.
-            if let Some(sharers) = self.kernel.sharers_of(cp.frame).map(<[(u32, u64)]>::to_vec) {
-                for (spid, svpn) in sharers {
-                    if let Some(spte) = self
-                        .kernel
-                        .procs
-                        .get_mut(&spid)
-                        .and_then(|p| p.page_table.get_mut(svpn))
-                    {
-                        spte.encrypted = false;
-                        spte.young = true;
+        let (buf, tags, _report) = self.crypt_frames_to_buffers(Direction::Decrypt, &jobs)?;
+
+        // Publish in journaled chunks. Decrypt order is flip-first: the
+        // PTE's encrypted bit clears *before* the plaintext lands in the
+        // frame, preserving the invariant that a PTE claiming
+        // "encrypted" never fronts a plaintext frame.
+        let page = PAGE_SIZE as usize;
+        let epoch = self.lock_epoch;
+        let mut start = 0usize;
+        while start < jobs.len() {
+            let end = (start + MAX_ENTRIES).min(jobs.len());
+            let entries: Vec<JournalEntry> = (start..end)
+                .map(|i| JournalEntry {
+                    pid: live[i].pid,
+                    vpn: live[i].vpn,
+                    src: jobs[i].0,
+                    frame: jobs[i].0,
+                    epoch,
+                    iv: jobs[i].1,
+                    tag: tags[i],
+                    done: false,
+                })
+                .collect();
+            self.txn
+                .open(&mut self.kernel.soc, TxnOp::Decrypt, epoch, &entries)?;
+            for i in start..end {
+                let cp = live[i];
+                self.kernel.soc.failpoint("txn.flip")?;
+                // Re-arm every mapping of the frame, not just the
+                // gathered one — a second sharer must not decrypt the
+                // now-plaintext frame again.
+                if let Some(sharers) = self.kernel.sharers_of(cp.frame).map(<[(u32, u64)]>::to_vec)
+                {
+                    for (spid, svpn) in sharers {
+                        if let Some(spte) = self
+                            .kernel
+                            .procs
+                            .get_mut(&spid)
+                            .and_then(|p| p.page_table.get_mut(svpn))
+                        {
+                            spte.encrypted = false;
+                            spte.young = true;
+                        }
                     }
                 }
-            }
-            if let Some(proc) = self.kernel.procs.get_mut(&cp.pid) {
-                if let Some(pte) = proc.page_table.get_mut(cp.vpn) {
-                    pte.encrypted = false;
-                    pte.young = true;
+                if let Some(proc) = self.kernel.procs.get_mut(&cp.pid) {
+                    if let Some(pte) = proc.page_table.get_mut(cp.vpn) {
+                        pte.encrypted = false;
+                        pte.young = true;
+                    }
+                    proc.stats.bytes_decrypted += PAGE_SIZE;
                 }
-                proc.stats.bytes_decrypted += PAGE_SIZE;
+                self.kernel.soc.failpoint("txn.publish")?;
+                self.kernel
+                    .soc
+                    .mem_write(jobs[i].0, &buf[i * page..(i + 1) * page])?;
+                self.txn.mark_done(&mut self.kernel.soc, i - start)?;
             }
+            self.txn.close(&mut self.kernel.soc)?;
+            start = end;
         }
         Ok(jobs.len())
     }
@@ -524,12 +597,14 @@ impl Sentry {
     ///
     /// Propagates memory and cipher errors.
     pub fn sweep(&mut self, budget_pages: usize) -> Result<SweepReport, SentryError> {
+        self.ensure_no_txn("sweep")?;
         if self.state != DeviceState::Unlocked || budget_pages == 0 {
             return Ok(SweepReport {
                 residual_pages: self.residual_encrypted_pages(),
                 ..SweepReport::default()
             });
         }
+        self.kernel.soc.failpoint("sweep.begin")?;
         let t0 = self.kernel.soc.clock.now_ns();
         // Candidates in (pid, vpn) order, rotated so the scan resumes at
         // the cursor and wraps.
@@ -622,19 +697,25 @@ impl Sentry {
     /// [`SentryError::WrongState`] if already locked; propagated memory
     /// and cipher errors otherwise.
     pub fn on_lock(&mut self) -> Result<LockReport, SentryError> {
+        self.ensure_no_txn("on_lock")?;
         if self.state == DeviceState::Locked {
             return Err(SentryError::WrongState {
                 expected_locked: false,
             });
         }
+        self.kernel.soc.failpoint("lock.begin")?;
         let t0 = self.kernel.soc.clock.now_ns();
-        // Advance the epoch before anything encrypts: the zero-thread
-        // drain and the pager's eviction sweep belong to this lock
-        // cycle's IV namespace too.
-        self.lock_epoch += 1;
-        let epoch = self.lock_epoch;
+        // This cycle's epoch, computed locally and committed only in the
+        // atomic tail: a transition killed mid-flight leaves lock_epoch
+        // untouched, so a retry recomputes the *same* target epoch —
+        // hence the same IVs and byte-identical ciphertext — and
+        // converges with the uninterrupted run. The zero-thread drain
+        // and the pager's eviction sweep belong to this cycle's IV
+        // namespace too.
+        let epoch = self.lock_epoch + 1;
         let zero_drain_ns = self.kernel.drain_zero_thread()?;
-        self.pager.evict_all(&mut self.kernel, epoch)?;
+        self.pager
+            .evict_all(&mut self.kernel, &mut self.txn, epoch)?;
 
         // Phase 1: collect every crypt job — private pages of every
         // sensitive process, then the shared-frame pass — into one
@@ -642,7 +723,7 @@ impl Sentry {
         // first and dispatching once lets the engine fan them out.
         let mut skipped = 0u64;
         let mut jobs: Vec<(u64, [u8; 16])> = Vec::new();
-        let mut private_updates: Vec<(Pid, u64)> = Vec::new();
+        let mut owners: Vec<JobOwner> = Vec::new();
         for pid in self.sensitive_pids() {
             let targets: Vec<(u64, u64)> = {
                 let proc = self.kernel.proc(pid)?;
@@ -670,7 +751,7 @@ impl Sentry {
 
             for (vpn, frame) in targets {
                 jobs.push((frame, page_iv(pid, vpn, epoch)));
-                private_updates.push((pid, vpn));
+                owners.push(JobOwner::Private(pid, vpn));
             }
             if !self.config.background_support {
                 self.kernel.proc_mut(pid)?.schedulable = false;
@@ -713,15 +794,18 @@ impl Sentry {
                         .filter(|pte| pte.encrypted)
                         .map(|pte| pte.crypt_epoch)
                 });
-                let effective_epoch = match stored_epoch {
-                    Some(e) => e,
+                match stored_epoch {
+                    // Already ciphertext: a pure PTE re-arm, no bytes
+                    // move, so no journal entry is needed (the flip is
+                    // idempotent and happens after the journaled
+                    // publishes).
+                    Some(e) => shared_rearms.push((sharers, e)),
                     None => {
                         let (pid0, vpn0) = sharers[0];
                         jobs.push((frame, page_iv(pid0, vpn0, epoch)));
-                        epoch
+                        owners.push(JobOwner::Shared(sharers));
                     }
-                };
-                shared_rearms.push((sharers, effective_epoch));
+                }
             } else {
                 skipped += 1;
                 for &(pid, vpn) in &sharers {
@@ -737,19 +821,81 @@ impl Sentry {
             }
         }
 
-        // Phase 2: one dispatch for the whole transition.
-        let report = self.crypt_frames_bulk(Direction::Encrypt, &jobs)?;
+        // Phase 2: one dispatch for the whole transition — into scratch
+        // buffers. DRAM is untouched until each page's journaled
+        // publish below.
+        let (buf, tags, report) = self.crypt_frames_to_buffers(Direction::Encrypt, &jobs)?;
 
-        // Phase 3: re-arm the PTEs of everything just encrypted.
-        for (pid, vpn) in private_updates {
-            let proc = self.kernel.proc_mut(pid)?;
-            let pte = proc.page_table.get_mut(vpn).expect("walked above");
-            pte.encrypted = true;
-            pte.young = false;
-            pte.dirty = false;
-            pte.crypt_epoch = epoch;
-            proc.stats.bytes_encrypted += PAGE_SIZE;
+        // Phase 3: publish + flip as a two-phase commit, in journal
+        // chunks. Encrypt order is publish-first: the ciphertext lands,
+        // *then* the PTE flips — a kill in between leaves a PTE that
+        // still says plaintext over a ciphertext frame, which recovery
+        // (tag comparison) completes by flipping.
+        let page = PAGE_SIZE as usize;
+        let mut start = 0usize;
+        while start < jobs.len() {
+            let end = (start + MAX_ENTRIES).min(jobs.len());
+            let entries: Vec<JournalEntry> = (start..end)
+                .map(|i| {
+                    let (pid, vpn) = match &owners[i] {
+                        JobOwner::Private(pid, vpn) => (*pid, *vpn),
+                        JobOwner::Shared(sharers) => sharers[0],
+                    };
+                    JournalEntry {
+                        pid,
+                        vpn,
+                        src: jobs[i].0,
+                        frame: jobs[i].0,
+                        epoch,
+                        iv: jobs[i].1,
+                        tag: tags[i],
+                        done: false,
+                    }
+                })
+                .collect();
+            self.txn
+                .open(&mut self.kernel.soc, TxnOp::Encrypt, epoch, &entries)?;
+            for i in start..end {
+                self.kernel.soc.failpoint("txn.publish")?;
+                self.kernel
+                    .soc
+                    .mem_write(jobs[i].0, &buf[i * page..(i + 1) * page])?;
+                self.kernel.soc.failpoint("txn.flip")?;
+                match &owners[i] {
+                    JobOwner::Private(pid, vpn) => {
+                        let proc = self.kernel.proc_mut(*pid)?;
+                        let pte = proc.page_table.get_mut(*vpn).expect("walked above");
+                        pte.encrypted = true;
+                        pte.young = false;
+                        pte.dirty = false;
+                        pte.crypt_epoch = epoch;
+                        proc.stats.bytes_encrypted += PAGE_SIZE;
+                    }
+                    JobOwner::Shared(sharers) => {
+                        for &(pid, vpn) in sharers {
+                            if let Some(pte) = self
+                                .kernel
+                                .procs
+                                .get_mut(&pid)
+                                .and_then(|p| p.page_table.get_mut(vpn))
+                            {
+                                pte.encrypted = true;
+                                pte.young = false;
+                                pte.dirty = false;
+                                pte.sharing = Sharing::SharedSensitiveOnly;
+                                pte.crypt_epoch = epoch;
+                            }
+                        }
+                    }
+                }
+                self.txn.mark_done(&mut self.kernel.soc, i - start)?;
+            }
+            self.txn.close(&mut self.kernel.soc)?;
+            start = end;
         }
+
+        // Re-arm-only shared frames (still ciphertext from an earlier
+        // cycle): idempotent PTE flips, journal-free.
         for (sharers, effective_epoch) in shared_rearms {
             for &(pid, vpn) in &sharers {
                 if let Some(pte) = self
@@ -767,6 +913,8 @@ impl Sentry {
             }
         }
 
+        // Atomic tail: only now does the transition commit.
+        self.lock_epoch = epoch;
         self.state = DeviceState::Locked;
         self.stats.locks += 1;
         Ok(LockReport {
@@ -789,16 +937,20 @@ impl Sentry {
     /// [`SentryError::WrongState`] if already unlocked; propagated
     /// memory and cipher errors otherwise.
     pub fn on_unlock(&mut self) -> Result<UnlockReport, SentryError> {
+        self.ensure_no_txn("on_unlock")?;
         if self.state == DeviceState::Unlocked {
             return Err(SentryError::WrongState {
                 expected_locked: true,
             });
         }
+        self.kernel.soc.failpoint("unlock.begin")?;
         let t0 = self.kernel.soc.clock.now_ns();
         // DMA regions are decrypted eagerly and batched like the lock
         // path: collect every (frame, iv) job first, dispatch once.
+        // Un-parking is idempotent, so a killed-and-retried unlock
+        // converges.
         let mut jobs: Vec<(u64, [u8; 16])> = Vec::new();
-        let mut updates: Vec<(Pid, u64)> = Vec::new();
+        let mut updates: Vec<(Pid, u64, u64)> = Vec::new();
         for pid in self.sensitive_pids() {
             self.kernel.proc_mut(pid)?.schedulable = true;
             let dma_pages: Vec<(u64, u64, u64)> = self
@@ -815,17 +967,53 @@ impl Sentry {
                 .collect();
             for (vpn, frame, stored_epoch) in dma_pages {
                 jobs.push((frame, page_iv(pid, vpn, stored_epoch)));
-                updates.push((pid, vpn));
+                updates.push((pid, vpn, stored_epoch));
             }
         }
-        let report = self.crypt_frames_bulk(Direction::Decrypt, &jobs)?;
-        for (pid, vpn) in updates {
-            let proc = self.kernel.proc_mut(pid)?;
-            let pte = proc.page_table.get_mut(vpn).expect("walked above");
-            pte.encrypted = false;
-            pte.young = true;
-            proc.stats.bytes_decrypted += PAGE_SIZE;
+        let (buf, tags, report) = self.crypt_frames_to_buffers(Direction::Decrypt, &jobs)?;
+
+        // Journaled publish, flip-first (see `decrypt_gathered`).
+        let page = PAGE_SIZE as usize;
+        let mut start = 0usize;
+        while start < jobs.len() {
+            let end = (start + MAX_ENTRIES).min(jobs.len());
+            let entries: Vec<JournalEntry> = (start..end)
+                .map(|i| JournalEntry {
+                    pid: updates[i].0,
+                    vpn: updates[i].1,
+                    src: jobs[i].0,
+                    frame: jobs[i].0,
+                    epoch: updates[i].2,
+                    iv: jobs[i].1,
+                    tag: tags[i],
+                    done: false,
+                })
+                .collect();
+            self.txn.open(
+                &mut self.kernel.soc,
+                TxnOp::Decrypt,
+                self.lock_epoch,
+                &entries,
+            )?;
+            for i in start..end {
+                let (pid, vpn, _) = updates[i];
+                self.kernel.soc.failpoint("txn.flip")?;
+                let proc = self.kernel.proc_mut(pid)?;
+                let pte = proc.page_table.get_mut(vpn).expect("walked above");
+                pte.encrypted = false;
+                pte.young = true;
+                proc.stats.bytes_decrypted += PAGE_SIZE;
+                self.kernel.soc.failpoint("txn.publish")?;
+                self.kernel
+                    .soc
+                    .mem_write(jobs[i].0, &buf[i * page..(i + 1) * page])?;
+                self.txn.mark_done(&mut self.kernel.soc, i - start)?;
+            }
+            self.txn.close(&mut self.kernel.soc)?;
+            start = end;
         }
+
+        // Atomic tail.
         self.state = DeviceState::Unlocked;
         self.stats.unlocks += 1;
         // Each unlock starts a fresh drain of the encrypted residue.
@@ -840,6 +1028,8 @@ impl Sentry {
     /// Resolve a page fault according to the device state (the §5/§7
     /// dispatcher).
     fn handle_fault(&mut self, fault: &PageFault) -> Result<(), SentryError> {
+        self.ensure_no_txn("handle_fault")?;
+        self.kernel.soc.failpoint("fault.begin")?;
         let sensitive = self.kernel.proc(fault.pid)?.sensitive;
         match self.state {
             DeviceState::Locked => {
@@ -847,6 +1037,7 @@ impl Sentry {
                     self.pager.handle_fault(
                         &mut self.store,
                         &mut self.kernel,
+                        &mut self.txn,
                         fault,
                         self.lock_epoch,
                     )
@@ -1031,6 +1222,146 @@ impl Sentry {
         self.stats.readahead_clusters = 0;
         self.stats.readahead_pages = 0;
         self.last_fault = None;
+    }
+
+    /// Boot-time (and post-kill) crash recovery: read the transition
+    /// journal back from iRAM and complete every entry that had not
+    /// marked done, idempotently.
+    ///
+    /// For each undone entry the frame's first 16 bytes are compared
+    /// against the journaled ciphertext tag — CBC under the journaled IV
+    /// is deterministic, so the tag tells recovery exactly which side of
+    /// the publish the kill landed on:
+    ///
+    /// * **Encrypt** entries: tag match ⇒ the ciphertext already landed,
+    ///   only the PTE flip remains. Mismatch ⇒ the source bytes (the
+    ///   frame itself, or an on-SoC slot for evictions) are still
+    ///   plaintext: re-encrypt under the journaled IV (byte-identical
+    ///   ciphertext) and publish, then flip.
+    /// * **Decrypt** entries: tag match ⇒ the frame still holds
+    ///   ciphertext: decrypt, publish, flip. Mismatch ⇒ the plaintext
+    ///   already landed, only the (idempotent) flip remains.
+    ///
+    /// Afterwards the pager's in-memory state is reconciled against the
+    /// page tables. Running recover on a clean system is a no-op. The
+    /// device's committed state (`lock_epoch`, locked/unlocked) is
+    /// *never* advanced here — the killed operation simply retries,
+    /// recomputes the same target epoch, and converges with an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory and cipher errors.
+    pub fn recover(&mut self) -> Result<RecoveryReport, SentryError> {
+        let mut report = RecoveryReport::default();
+        if let Some((op, _target_epoch, entries)) = self.txn.load(&mut self.kernel.soc)? {
+            report.journaled = entries.len();
+            for (i, entry) in entries.iter().enumerate() {
+                if entry.done {
+                    report.already_done += 1;
+                    continue;
+                }
+                match op {
+                    TxnOp::Encrypt => self.recover_encrypt(entry)?,
+                    TxnOp::Decrypt => self.recover_decrypt(entry)?,
+                }
+                self.txn.mark_done(&mut self.kernel.soc, i)?;
+                report.completed += 1;
+            }
+            self.txn.close(&mut self.kernel.soc)?;
+        }
+        self.pager.reconcile(&self.kernel);
+        Ok(report)
+    }
+
+    /// Read the frame's last 16 bytes — the slot the journal tag (the
+    /// final CBC block of the ciphertext image) is compared against.
+    fn frame_tag(&mut self, frame: u64) -> Result<[u8; 16], SentryError> {
+        let mut tail = [0u8; 16];
+        self.kernel
+            .soc
+            .mem_read(frame + PAGE_SIZE - 16, &mut tail)?;
+        Ok(tail)
+    }
+
+    /// Complete one interrupted encrypt entry (lock or eviction).
+    fn recover_encrypt(&mut self, entry: &JournalEntry) -> Result<(), SentryError> {
+        if self.frame_tag(entry.frame)? != entry.tag {
+            // The publish never landed; the source still holds
+            // plaintext. Roll forward: re-encrypt and publish.
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            self.kernel.soc.mem_read(entry.src, &mut page)?;
+            {
+                let Kernel { soc, crypto, .. } = &mut self.kernel;
+                crypto
+                    .preferred_mut()
+                    .map_err(SentryError::Kernel)?
+                    .encrypt(soc, &entry.iv, &mut page)
+                    .map_err(SentryError::Kernel)?;
+            }
+            self.kernel.soc.mem_write(entry.frame, &page)?;
+        }
+        let mappings = self
+            .kernel
+            .sharers_of(entry.frame)
+            .map(<[(u32, u64)]>::to_vec)
+            .unwrap_or_else(|| vec![(entry.pid, entry.vpn)]);
+        let shared = mappings.len() > 1;
+        for (pid, vpn) in mappings {
+            if let Some(pte) = self
+                .kernel
+                .procs
+                .get_mut(&pid)
+                .and_then(|p| p.page_table.get_mut(vpn))
+            {
+                pte.backing = Backing::Dram(entry.frame);
+                pte.home_frame = None;
+                pte.encrypted = true;
+                pte.young = false;
+                pte.dirty = false;
+                pte.crypt_epoch = entry.epoch;
+                if shared {
+                    pte.sharing = Sharing::SharedSensitiveOnly;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Complete one interrupted decrypt entry (unlock, fault, sweep).
+    fn recover_decrypt(&mut self, entry: &JournalEntry) -> Result<(), SentryError> {
+        if self.frame_tag(entry.frame)? == entry.tag {
+            // Still ciphertext: decrypt under the journaled IV and
+            // publish the plaintext.
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            self.kernel.soc.mem_read(entry.frame, &mut page)?;
+            {
+                let Kernel { soc, crypto, .. } = &mut self.kernel;
+                crypto
+                    .preferred_mut()
+                    .map_err(SentryError::Kernel)?
+                    .decrypt(soc, &entry.iv, &mut page)
+                    .map_err(SentryError::Kernel)?;
+            }
+            self.kernel.soc.mem_write(entry.frame, &page)?;
+        }
+        let mappings = self
+            .kernel
+            .sharers_of(entry.frame)
+            .map(<[(u32, u64)]>::to_vec)
+            .unwrap_or_else(|| vec![(entry.pid, entry.vpn)]);
+        for (pid, vpn) in mappings {
+            if let Some(pte) = self
+                .kernel
+                .procs
+                .get_mut(&pid)
+                .and_then(|p| p.page_table.get_mut(vpn))
+            {
+                pte.encrypted = false;
+                pte.young = true;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,346 @@
+//! Crash-consistent transition journal.
+//!
+//! Every state transition that moves sensitive bytes between plaintext
+//! and ciphertext in DRAM — lock, unlock, fault-cluster decrypt, sweep,
+//! pager eviction — runs as a per-page two-phase commit:
+//!
+//! 1. compute the transformed page into host scratch (no DRAM
+//!    mutation);
+//! 2. **journal** the intent: page identity, source address, target
+//!    frame, IV, and a 16-byte *tag* (the final ciphertext block the
+//!    frame holds once the page is ciphertext);
+//! 3. per page: publish the frame and flip the PTE, then mark the
+//!    journal entry done;
+//! 4. close the journal, then commit the in-memory tail (epoch, device
+//!    state).
+//!
+//! The journal lives in **iRAM** — on-SoC, so it dies with power
+//! exactly like the volatile root key. That placement is what makes it
+//! safe: after a real power loss there is no key, no journal, and no
+//! plaintext; after a simulated *seize* (the fault matrix's
+//! deterministic kill), [`crate::Sentry::recover`] reads the journal
+//! back and completes or rolls forward each undone entry idempotently.
+//!
+//! The tag disambiguates "published" from "not yet published" without
+//! any extra write ordering: CBC under a journaled IV is deterministic,
+//! so re-encrypting the (still intact) source bytes reproduces the
+//! byte-identical ciphertext, and comparing the frame's last 16 bytes
+//! against the tag tells recovery exactly which side of the publish the
+//! kill landed on. The *final* block is used (not the first) because
+//! CBC chains: it depends on every byte of the page, so the ciphertexts
+//! of two different versions of a page never share it — first blocks
+//! collide whenever the versions share their first 16 plaintext bytes.
+
+use crate::error::SentryError;
+use sentry_soc::{Soc, PAGE_SIZE};
+
+/// Journal magic: a valid, open journal starts with these bytes.
+pub const MAGIC: [u8; 4] = *b"SJRN";
+
+/// Header bytes at the journal page's base.
+const HEADER_LEN: u64 = 16;
+
+/// Serialized entry size in bytes.
+const ENTRY_LEN: u64 = 72;
+
+/// Maximum entries one journal page holds; transitions larger than
+/// this run as a sequence of chunks, each journaled and closed in turn.
+pub const MAX_ENTRIES: usize = ((PAGE_SIZE - HEADER_LEN) / ENTRY_LEN) as usize;
+
+/// Which way an open transition transforms its pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Plaintext pages are becoming ciphertext (lock, eviction).
+    Encrypt,
+    /// Ciphertext pages are becoming plaintext (unlock, fault, sweep).
+    Decrypt,
+}
+
+impl TxnOp {
+    fn code(self) -> u8 {
+        match self {
+            TxnOp::Encrypt => 1,
+            TxnOp::Decrypt => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(TxnOp::Encrypt),
+            2 => Some(TxnOp::Decrypt),
+            _ => None,
+        }
+    }
+}
+
+/// One journaled page transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Owning process (the IV owner for shared frames).
+    pub pid: u32,
+    /// Virtual page number within `pid`.
+    pub vpn: u64,
+    /// Physical address holding the *source* bytes (equals `frame` for
+    /// in-place transforms; an on-SoC slot address for evictions).
+    pub src: u64,
+    /// The DRAM frame being published to.
+    pub frame: u64,
+    /// The crypt epoch the IV was derived under — what the PTE's
+    /// `crypt_epoch` must read once the entry commits.
+    pub epoch: u64,
+    /// The per-page CBC IV.
+    pub iv: [u8; 16],
+    /// Last 16 bytes of the frame's *ciphertext* image (the final CBC
+    /// block): what the frame ends with after an encrypt publishes, or
+    /// before a decrypt publishes.
+    pub tag: [u8; 16],
+    /// Whether this entry's publish + PTE flip completed.
+    pub done: bool,
+}
+
+impl JournalEntry {
+    fn to_bytes(&self) -> [u8; ENTRY_LEN as usize] {
+        let mut b = [0u8; ENTRY_LEN as usize];
+        b[0..4].copy_from_slice(&self.pid.to_le_bytes());
+        b[4] = u8::from(self.done);
+        b[8..16].copy_from_slice(&self.vpn.to_le_bytes());
+        b[16..24].copy_from_slice(&self.src.to_le_bytes());
+        b[24..32].copy_from_slice(&self.frame.to_le_bytes());
+        b[32..40].copy_from_slice(&self.epoch.to_le_bytes());
+        b[40..56].copy_from_slice(&self.iv);
+        b[56..72].copy_from_slice(&self.tag);
+        b
+    }
+
+    fn from_bytes(b: &[u8]) -> Self {
+        JournalEntry {
+            pid: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            done: b[4] != 0,
+            vpn: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            src: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            frame: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+            epoch: u64::from_le_bytes(b[32..40].try_into().unwrap()),
+            iv: b[40..56].try_into().unwrap(),
+            tag: b[56..72].try_into().unwrap(),
+        }
+    }
+}
+
+/// The journal: one on-SoC (iRAM) page plus an in-memory mirror of
+/// whether a transition is currently open.
+#[derive(Debug)]
+pub struct TxnJournal {
+    base: u64,
+    open_op: Option<TxnOp>,
+}
+
+impl TxnJournal {
+    /// A journal over the iRAM page at `base`. The page's prior content
+    /// is irrelevant until [`TxnJournal::open`] stamps the magic;
+    /// freshly booted iRAM reads as zero, which parses as "idle".
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        TxnJournal {
+            base,
+            open_op: None,
+        }
+    }
+
+    /// The journal page's physical (iRAM) address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Whether a transition chunk is open right now (in-memory mirror —
+    /// exact while the instance is live; after a crash, the truth is
+    /// whatever [`TxnJournal::load`] reads back).
+    #[must_use]
+    pub fn in_flight(&self) -> bool {
+        self.open_op.is_some()
+    }
+
+    /// Open a transition chunk: write every entry, then the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_ENTRIES`] entries are given or a chunk
+    /// is already open — both are caller bugs, not runtime conditions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates iRAM write failures.
+    pub fn open(
+        &mut self,
+        soc: &mut Soc,
+        op: TxnOp,
+        target_epoch: u64,
+        entries: &[JournalEntry],
+    ) -> Result<(), SentryError> {
+        assert!(entries.len() <= MAX_ENTRIES, "journal chunk too large");
+        assert!(self.open_op.is_none(), "journal already open");
+        for (i, entry) in entries.iter().enumerate() {
+            soc.mem_write(self.entry_addr(i), &entry.to_bytes())
+                .map_err(SentryError::Soc)?;
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[0..4].copy_from_slice(&MAGIC);
+        header[4] = op.code();
+        header[6..8].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+        header[8..16].copy_from_slice(&target_epoch.to_le_bytes());
+        soc.mem_write(self.base, &header)
+            .map_err(SentryError::Soc)?;
+        self.open_op = Some(op);
+        Ok(())
+    }
+
+    /// Mark entry `index` of the open chunk done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates iRAM write failures.
+    pub fn mark_done(&mut self, soc: &mut Soc, index: usize) -> Result<(), SentryError> {
+        soc.mem_write(self.entry_addr(index) + 4, &[1u8])
+            .map_err(SentryError::Soc)?;
+        Ok(())
+    }
+
+    /// Close the chunk: zero the header (entries become unreachable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates iRAM write failures.
+    pub fn close(&mut self, soc: &mut Soc) -> Result<(), SentryError> {
+        soc.mem_write(self.base, &[0u8; HEADER_LEN as usize])
+            .map_err(SentryError::Soc)?;
+        self.open_op = None;
+        Ok(())
+    }
+
+    /// Read the journal back from iRAM: `None` when idle (no magic, or
+    /// an unparseable header — e.g. zeroed by a boot-ROM power cycle).
+    ///
+    /// Also re-synchronizes the in-memory mirror, so `load` on a
+    /// freshly recovered instance is the source of truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates iRAM read failures.
+    #[allow(clippy::type_complexity)]
+    pub fn load(
+        &mut self,
+        soc: &mut Soc,
+    ) -> Result<Option<(TxnOp, u64, Vec<JournalEntry>)>, SentryError> {
+        let mut header = [0u8; HEADER_LEN as usize];
+        soc.mem_read(self.base, &mut header)
+            .map_err(SentryError::Soc)?;
+        let count = u16::from_le_bytes(header[6..8].try_into().unwrap()) as usize;
+        let parsed = if header[0..4] == MAGIC && count <= MAX_ENTRIES {
+            TxnOp::from_code(header[4])
+        } else {
+            None
+        };
+        let Some(op) = parsed else {
+            self.open_op = None;
+            return Ok(None);
+        };
+        let target_epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut b = [0u8; ENTRY_LEN as usize];
+            soc.mem_read(self.entry_addr(i), &mut b)
+                .map_err(SentryError::Soc)?;
+            entries.push(JournalEntry::from_bytes(&b));
+        }
+        self.open_op = Some(op);
+        Ok(Some((op, target_epoch, entries)))
+    }
+
+    fn entry_addr(&self, index: usize) -> u64 {
+        self.base + HEADER_LEN + index as u64 * ENTRY_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED};
+
+    fn journal_page() -> u64 {
+        IRAM_BASE + IRAM_FIRMWARE_RESERVED
+    }
+
+    fn entry(i: u8) -> JournalEntry {
+        JournalEntry {
+            pid: u32::from(i),
+            vpn: u64::from(i) * 3,
+            src: 0x8000_0000 + u64::from(i) * 4096,
+            frame: 0x8000_0000 + u64::from(i) * 4096,
+            epoch: 7,
+            iv: [i; 16],
+            tag: [i ^ 0xFF; 16],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn entries_roundtrip_through_bytes() {
+        let e = entry(9);
+        assert_eq!(JournalEntry::from_bytes(&e.to_bytes()), e);
+    }
+
+    #[test]
+    fn open_load_roundtrips_and_close_clears() {
+        let mut soc = Soc::tegra3_small();
+        let mut j = TxnJournal::new(journal_page());
+        assert!(!j.in_flight());
+        assert_eq!(j.load(&mut soc).unwrap(), None, "fresh iRAM parses idle");
+
+        let entries: Vec<JournalEntry> = (0..5).map(entry).collect();
+        j.open(&mut soc, TxnOp::Encrypt, 42, &entries).unwrap();
+        assert!(j.in_flight());
+        j.mark_done(&mut soc, 2).unwrap();
+
+        // A second journal instance over the same page (a recovering
+        // boot) reads the same transition back.
+        let mut j2 = TxnJournal::new(journal_page());
+        let (op, epoch, read) = j2.load(&mut soc).unwrap().expect("open transition");
+        assert_eq!(op, TxnOp::Encrypt);
+        assert_eq!(epoch, 42);
+        assert_eq!(read.len(), 5);
+        assert!(read[2].done);
+        assert!(!read[0].done && !read[4].done);
+        assert_eq!(read[0].iv, [0u8; 16]);
+        assert!(j2.in_flight());
+
+        j2.close(&mut soc).unwrap();
+        assert!(!j2.in_flight());
+        assert_eq!(j2.load(&mut soc).unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_matches_the_page_layout() {
+        assert_eq!(MAX_ENTRIES, 56);
+        let mut soc = Soc::tegra3_small();
+        let mut j = TxnJournal::new(journal_page());
+        let entries: Vec<JournalEntry> = (0..MAX_ENTRIES as u8).map(entry).collect();
+        j.open(&mut soc, TxnOp::Decrypt, 1, &entries).unwrap();
+        let (_, _, read) = j.load(&mut soc).unwrap().unwrap();
+        assert_eq!(read.len(), MAX_ENTRIES);
+        assert_eq!(read.last().unwrap().iv, [(MAX_ENTRIES - 1) as u8; 16]);
+    }
+
+    #[test]
+    fn garbage_header_parses_as_idle() {
+        let mut soc = Soc::tegra3_small();
+        let mut j = TxnJournal::new(journal_page());
+        soc.mem_write(journal_page(), b"JUNKJUNKJUNKJUNK").unwrap();
+        assert_eq!(j.load(&mut soc).unwrap(), None);
+        // Valid magic but nonsense op code: also idle.
+        let mut header = [0u8; 16];
+        header[0..4].copy_from_slice(&MAGIC);
+        header[4] = 9;
+        soc.mem_write(journal_page(), &header).unwrap();
+        assert_eq!(j.load(&mut soc).unwrap(), None);
+    }
+}

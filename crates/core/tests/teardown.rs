@@ -3,9 +3,9 @@
 
 use sentry_core::config::OnSocBackend;
 use sentry_core::onsoc::OnSocStore;
-use sentry_core::{Sentry, SentryConfig};
+use sentry_core::{Sentry, SentryConfig, TxnJournal};
 use sentry_kernel::Kernel;
-use sentry_soc::addr::PAGE_SIZE;
+use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, PAGE_SIZE};
 use sentry_soc::cache::ALL_WAYS;
 use sentry_soc::Soc;
 
@@ -26,9 +26,15 @@ fn pager_slots_can_be_released_back_to_the_store() {
     assert!(sentry.pager.slot_count() > 0);
     assert!(sentry.pager.resident_count() > 0);
 
-    // Evict everything and hand the slots back.
+    // Evict everything and hand the slots back. Driving the pager
+    // directly means supplying a journal; a spare iRAM page (unused
+    // under the locked-L2 backend) serves.
     let epoch = sentry.lock_epoch();
-    sentry.pager.evict_all(&mut sentry.kernel, epoch).unwrap();
+    let mut txn = TxnJournal::new(IRAM_BASE + IRAM_FIRMWARE_RESERVED + PAGE_SIZE);
+    sentry
+        .pager
+        .evict_all(&mut sentry.kernel, &mut txn, epoch)
+        .unwrap();
     assert_eq!(sentry.pager.resident_count(), 0);
     let Sentry {
         kernel,

@@ -59,7 +59,7 @@ pub mod tracked;
 pub use batch::BlockCipherBatch;
 pub use bitslice::BitslicedAes;
 pub use block::{Aes, AesRef};
-pub use error::KeyError;
+pub use error::{CryptoError, KeyError};
 pub use state::{AesStateLayout, Sensitivity, StateComponent};
 pub use tracked::{AccessEvent, StateStore, TableId, TrackedAes, TrackedBitslicedAes, VecStore};
 

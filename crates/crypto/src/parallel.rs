@@ -25,7 +25,9 @@
 //!   which path was taken so callers can account for it.
 
 use crate::batch::BlockCipherBatch;
+use crate::error::CryptoError;
 use crate::modes::{cbc_decrypt, cbc_encrypt_batch};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which way a batch transforms its pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,25 +79,33 @@ pub struct BatchReport {
 /// Falls back to the in-thread sequential loop
 /// when `workers <= 1` or `jobs.len() < min_batch_pages`; output bytes
 /// are identical either way.
+///
+/// # Errors
+///
+/// [`CryptoError::WorkerPanicked`] if a lane's cipher panicked. The
+/// panic is contained (`catch_unwind` inside the lane): every other
+/// lane still runs to completion and the pool is torn down cleanly, but
+/// the batch's buffers are left partially transformed and must be
+/// discarded by the caller.
 pub fn crypt_batch<C: BlockCipherBatch + Sync>(
     cipher: &C,
     direction: Direction,
     jobs: &mut [PageJob<'_>],
     workers: usize,
     min_batch_pages: usize,
-) -> BatchReport {
+) -> Result<BatchReport, CryptoError> {
     let pages = jobs.len();
     let bytes: u64 = jobs.iter().map(|j| j.data.len() as u64).sum();
 
     if workers <= 1 || pages < min_batch_pages.max(1) {
-        crypt_chunk(cipher, direction, jobs);
-        return BatchReport {
+        contained_chunk(cipher, direction, jobs, 0)?;
+        return Ok(BatchReport {
             pages,
             bytes,
             workers_used: 1,
             per_worker_bytes: vec![bytes],
             sequential_fallback: true,
-        };
+        });
     }
 
     let lanes = workers.min(pages);
@@ -104,6 +114,7 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
     let base = pages / lanes;
     let extra = pages % lanes;
     let mut per_worker_bytes = vec![0u64; lanes];
+    let mut first_panic: Option<CryptoError> = None;
     std::thread::scope(|scope| {
         let mut rest = jobs;
         let mut handles = Vec::with_capacity(lanes);
@@ -112,21 +123,61 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
             let (chunk, tail) = rest.split_at_mut(take);
             rest = tail;
             // Every lane borrows the caller's context: one expanded
-            // schedule serves the whole pool.
-            handles.push(scope.spawn(move || crypt_chunk(cipher, direction, chunk)));
+            // schedule serves the whole pool. The unwind is caught
+            // *inside* the lane, so a panicking cipher surfaces as a
+            // typed error instead of aborting the simulation.
+            handles.push(scope.spawn(move || contained_chunk(cipher, direction, chunk, lane)));
         }
         for (lane, handle) in handles.into_iter().enumerate() {
-            per_worker_bytes[lane] = handle.join().expect("crypt worker panicked");
+            match handle.join() {
+                Ok(Ok(lane_bytes)) => per_worker_bytes[lane] = lane_bytes,
+                Ok(Err(e)) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(e);
+                    }
+                }
+                // Unreachable in practice (the lane catches its own
+                // unwind), but keep the containment airtight.
+                Err(_) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(CryptoError::WorkerPanicked {
+                            lane,
+                            detail: "worker died outside catch_unwind".into(),
+                        });
+                    }
+                }
+            }
         }
     });
+    if let Some(e) = first_panic {
+        return Err(e);
+    }
 
-    BatchReport {
+    Ok(BatchReport {
         pages,
         bytes,
         workers_used: lanes,
         per_worker_bytes,
         sequential_fallback: false,
-    }
+    })
+}
+
+/// Run one lane's chunk with the unwind caught, converting a panic into
+/// the typed [`CryptoError::WorkerPanicked`].
+fn contained_chunk<C: BlockCipherBatch>(
+    cipher: &C,
+    direction: Direction,
+    chunk: &mut [PageJob<'_>],
+    lane: usize,
+) -> Result<u64, CryptoError> {
+    catch_unwind(AssertUnwindSafe(|| crypt_chunk(cipher, direction, chunk))).map_err(|payload| {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        CryptoError::WorkerPanicked { lane, detail }
+    })
 }
 
 /// Transform one lane's chunk of jobs, returning the bytes processed.
@@ -184,14 +235,14 @@ mod tests {
         let aes = Aes::new(&[7u8; 32]).unwrap();
         let mut expect = mk_pages(37, |i| i as u8);
         let mut ejobs = jobs_of(&mut expect);
-        let seq = crypt_batch(&aes, Direction::Encrypt, &mut ejobs, 1, 1);
+        let seq = crypt_batch(&aes, Direction::Encrypt, &mut ejobs, 1, 1).unwrap();
         assert!(seq.sequential_fallback);
         assert_eq!(seq.per_worker_bytes, vec![37 * 4096]);
 
         for workers in [2usize, 3, 4, 8, 64] {
             let mut got = mk_pages(37, |i| i as u8);
             let mut jobs = jobs_of(&mut got);
-            let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1);
+            let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1).unwrap();
             assert_eq!(got, expect, "{workers} workers diverged");
             assert_eq!(rep.workers_used, workers.min(37));
             assert_eq!(rep.per_worker_bytes.iter().sum::<u64>(), 37 * 4096);
@@ -204,10 +255,10 @@ mod tests {
         let orig = mk_pages(9, |i| (i * 13) as u8);
         let mut work = orig.clone();
         let mut jobs = jobs_of(&mut work);
-        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1);
+        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1).unwrap();
         assert_ne!(work, orig);
         let mut jobs = jobs_of(&mut work);
-        crypt_batch(&aes, Direction::Decrypt, &mut jobs, 3, 1);
+        crypt_batch(&aes, Direction::Decrypt, &mut jobs, 3, 1).unwrap();
         assert_eq!(work, orig);
     }
 
@@ -222,12 +273,12 @@ mod tests {
         let orig = mk_pages(11, |i| (i * 7) as u8);
         let mut expect = orig.clone();
         let mut jobs = jobs_of(&mut expect);
-        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 1, 1);
+        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 1, 1).unwrap();
 
         for workers in [1usize, 2, 4] {
             let mut got = expect.clone();
             let mut jobs = jobs_of(&mut got);
-            crypt_batch(&bits, Direction::Decrypt, &mut jobs, workers, 1);
+            crypt_batch(&bits, Direction::Decrypt, &mut jobs, workers, 1).unwrap();
             assert_eq!(got, orig, "bitsliced decrypt, {workers} workers");
         }
     }
@@ -237,7 +288,7 @@ mod tests {
         let aes = Aes::new(&[1u8; 16]).unwrap();
         let mut pages = mk_pages(3, |i| i as u8);
         let mut jobs = jobs_of(&mut pages);
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 8, 4);
+        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 8, 4).unwrap();
         assert!(rep.sequential_fallback);
         assert_eq!(rep.workers_used, 1);
     }
@@ -245,9 +296,94 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let aes = Aes::new(&[1u8; 16]).unwrap();
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut [], 4, 1);
+        let rep = crypt_batch(&aes, Direction::Encrypt, &mut [], 4, 1).unwrap();
         assert_eq!(rep.pages, 0);
         assert_eq!(rep.bytes, 0);
+    }
+
+    /// A cipher that panics after a countdown of block operations —
+    /// models a worker hitting a poisoned lookup table or a hardware
+    /// fault mid-batch.
+    struct PanicAfter {
+        inner: Aes,
+        remaining: std::sync::atomic::AtomicUsize,
+    }
+
+    impl PanicAfter {
+        fn tick(&self) {
+            use std::sync::atomic::Ordering;
+            let prev = self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    Some(n.saturating_sub(1))
+                });
+            if prev == Ok(0) {
+                panic!("injected cipher panic");
+            }
+        }
+    }
+
+    impl crate::modes::BlockCipher for PanicAfter {
+        fn encrypt_block(&self, block: &mut [u8; 16]) {
+            self.tick();
+            self.inner.encrypt_block(block);
+        }
+        fn decrypt_block(&self, block: &mut [u8; 16]) {
+            self.tick();
+            self.inner.decrypt_block(block);
+        }
+    }
+
+    impl crate::batch::BlockCipherBatch for PanicAfter {
+        fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+            for b in blocks {
+                crate::modes::BlockCipher::encrypt_block(self, b);
+            }
+        }
+        fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+            for b in blocks {
+                crate::modes::BlockCipher::decrypt_block(self, b);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_a_typed_error() {
+        // Quiet the default panic hook for the injected panics — the
+        // containment is the thing under test, not the backtrace. One
+        // test covers both paths so the hook swap is not raced.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        // Parallel pool: one of four lanes dies, the rest complete.
+        let cipher = PanicAfter {
+            inner: Aes::new(&[9u8; 16]).unwrap(),
+            remaining: std::sync::atomic::AtomicUsize::new(700),
+        };
+        let mut pages = mk_pages(8, |i| i as u8);
+        let mut jobs = jobs_of(&mut pages);
+        let parallel_err = crypt_batch(&cipher, Direction::Encrypt, &mut jobs, 4, 1).unwrap_err();
+
+        // Sequential fallback: the in-thread chunk is contained too.
+        let cipher = PanicAfter {
+            inner: Aes::new(&[9u8; 16]).unwrap(),
+            remaining: std::sync::atomic::AtomicUsize::new(3),
+        };
+        let mut pages = mk_pages(2, |i| i as u8);
+        let mut jobs = jobs_of(&mut pages);
+        let seq_err = crypt_batch(&cipher, Direction::Decrypt, &mut jobs, 1, 1).unwrap_err();
+
+        std::panic::set_hook(prev_hook);
+        match parallel_err {
+            CryptoError::WorkerPanicked { detail, .. } => {
+                assert!(detail.contains("injected cipher panic"), "detail: {detail}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(matches!(
+            seq_err,
+            CryptoError::WorkerPanicked { lane: 0, .. }
+        ));
     }
 
     #[test]
@@ -255,7 +391,7 @@ mod tests {
         let aes = Aes::new(&[2u8; 16]).unwrap();
         let mut pages = mk_pages(10, |i| i as u8);
         let mut jobs = jobs_of(&mut pages);
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1);
+        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1).unwrap();
         let min = rep.per_worker_bytes.iter().min().unwrap();
         let max = rep.per_worker_bytes.iter().max().unwrap();
         assert!(

@@ -272,15 +272,15 @@ impl GenericAesEngine {
     }
 
     fn ready(&self) -> Result<&Aes, KernelError> {
-        self.aes
-            .as_ref()
-            .ok_or_else(|| KernelError::UnknownCipher("generic AES: no key installed".into()))
+        self.aes.as_ref().ok_or(KernelError::NoKeyInstalled {
+            engine: "aes-cbc-generic",
+        })
     }
 
     fn ready_bits(&self) -> Result<&BitslicedAes, KernelError> {
-        self.bits
-            .as_ref()
-            .ok_or_else(|| KernelError::UnknownCipher("generic AES: no key installed".into()))
+        self.bits.as_ref().ok_or(KernelError::NoKeyInstalled {
+            engine: "aes-cbc-generic",
+        })
     }
 }
 
@@ -298,7 +298,7 @@ impl CipherEngine for GenericAesEngine {
     }
 
     fn set_key(&mut self, soc: &mut Soc, key: &[u8]) -> Result<(), KernelError> {
-        let aes = Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?;
+        let aes = Aes::new(key).map_err(KernelError::InvalidKey)?;
         // The generic implementation's key and schedule live in kernel
         // heap: write them to DRAM, uncached (kernel heap lines get
         // evicted in steady state; modelling them as DRAM-resident is
@@ -429,7 +429,7 @@ impl CipherEngine for AccelAesEngine {
     }
 
     fn set_key(&mut self, _soc: &mut Soc, key: &[u8]) -> Result<(), KernelError> {
-        self.aes = Some(Aes::new(key).map_err(|e| KernelError::UnknownCipher(e.to_string()))?);
+        self.aes = Some(Aes::new(key).map_err(KernelError::InvalidKey)?);
         Ok(())
     }
 
@@ -439,10 +439,9 @@ impl CipherEngine for AccelAesEngine {
         iv: &[u8; 16],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
-        let aes = self
-            .aes
-            .as_ref()
-            .ok_or_else(|| KernelError::UnknownCipher("hw AES: no key installed".into()))?;
+        let aes = self.aes.as_ref().ok_or(KernelError::NoKeyInstalled {
+            engine: "aes-cbc-hw",
+        })?;
         cbc_encrypt(aes, iv, data);
         soc.clock
             .advance(soc.accel.op_duration_ns(data.len() as u64));
@@ -455,10 +454,9 @@ impl CipherEngine for AccelAesEngine {
         iv: &[u8; 16],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
-        let aes = self
-            .aes
-            .as_ref()
-            .ok_or_else(|| KernelError::UnknownCipher("hw AES: no key installed".into()))?;
+        let aes = self.aes.as_ref().ok_or(KernelError::NoKeyInstalled {
+            engine: "aes-cbc-hw",
+        })?;
         cbc_decrypt(aes, iv, data);
         soc.clock
             .advance(soc.accel.op_duration_ns(data.len() as u64));

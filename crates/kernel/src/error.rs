@@ -1,6 +1,7 @@
 //! Kernel error types.
 
 use crate::fault::PageFault;
+use sentry_crypto::KeyError;
 use sentry_soc::SocError;
 use std::error::Error;
 use std::fmt;
@@ -21,6 +22,13 @@ pub enum KernelError {
     UnknownCipher(String),
     /// No cipher is registered at all.
     NoCipher,
+    /// A cipher engine was handed a key it cannot use.
+    InvalidKey(KeyError),
+    /// A cipher engine was asked to operate before a key was installed.
+    NoKeyInstalled {
+        /// Name of the engine that refused.
+        engine: &'static str,
+    },
     /// A block request fell outside the device.
     BlockOutOfRange {
         /// The offending sector.
@@ -48,6 +56,10 @@ impl fmt::Display for KernelError {
             KernelError::UnknownPid(pid) => write!(f, "no process with pid {pid}"),
             KernelError::UnknownCipher(name) => write!(f, "no cipher named {name:?}"),
             KernelError::NoCipher => write!(f, "no cipher registered"),
+            KernelError::InvalidKey(_) => write!(f, "cipher engine rejected the key"),
+            KernelError::NoKeyInstalled { engine } => {
+                write!(f, "cipher engine {engine:?} has no key installed")
+            }
             KernelError::BlockOutOfRange { sector } => {
                 write!(f, "sector {sector} outside block device")
             }
@@ -63,8 +75,15 @@ impl Error for KernelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             KernelError::Soc(e) => Some(e),
+            KernelError::InvalidKey(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<KeyError> for KernelError {
+    fn from(e: KeyError) -> Self {
+        KernelError::InvalidKey(e)
     }
 }
 
@@ -97,5 +116,18 @@ mod tests {
         let e: KernelError = SocError::CacheLockingUnavailable.into();
         assert!(e.to_string().contains("soc error"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn key_errors_convert_and_chain() {
+        let e: KernelError = KeyError::InvalidLength(7).into();
+        assert!(matches!(e, KernelError::InvalidKey(_)));
+        let src = std::error::Error::source(&e).expect("source chains to the key error");
+        assert!(src.to_string().contains('7'));
+
+        let e = KernelError::NoKeyInstalled {
+            engine: "aes-cbc-hw",
+        };
+        assert!(e.to_string().contains("aes-cbc-hw"));
     }
 }

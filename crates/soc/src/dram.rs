@@ -204,8 +204,18 @@ impl Dram {
     /// Apply a power event: every written 8-byte cell survives with the
     /// model's probability, otherwise it is replaced with random decay
     /// garbage.
+    ///
+    /// Determinism: frames are visited in ascending address order (the
+    /// `BTreeMap` iteration order), and every cell of every populated
+    /// frame draws from the seeded RNG exactly once, so two DRAMs with
+    /// the same seed, same frame population, and same event sequence
+    /// decay byte-identically. A certain-survival event (probability
+    /// `>= 1.0`) is a no-op that leaves the RNG stream untouched.
     pub fn apply_power_event(&mut self, event: PowerEvent) {
         let survival = self.remanence.survival(event);
+        if survival >= 1.0 {
+            return;
+        }
         for data in self.frames.values_mut() {
             for cell in data.chunks_mut(8) {
                 if self.rng.next_f64() >= survival {
@@ -215,7 +225,8 @@ impl Dram {
         }
     }
 
-    /// Iterate over all populated frames as `(base_addr, bytes)`.
+    /// Iterate over all populated frames as `(base_addr, bytes)`, in
+    /// ascending address order (deterministic — never hash order).
     pub fn iter_frames(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
         self.frames
             .iter()
@@ -321,6 +332,39 @@ mod tests {
             assert!(s < last);
             last = s;
         }
+    }
+
+    #[test]
+    fn iter_frames_yields_ascending_addresses() {
+        let mut d = dram();
+        // Populate out of address order.
+        for frame in [9u64, 1, 5, 0, 3] {
+            d.write(DRAM_BASE + frame * PAGE_SIZE, b"frame");
+        }
+        let addrs: Vec<u64> = d.iter_frames().map(|(a, _)| a).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(addrs, sorted, "iteration must be address-ordered");
+        assert_eq!(addrs.len(), 5);
+    }
+
+    #[test]
+    fn same_seed_runs_produce_byte_identical_images() {
+        // The fault-matrix repro contract: a (seed, schedule) pair fully
+        // determines the post-event DRAM image, byte for byte — not just
+        // the surviving pattern count.
+        let run = || {
+            let mut d = Dram::new(1024 * 1024, RemanenceModel::default(), 99);
+            for i in 0..2000u64 {
+                d.write(DRAM_BASE + i * 8, b"SENTRYOK");
+            }
+            d.apply_power_event(PowerEvent::ReflashTap);
+            d.apply_power_event(PowerEvent::HardReset { seconds: 0.5 });
+            d.iter_frames()
+                .map(|(addr, bytes)| (addr, bytes.to_vec()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

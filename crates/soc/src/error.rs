@@ -47,6 +47,33 @@ pub enum SocError {
         /// The offending way index.
         way: usize,
     },
+    /// An armed failpoint cut power at the named site: the access that
+    /// hit it never happened and the in-flight transition is dead.
+    PowerLost {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
+    /// An armed failpoint injected a crypt-engine hardware error at the
+    /// named site; no data was transformed.
+    CryptFault {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
+    /// An armed failpoint aborted a multi-page batch at the named site.
+    BatchAborted {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
+}
+
+impl SocError {
+    /// True for the simulated-power-cut error injected by the fault
+    /// plane — the one case where an interrupted transition must be
+    /// left for [`recovery`](crate::failpoint) rather than retried.
+    #[must_use]
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self, SocError::PowerLost { .. })
+    }
 }
 
 impl fmt::Display for SocError {
@@ -81,6 +108,15 @@ impl fmt::Display for SocError {
                 )
             }
             SocError::InvalidWay { way } => write!(f, "cache way index {way} out of range"),
+            SocError::PowerLost { site } => {
+                write!(f, "power lost at failpoint {site:?}")
+            }
+            SocError::CryptFault { site } => {
+                write!(f, "crypt engine fault injected at failpoint {site:?}")
+            }
+            SocError::BatchAborted { site } => {
+                write!(f, "batch aborted at failpoint {site:?}")
+            }
         }
     }
 }

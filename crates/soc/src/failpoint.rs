@@ -1,0 +1,303 @@
+//! Deterministic fault-injection plane.
+//!
+//! Sentry's security argument is about what DRAM looks like *after a
+//! power event*, so the simulation must be killable at any instruction
+//! boundary that matters — mid-lock, mid-eviction, between publishing a
+//! ciphertext frame and flipping its PTE. This module provides named,
+//! step-indexed failpoints threaded through the DRAM write path, the
+//! crypt dispatch paths, pager eviction, and every per-page step of the
+//! lock/unlock/fault/sweep transitions.
+//!
+//! The plane has three modes:
+//!
+//! * **Off** (default): every hit is a single branch on a `bool` —
+//!   zero-cost on hot paths, nothing is recorded.
+//! * **Record**: hits are counted and traced, nothing fires. A record
+//!   pass over a schedule enumerates every reachable failpoint index so
+//!   an exhaustive interruption sweep knows exactly where it can kill.
+//! * **Armed**: a [`FaultPlan`] names one hit (by index, optionally
+//!   filtered to one site) and the [`FaultAction`] to inject there.
+//!   After firing the plane disarms itself, so recovery and retry code
+//!   run fault-free.
+//!
+//! Everything is deterministic: the step counter advances exactly once
+//! per hit, the simulation itself is seeded, and a `(seed, step)` pair
+//! is a complete, exact repro command for any observed failure.
+
+use crate::dram::PowerEvent;
+use crate::rng::DetRng;
+
+/// What an armed failpoint injects when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Power is cut at this instant. Execution is seized — the access
+    /// that hit the failpoint does not happen, and the error propagates
+    /// out of the transition as [`crate::SocError::PowerLost`].
+    ///
+    /// With `decay: None` the DRAM image is frozen exactly as the dying
+    /// instant left it (the strictest, fully deterministic variant — a
+    /// cold-boot scan of the frozen image is a superset of any decayed
+    /// one). With `decay: Some(event)` the simulated power event is
+    /// additionally applied to DRAM via
+    /// [`crate::dram::Dram::apply_power_event`] (and, for events that
+    /// cut SoC power, remanence decay to iRAM).
+    PowerCut {
+        /// Optional remanence event to apply to memory at the instant
+        /// of death.
+        decay: Option<PowerEvent>,
+    },
+    /// The crypt engine reports a hardware error; the dispatch fails
+    /// with [`crate::SocError::CryptFault`] before transforming any
+    /// data.
+    CryptError,
+    /// A multi-page batch is aborted mid-dispatch with
+    /// [`crate::SocError::BatchAborted`].
+    AbortBatch,
+}
+
+/// One planned fault: fire `action` at the `after`-th (0-based) hit of
+/// `site` (or of any site when `site` is `None`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Only hits of this named site count toward `after`; `None`
+    /// matches every site (the global step index, as enumerated by a
+    /// record pass).
+    pub site: Option<&'static str>,
+    /// 0-based index of the matching hit at which to fire.
+    pub after: u64,
+    /// What to inject when the plan fires.
+    pub action: FaultAction,
+}
+
+impl FaultPlan {
+    /// Plan that fires at global step `step` (as numbered by a record
+    /// pass over the same schedule).
+    #[must_use]
+    pub fn at_step(step: u64, action: FaultAction) -> Self {
+        FaultPlan {
+            site: None,
+            after: step,
+            action,
+        }
+    }
+
+    /// Plan that fires at the `after`-th hit of the named `site`.
+    #[must_use]
+    pub fn at_site(site: &'static str, after: u64, action: FaultAction) -> Self {
+        FaultPlan {
+            site: Some(site),
+            after,
+            action,
+        }
+    }
+}
+
+/// A fault that actually fired: which site, at which global step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiredFault {
+    /// The named site that fired.
+    pub site: &'static str,
+    /// The global step index at which it fired.
+    pub step: u64,
+    /// The action that was injected.
+    pub action: FaultAction,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Mode {
+    #[default]
+    Off,
+    Record,
+    Armed,
+}
+
+/// The per-SoC failpoint registry. Default-constructed **off**: the
+/// only cost a disabled hit pays is one branch.
+#[derive(Debug, Default)]
+pub struct Failpoints {
+    mode: Mode,
+    /// Global hits since the last `record()`/`arm()` reset.
+    step: u64,
+    /// Hits of the armed plan's site (equals `step` for site-less plans).
+    plan_hits: u64,
+    plan: Option<FaultPlan>,
+    trace: Vec<(&'static str, u64)>,
+    fired: Option<FiredFault>,
+}
+
+impl Failpoints {
+    /// True when hits must be evaluated at all (record or armed mode).
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.mode != Mode::Off
+    }
+
+    /// Switch to record mode: count and trace every hit, fire nothing.
+    /// Resets the step counter and trace.
+    pub fn record(&mut self) {
+        self.mode = Mode::Record;
+        self.step = 0;
+        self.plan_hits = 0;
+        self.plan = None;
+        self.trace.clear();
+        self.fired = None;
+    }
+
+    /// Arm a plan. Resets the step counter, so indices are relative to
+    /// this call — arm at the same point the record pass started.
+    pub fn arm(&mut self, plan: FaultPlan) {
+        self.mode = Mode::Armed;
+        self.step = 0;
+        self.plan_hits = 0;
+        self.plan = Some(plan);
+        self.trace.clear();
+        self.fired = None;
+    }
+
+    /// Arm a seeded plan: the firing index is drawn deterministically
+    /// from `seed` over `total_steps` reachable steps (as counted by a
+    /// record pass over the same schedule).
+    pub fn arm_seeded(&mut self, seed: u64, total_steps: u64, action: FaultAction) {
+        let step = if total_steps == 0 {
+            0
+        } else {
+            DetRng::new(seed).next_below(total_steps)
+        };
+        self.arm(FaultPlan::at_step(step, action));
+    }
+
+    /// Disarm and stop recording; hits go back to the zero-cost path.
+    /// The trace and fired record survive for inspection.
+    pub fn disarm(&mut self) {
+        self.mode = Mode::Off;
+        self.plan = None;
+    }
+
+    /// Global hits observed since the last `record()`/`arm()` reset.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// The `(site, step)` trace accumulated in record mode.
+    #[must_use]
+    pub fn trace(&self) -> &[(&'static str, u64)] {
+        &self.trace
+    }
+
+    /// The fault that fired, if any has.
+    #[must_use]
+    pub fn fired(&self) -> Option<FiredFault> {
+        self.fired
+    }
+
+    /// Evaluate a hit of `site`. Returns the action to inject, if the
+    /// armed plan fires here. Callers go through
+    /// [`crate::Soc::failpoint`], which also applies the action's
+    /// memory effects; only reach for this directly in tests.
+    pub fn hit(&mut self, site: &'static str) -> Option<FaultAction> {
+        let step = self.step;
+        self.step += 1;
+        match self.mode {
+            Mode::Off => None,
+            Mode::Record => {
+                self.trace.push((site, step));
+                None
+            }
+            Mode::Armed => {
+                let plan = self.plan?;
+                if let Some(wanted) = plan.site {
+                    if wanted != site {
+                        return None;
+                    }
+                }
+                let matching = self.plan_hits;
+                self.plan_hits += 1;
+                if matching == plan.after {
+                    self.fired = Some(FiredFault {
+                        site,
+                        step,
+                        action: plan.action,
+                    });
+                    // Disarm so recovery and retry run fault-free.
+                    self.mode = Mode::Off;
+                    self.plan = None;
+                    Some(plan.action)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_never_fires_and_counts_nothing() {
+        let mut fp = Failpoints::default();
+        assert!(!fp.is_enabled());
+        for _ in 0..10 {
+            assert_eq!(fp.hit("dram.write"), None);
+        }
+        assert_eq!(fp.fired(), None);
+        assert!(fp.trace().is_empty());
+    }
+
+    #[test]
+    fn record_mode_traces_every_hit_in_order() {
+        let mut fp = Failpoints::default();
+        fp.record();
+        assert_eq!(fp.hit("a"), None);
+        assert_eq!(fp.hit("b"), None);
+        assert_eq!(fp.hit("a"), None);
+        assert_eq!(fp.trace(), &[("a", 0), ("b", 1), ("a", 2)]);
+        assert_eq!(fp.steps(), 3);
+    }
+
+    #[test]
+    fn armed_plan_fires_once_at_its_step_then_disarms() {
+        let mut fp = Failpoints::default();
+        fp.arm(FaultPlan::at_step(2, FaultAction::CryptError));
+        assert_eq!(fp.hit("a"), None);
+        assert_eq!(fp.hit("b"), None);
+        assert_eq!(fp.hit("c"), Some(FaultAction::CryptError));
+        let fired = fp.fired().unwrap();
+        assert_eq!(fired.site, "c");
+        assert_eq!(fired.step, 2);
+        // Disarmed: later hits (recovery, retry) pass through.
+        assert!(!fp.is_enabled());
+        assert_eq!(fp.hit("c"), None);
+    }
+
+    #[test]
+    fn site_filtered_plan_counts_only_its_site() {
+        let mut fp = Failpoints::default();
+        fp.arm(FaultPlan::at_site("crypt", 1, FaultAction::AbortBatch));
+        assert_eq!(fp.hit("dram.write"), None);
+        assert_eq!(fp.hit("crypt"), None); // 0th crypt hit
+        assert_eq!(fp.hit("dram.write"), None);
+        assert_eq!(fp.hit("crypt"), Some(FaultAction::AbortBatch));
+    }
+
+    #[test]
+    fn seeded_arming_is_deterministic_and_in_range() {
+        let mut a = Failpoints::default();
+        let mut b = Failpoints::default();
+        a.arm_seeded(7, 100, FaultAction::PowerCut { decay: None });
+        b.arm_seeded(7, 100, FaultAction::PowerCut { decay: None });
+        let mut fired_at = None;
+        for i in 0..100 {
+            let ra = a.hit("s");
+            let rb = b.hit("s");
+            assert_eq!(ra, rb, "same seed, same firing step");
+            if ra.is_some() {
+                fired_at = Some(i);
+            }
+        }
+        assert!(fired_at.is_some(), "seeded plan fired within range");
+    }
+}

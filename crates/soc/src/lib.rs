@@ -46,6 +46,7 @@ pub mod cpu;
 pub mod dma;
 pub mod dram;
 pub mod error;
+pub mod failpoint;
 pub mod firmware;
 pub mod iram;
 pub mod rng;
@@ -55,4 +56,5 @@ pub mod trustzone;
 pub use addr::{DRAM_BASE, IRAM_BASE, IRAM_SIZE, PAGE_SIZE};
 pub use clock::{CostModel, SimClock};
 pub use error::SocError;
+pub use failpoint::{Failpoints, FaultAction, FaultPlan};
 pub use soc::{Platform, Soc, SocConfig};

@@ -22,6 +22,7 @@ use crate::cpu::Cpu;
 use crate::dma::{DmaController, UartDebugPort};
 use crate::dram::{Dram, PowerEvent, RemanenceModel};
 use crate::error::SocError;
+use crate::failpoint::{Failpoints, FaultAction};
 use crate::firmware::{BootReport, BootRom, FirmwareImage, ManufacturerKey};
 use crate::iram::Iram;
 use crate::trustzone::{TrustZone, World};
@@ -136,6 +137,8 @@ pub struct Soc {
     pub accel: CryptoAccel,
     /// The UART loopback debug port.
     pub uart: UartDebugPort,
+    /// The deterministic fault-injection plane (off by default).
+    pub failpoints: Failpoints,
     boot_rom: BootRom,
     firmware: FirmwareImage,
 }
@@ -158,8 +161,49 @@ impl Soc {
             trustzone: TrustZone::new(config.fuse),
             accel: CryptoAccel::nexus4(),
             uart: UartDebugPort::new(),
+            failpoints: Failpoints::default(),
             boot_rom: BootRom::new(key),
             firmware,
+        }
+    }
+
+    /// Evaluate the named failpoint. With the plane off (the default)
+    /// this is one branch; in record mode it counts the hit; armed, it
+    /// injects the planned [`FaultAction`] here:
+    ///
+    /// * [`FaultAction::PowerCut`] — optionally applies the simulated
+    ///   power event to DRAM (and, for SoC-power-cutting events,
+    ///   remanence decay to iRAM), then fails with
+    ///   [`SocError::PowerLost`]. The caller's transition dies on the
+    ///   spot, exactly like a battery pull.
+    /// * [`FaultAction::CryptError`] — fails with
+    ///   [`SocError::CryptFault`].
+    /// * [`FaultAction::AbortBatch`] — fails with
+    ///   [`SocError::BatchAborted`].
+    ///
+    /// # Errors
+    ///
+    /// The injected fault, when the armed plan fires at this hit.
+    #[inline]
+    pub fn failpoint(&mut self, site: &'static str) -> Result<(), SocError> {
+        if !self.failpoints.is_enabled() {
+            return Ok(());
+        }
+        match self.failpoints.hit(site) {
+            None => Ok(()),
+            Some(FaultAction::PowerCut { decay }) => {
+                if let Some(event) = decay {
+                    self.dram.apply_power_event(event);
+                    match event {
+                        PowerEvent::WarmReboot => {}
+                        PowerEvent::ReflashTap => self.iram.apply_power_loss(0.2),
+                        PowerEvent::HardReset { seconds } => self.iram.apply_power_loss(seconds),
+                    }
+                }
+                Err(SocError::PowerLost { site })
+            }
+            Some(FaultAction::CryptError) => Err(SocError::CryptFault { site }),
+            Some(FaultAction::AbortBatch) => Err(SocError::BatchAborted { site }),
         }
     }
 
@@ -244,6 +288,7 @@ impl Soc {
                 Ok(())
             }
             Region::Dram => {
+                self.failpoint("dram.write")?;
                 let Soc {
                     dram,
                     bus,

@@ -35,7 +35,7 @@ fn run_batch(pages: &[Vec<u8>], key: &[u8], direction: Direction, workers: usize
             data: p.as_mut_slice(),
         })
         .collect();
-    crypt_batch(&aes, direction, &mut jobs, workers, 1);
+    crypt_batch(&aes, direction, &mut jobs, workers, 1).unwrap();
     work
 }
 
@@ -76,7 +76,7 @@ proptest! {
             .enumerate()
             .map(|(i, p)| PageJob { iv: [i as u8; 16], data: p.as_mut_slice() })
             .collect();
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1);
+        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1).unwrap();
         prop_assert_eq!(rep.pages, pages);
         prop_assert_eq!(rep.bytes, pages as u64 * 4096);
         prop_assert_eq!(rep.per_worker_bytes.iter().sum::<u64>(), rep.bytes);
@@ -87,7 +87,7 @@ proptest! {
             .enumerate()
             .map(|(i, p)| PageJob { iv: [i as u8; 16], data: p.as_mut_slice() })
             .collect();
-        crypt_batch(&aes, Direction::Decrypt, &mut jobs, workers, 1);
+        crypt_batch(&aes, Direction::Decrypt, &mut jobs, workers, 1).unwrap();
         prop_assert_eq!(work, plain);
     }
 }
@@ -105,7 +105,7 @@ fn below_floor_batches_take_the_sequential_fallback() {
             data: p.as_mut_slice(),
         })
         .collect();
-    let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 8, 6);
+    let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 8, 6).unwrap();
     assert!(
         rep.sequential_fallback,
         "5 pages < floor of 6 must not fan out"
@@ -121,7 +121,7 @@ fn below_floor_batches_take_the_sequential_fallback() {
             data: p.as_mut_slice(),
         })
         .collect();
-    let rep2 = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 5, 1);
+    let rep2 = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 5, 1).unwrap();
     assert!(!rep2.sequential_fallback);
     assert_eq!(work, par, "fallback and fan-out bytes differ");
 }
