@@ -627,6 +627,214 @@ pub fn run_cell(
     }
 }
 
+/// What one **decay cell** observed: a power cut at `step` followed by
+/// bit rot in encrypted DRAM frames while the machine was down, then a
+/// reboot whose recovery must quarantine the rotten frames and converge
+/// with the reference *on the surviving set*.
+#[derive(Debug, Clone)]
+pub struct DecayCellOutcome {
+    /// The step index the power cut was armed at.
+    pub step: u64,
+    /// Whether the armed plan actually fired.
+    pub fired: bool,
+    /// Frames whose ciphertext decayed while power was out.
+    pub decayed_frames: Vec<u64>,
+    /// Frames the boot-time audit quarantined immediately.
+    pub quarantined_by_recovery: usize,
+    /// Frames in quarantine the moment `recover()` returned (audit +
+    /// journal roll-forward quarantines together).
+    pub quarantined_at_boot: usize,
+    /// Frames in quarantine after the full retried schedule.
+    pub quarantined_final: usize,
+    /// Torn PTEs + cold-boot needle hits across both scans.
+    pub torn_ptes: usize,
+    /// Cold-boot needle hits (post-kill + post-recovery).
+    pub leaks: usize,
+    /// Unexpected (non-violation) error from the retried schedule.
+    pub retry_error: Option<String>,
+    /// Masked end state (quarantined frames and their mappings removed
+    /// from both sides) equals the masked reference end state.
+    pub survivors_converged: bool,
+}
+
+impl DecayCellOutcome {
+    /// The cell is clean: nothing leaked or tore, every decayed frame
+    /// that was not healed by journal roll-forward sits in quarantine,
+    /// the retry ran, and the survivors converged.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.torn_ptes == 0
+            && self.leaks == 0
+            && self.retry_error.is_none()
+            && self.survivors_converged
+    }
+}
+
+/// Strip the quarantined `frames` (and every page-table view mapping
+/// them) out of an end state, leaving the surviving set both runs are
+/// compared on.
+fn mask_end_state(end: &EndState, frames: &std::collections::BTreeSet<u64>) -> EndState {
+    let masked_pages: std::collections::BTreeSet<(Pid, u64)> = end
+        .ptes
+        .iter()
+        .filter(|p| p.dram_frame.is_some_and(|f| frames.contains(&f)))
+        .map(|p| (p.pid, p.vpn))
+        .collect();
+    EndState {
+        lock_epoch: end.lock_epoch,
+        state: end.state,
+        dram: end
+            .dram
+            .iter()
+            .filter(|(base, _)| !frames.contains(base))
+            .cloned()
+            .collect(),
+        ptes: end
+            .ptes
+            .iter()
+            .filter(|p| !masked_pages.contains(&(p.pid, p.vpn)))
+            .cloned()
+            .collect(),
+        onsoc: end
+            .onsoc
+            .iter()
+            .filter(|(pid, vpn, _)| !masked_pages.contains(&(*pid, *vpn)))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Drive `ops[from..]` tolerating integrity violations: a retried
+/// schedule must keep running around quarantined pages (each violating
+/// touch/write is skipped), while any other error still aborts.
+fn drive_tolerant(
+    s: &mut Sentry,
+    scn: &Scenario,
+    actors: &Actors,
+    ops: &[Op],
+    from: usize,
+) -> Result<(), (usize, SentryError)> {
+    for (ix, op) in ops.iter().enumerate().skip(from) {
+        let per_page: Vec<(Actor, u64)> = match op {
+            Op::Touch { who, vpns } => vpns.iter().map(|&v| (*who, v)).collect(),
+            Op::TouchAll => scn.all_pages(),
+            _ => Vec::new(),
+        };
+        if per_page.is_empty() {
+            match apply(s, scn, actors, op) {
+                Ok(()) => {}
+                Err(e) if e.is_integrity_violation() => {}
+                Err(e) => return Err((ix, e)),
+            }
+            continue;
+        }
+        for (who, vpn) in per_page {
+            match s.touch_pages(actors.pid(who), &[vpn]) {
+                Ok(()) => {}
+                Err(e) if e.is_integrity_violation() => {}
+                Err(e) => return Err((ix, e)),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one decay cell: rebuild, arm a power cut at `step`, drive to the
+/// kill, decay up to `decay_frames` encrypted vault frames (one flipped
+/// bit each, raw to the DRAM array), reboot via `recover()`, then
+/// re-drive the schedule around the quarantine and compare the
+/// surviving set against the reference.
+///
+/// # Errors
+///
+/// Propagates unexpected (non-injected) errors.
+pub fn run_decay_cell(
+    scn: &Scenario,
+    reference: &Reference,
+    step: u64,
+    decay_frames: usize,
+) -> Result<DecayCellOutcome, SentryError> {
+    let (mut s, actors) = scn.build()?;
+    let ops = scn.schedule();
+    s.kernel.soc.failpoints.arm(FaultPlan::at_step(
+        step,
+        FaultAction::PowerCut { decay: None },
+    ));
+    let (ix, err) = match drive(&mut s, scn, &actors, &ops, 0) {
+        Ok(()) => {
+            s.kernel.soc.failpoints.disarm();
+            let end = EndState::capture(&mut s);
+            return Ok(DecayCellOutcome {
+                step,
+                fired: false,
+                decayed_frames: Vec::new(),
+                quarantined_by_recovery: 0,
+                quarantined_at_boot: 0,
+                quarantined_final: 0,
+                torn_ptes: 0,
+                leaks: 0,
+                retry_error: None,
+                survivors_converged: end == reference.end,
+            });
+        }
+        Err((ix, err)) => (ix, err),
+    };
+    if !err.is_power_loss() {
+        return Err(err);
+    }
+    let killed_mid_unlock = matches!(ops[ix], Op::Unlock);
+
+    // While power is out, DRAM cells rot: flip one bit in each of the
+    // first `decay_frames` encrypted vault frames (deterministic by vpn
+    // order). The cache is flushed first so the frozen DRAM image is
+    // the coherent one, exactly as `scan` assumes.
+    s.kernel.soc.cache_maintenance_flush();
+    let mut decayed = Vec::new();
+    {
+        let table = &s.kernel.procs[&actors.vault].page_table;
+        let mut frames: Vec<(u64, u64)> = table
+            .iter()
+            .filter_map(|(vpn, pte)| match pte.backing {
+                Backing::Dram(f) if pte.encrypted => Some((vpn, f)),
+                _ => None,
+            })
+            .collect();
+        frames.sort_unstable();
+        for &(_, frame) in frames.iter().take(decay_frames) {
+            decayed.push(frame);
+        }
+    }
+    for &frame in &decayed {
+        crate::tamper::flip_bit(&mut s.kernel.soc, frame, 513, 3);
+    }
+
+    let (torn_a, leaks_a) = scan(&mut s, killed_mid_unlock);
+    let recovery = s.recover()?;
+    let quarantined_at_boot = s.integrity.quarantined_count();
+    let (torn_b, leaks_b) = scan(&mut s, killed_mid_unlock);
+    let (retry_error, end) = match drive_tolerant(&mut s, scn, &actors, &ops, ix) {
+        Ok(()) => (None, Some(EndState::capture(&mut s))),
+        Err((_, e)) => (Some(e.to_string()), None),
+    };
+    let qframes: std::collections::BTreeSet<u64> =
+        s.integrity.quarantined().iter().map(|q| q.frame).collect();
+    let survivors_converged = end.as_ref().is_some_and(|end| {
+        mask_end_state(end, &qframes) == mask_end_state(&reference.end, &qframes)
+    });
+    Ok(DecayCellOutcome {
+        step,
+        fired: true,
+        decayed_frames: decayed,
+        quarantined_by_recovery: recovery.quarantined,
+        quarantined_at_boot,
+        quarantined_final: qframes.len(),
+        torn_ptes: torn_a + torn_b,
+        leaks: leaks_a + leaks_b,
+        retry_error,
+        survivors_converged,
+    })
+}
+
 /// The full matrix for one scenario.
 #[derive(Debug, Clone)]
 pub struct MatrixOutcome {
@@ -763,6 +971,25 @@ mod tests {
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.sites, b.sites);
         assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn decay_cell_quarantines_rotten_frames_and_converges_on_survivors() {
+        let scn = Scenario::tegra3(7);
+        let reference = record(&scn).unwrap();
+        // A kill somewhere past the lock leaves encrypted vault frames
+        // in DRAM for the decay to hit; step 12 lands mid-schedule.
+        let cell = run_decay_cell(&scn, &reference, 12, 2).unwrap();
+        assert!(cell.fired);
+        assert!(cell.clean(), "cell not clean: {cell:?}");
+        assert!(
+            !cell.decayed_frames.is_empty(),
+            "no encrypted frame to decay at this step"
+        );
+        assert!(
+            cell.quarantined_final > 0,
+            "decayed frames must end in quarantine: {cell:?}"
+        );
     }
 
     #[test]

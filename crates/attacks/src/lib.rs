@@ -17,7 +17,11 @@
 //! the paper's Table 3. [`faultmatrix`] turns the attacks inward:
 //! exhaustive power-cut injection at every reachable failpoint of a
 //! lock/unlock/fault/sweep schedule, with a cold-boot scan and a
-//! recovery-convergence check at each kill point.
+//! recovery-convergence check at each kill point. [`tamper`] upgrades
+//! the adversary from reading DRAM to *writing* it — bit flips, frame
+//! splices, stale-epoch replays — and checks the integrity plane turns
+//! every manipulation into a typed violation instead of silent
+//! corruption.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,7 @@ pub mod dmaattack;
 pub mod faultmatrix;
 pub mod matrix;
 pub mod related;
+pub mod tamper;
 pub mod threat_model;
 
 /// The result of running one attack against one target.

@@ -1,0 +1,245 @@
+//! Integrity-plane experiment: detection coverage and MAC overhead.
+//!
+//! Two halves:
+//!
+//! 1. **Detection coverage** — the [`sentry_attacks::tamper`] matrix
+//!    (bit flips, frame splices, stale-epoch replays, planted on every
+//!    decrypt path, plus the kill-then-tamper recovery cell) must reach
+//!    100% detection with zero silent corruptions on both the
+//!    sequential and parallel crypt engines.
+//! 2. **MAC overhead** — the same lock → unlock → full-sweep workload
+//!    is timed on the simulated clock with the integrity plane on and
+//!    off. Tagging and verify-on-decrypt ride the already-streamed
+//!    page bytes, so the unlock sweep must cost at most 15% more than
+//!    confidentiality-only encrypted DRAM.
+//!
+//! Results print as tables and land in `BENCH_integrity.json`. With
+//! `--enforce`, any missed detection, any silent corruption, or an
+//! unlock-sweep overhead above 15% fails the run.
+
+use sentry_attacks::faultmatrix::Scenario;
+use sentry_attacks::tamper::{run_tamper_matrix, TamperOutcome};
+use sentry_bench::print_table;
+use sentry_core::config::ReadaheadConfig;
+use sentry_core::{Sentry, SentryConfig};
+use sentry_kernel::Kernel;
+use sentry_soc::{Platform, Soc, SocConfig, PAGE_SIZE};
+
+/// Pages in the overhead workload: enough to amortise per-transition
+/// fixed costs so the measured ratio reflects per-page work.
+const SWEEP_PAGES: u64 = 48;
+
+/// Enforced ceiling on the unlock-sweep slowdown from MAC verification.
+const MAX_UNLOCK_OVERHEAD_PCT: f64 = 15.0;
+
+/// One lock → unlock → drain run on the simulated clock.
+struct SweepCost {
+    lock_ns: u64,
+    unlock_ns: u64,
+}
+
+fn sweep_config() -> SentryConfig {
+    SentryConfig::tegra3_locked_l2(2)
+        .with_slot_limit(4)
+        .with_readahead(ReadaheadConfig::with_cluster(4).sweep_budget(8))
+}
+
+fn measure_sweep(config: SentryConfig) -> SweepCost {
+    let soc = Soc::new(
+        SocConfig::new(Platform::Tegra3)
+            .with_dram_size(64 << 20)
+            .with_seed(0x0C0C),
+    );
+    let kernel = Kernel::new(soc);
+    let mut s = Sentry::new(kernel, config).expect("construct sentry");
+    let pid = s.kernel.spawn("sweep-bench");
+    s.mark_sensitive(pid).expect("mark sensitive");
+    for vpn in 0..SWEEP_PAGES {
+        let page = vec![(vpn as u8).wrapping_mul(0x3B) ^ 0x5A; PAGE_SIZE as usize];
+        s.write(pid, vpn * PAGE_SIZE, &page).expect("populate page");
+    }
+
+    let t0 = s.kernel.soc.clock.now_ns();
+    s.on_lock().expect("lock");
+    let t1 = s.kernel.soc.clock.now_ns();
+
+    // The unlock sweep: the eager unlock batch plus the background
+    // sweeper draining every remaining encrypted page.
+    s.on_unlock().expect("unlock");
+    loop {
+        let report = s.scheduler_tick().expect("sweep tick");
+        if report.residual_pages == 0 {
+            break;
+        }
+    }
+    let t2 = s.kernel.soc.clock.now_ns();
+
+    SweepCost {
+        lock_ns: t1 - t0,
+        unlock_ns: t2 - t1,
+    }
+}
+
+fn overhead_pct(on: u64, off: u64) -> f64 {
+    if off == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        (on as f64 - off as f64) / off as f64 * 100.0
+    }
+}
+
+fn emit_json(
+    matrices: &[TamperOutcome],
+    on: &SweepCost,
+    off: &SweepCost,
+    lock_pct: f64,
+    unlock_pct: f64,
+) -> String {
+    // Hand-rolled JSON: fixed schema, numbers and plain names only.
+    let detection: Vec<String> = matrices
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"cells\": {}, \"detected\": {}, \
+                 \"silent_corruptions\": {}, \"detection_rate\": {:.3}, \"clean\": {}}}",
+                m.scenario,
+                m.cells.len(),
+                m.cells.iter().filter(|c| c.detected).count(),
+                m.silent_corruptions(),
+                m.detection_rate(),
+                m.clean()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"integrity\",\n  \"detection\": [\n{}\n  ],\n  \
+         \"overhead\": {{\"pages\": {}, \"lock_ns_off\": {}, \"lock_ns_on\": {}, \
+         \"unlock_ns_off\": {}, \"unlock_ns_on\": {}, \"lock_overhead_pct\": {:.2}, \
+         \"unlock_overhead_pct\": {:.2}, \"max_unlock_overhead_pct\": {:.1}}}\n}}\n",
+        detection.join(",\n"),
+        SWEEP_PAGES,
+        off.lock_ns,
+        on.lock_ns,
+        off.unlock_ns,
+        on.unlock_ns,
+        lock_pct,
+        unlock_pct,
+        MAX_UNLOCK_OVERHEAD_PCT,
+    )
+}
+
+fn main() {
+    let enforce = std::env::args().any(|a| a == "--enforce");
+
+    // Half 1: detection coverage on both crypt engines.
+    let scenarios = [Scenario::tegra3(0x7A3B), Scenario::tegra3_parallel(0x7A3C)];
+    let matrices: Vec<TamperOutcome> = scenarios
+        .iter()
+        .map(|scn| run_tamper_matrix(scn).expect("tamper matrix completes"))
+        .collect();
+
+    for m in &matrices {
+        let rows: Vec<Vec<String>> = m
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.path.name().to_string(),
+                    c.vector.name().to_string(),
+                    if c.detected { "yes" } else { "NO" }.to_string(),
+                    c.quarantined.to_string(),
+                    c.silent_corruptions.to_string(),
+                    if c.survivors_intact { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Tamper detection — {}", m.scenario),
+            &[
+                "Decrypt path",
+                "Vector",
+                "Detected",
+                "Quarantined",
+                "Silent",
+                "Survivors",
+            ],
+            &rows,
+        );
+    }
+
+    // Half 2: MAC overhead of the lock transition and the unlock sweep.
+    let on = measure_sweep(sweep_config());
+    let off = measure_sweep(sweep_config().without_integrity());
+    let lock_pct = overhead_pct(on.lock_ns, off.lock_ns);
+    let unlock_pct = overhead_pct(on.unlock_ns, off.unlock_ns);
+    print_table(
+        &format!("MAC overhead ({SWEEP_PAGES}-page lock/unlock sweep)"),
+        &[
+            "Transition",
+            "Integrity off (ns)",
+            "Integrity on (ns)",
+            "Overhead",
+        ],
+        &[
+            vec![
+                "lock (encrypt+tag)".to_string(),
+                off.lock_ns.to_string(),
+                on.lock_ns.to_string(),
+                format!("{lock_pct:.2}%"),
+            ],
+            vec![
+                "unlock sweep (verify+decrypt)".to_string(),
+                off.unlock_ns.to_string(),
+                on.unlock_ns.to_string(),
+                format!("{unlock_pct:.2}%"),
+            ],
+        ],
+    );
+
+    let json = emit_json(&matrices, &on, &off, lock_pct, unlock_pct);
+    std::fs::write("BENCH_integrity.json", &json).expect("write BENCH_integrity.json");
+    println!("\nwrote BENCH_integrity.json");
+
+    if enforce {
+        let mut failed = false;
+        for m in &matrices {
+            if !m.all_detected() {
+                let missed = m.cells.iter().filter(|c| !c.detected).count();
+                eprintln!(
+                    "FAIL [{}]: {missed} of {} tamper cells went undetected",
+                    m.scenario,
+                    m.cells.len()
+                );
+                failed = true;
+            }
+            if m.silent_corruptions() > 0 {
+                eprintln!(
+                    "FAIL [{}]: {} reads returned wrong bytes without an error",
+                    m.scenario,
+                    m.silent_corruptions()
+                );
+                failed = true;
+            }
+            if !m.clean() {
+                eprintln!(
+                    "FAIL [{}]: matrix not clean (missed quarantine or survivor damage)",
+                    m.scenario
+                );
+                failed = true;
+            }
+        }
+        if unlock_pct > MAX_UNLOCK_OVERHEAD_PCT {
+            eprintln!(
+                "FAIL: unlock-sweep MAC overhead {unlock_pct:.2}% exceeds \
+                 {MAX_UNLOCK_OVERHEAD_PCT:.1}%"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("enforce: 100% tamper detection, unlock overhead {unlock_pct:.2}% <= {MAX_UNLOCK_OVERHEAD_PCT:.1}%");
+    }
+}

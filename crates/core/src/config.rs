@@ -104,6 +104,47 @@ impl ReadaheadConfig {
     }
 }
 
+/// Tuning for the authenticated-DRAM integrity plane: per-page CMAC
+/// tags in an on-SoC tag store, verified on every decrypt path, with
+/// poisoned pages quarantined instead of decrypted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityConfig {
+    /// Master switch. When false no tags are computed or stored and
+    /// every decrypt path behaves exactly as before the integrity plane
+    /// existed (confidentiality-only encrypted DRAM).
+    pub enabled: bool,
+    /// Extra frame re-reads attempted when a MAC check fails, to
+    /// disambiguate a transient bus/readout glitch from real tampering
+    /// before quarantining the page.
+    pub max_verify_retries: u32,
+    /// Attempt cap (initial try + retries) for transient crypt/dispatch
+    /// faults on the fault-readahead and sweeper paths; exceeding it
+    /// yields a typed `RetriesExhausted` instead of retrying forever.
+    pub max_crypt_retries: u32,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            enabled: true,
+            max_verify_retries: 2,
+            max_crypt_retries: 3,
+        }
+    }
+}
+
+impl IntegrityConfig {
+    /// A disabled integrity plane (confidentiality-only DRAM, the
+    /// paper's original behaviour).
+    #[must_use]
+    pub fn disabled() -> Self {
+        IntegrityConfig {
+            enabled: false,
+            ..IntegrityConfig::default()
+        }
+    }
+}
+
 /// Full Sentry configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SentryConfig {
@@ -114,6 +155,8 @@ pub struct SentryConfig {
     /// Unlock-latency tuning: fault-cluster readahead and the background
     /// decrypt sweeper.
     pub readahead: ReadaheadConfig,
+    /// Authenticated-DRAM integrity plane tuning.
+    pub integrity: IntegrityConfig,
     /// Whether sensitive apps may run in the background while locked
     /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
     /// Without it, sensitive apps are parked unschedulable on lock (the
@@ -142,6 +185,7 @@ impl SentryConfig {
             backend: OnSocBackend::LockedL2 { max_ways },
             parallel: ParallelConfig::default(),
             readahead: ReadaheadConfig::default(),
+            integrity: IntegrityConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -154,6 +198,7 @@ impl SentryConfig {
             backend: OnSocBackend::Iram,
             parallel: ParallelConfig::default(),
             readahead: ReadaheadConfig::default(),
+            integrity: IntegrityConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -168,6 +213,7 @@ impl SentryConfig {
             backend: OnSocBackend::Iram,
             parallel: ParallelConfig::default(),
             readahead: ReadaheadConfig::default(),
+            integrity: IntegrityConfig::default(),
             background_support: false,
             slot_limit: None,
         }
@@ -199,6 +245,21 @@ impl SentryConfig {
     #[must_use]
     pub fn with_readahead(mut self, readahead: ReadaheadConfig) -> Self {
         self.readahead = readahead;
+        self
+    }
+
+    /// Set the integrity-plane tuning (see [`IntegrityConfig`]).
+    #[must_use]
+    pub fn with_integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.integrity = integrity;
+        self
+    }
+
+    /// Shorthand: turn the integrity plane off (confidentiality-only
+    /// encrypted DRAM, the paper's original behaviour).
+    #[must_use]
+    pub fn without_integrity(mut self) -> Self {
+        self.integrity = IntegrityConfig::disabled();
         self
     }
 }

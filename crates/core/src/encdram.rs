@@ -16,6 +16,7 @@
 //! ciphertext only.
 
 use crate::error::SentryError;
+use crate::integrity::{IntegrityPlane, QuarantinedPage, VerifyOutcome};
 use crate::onsoc::OnSocStore;
 use crate::txn::{JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_kernel::fault::PageFault;
@@ -59,6 +60,9 @@ pub struct PagerStats {
     pub evict_batches: u64,
     /// Pages evicted across all such sweeps.
     pub evict_batch_pages: u64,
+    /// Faults refused because the frame is quarantined (poisoned
+    /// ciphertext caught by the integrity plane — never paged in).
+    pub quarantine_rejects: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +123,7 @@ impl Pager {
         store: &mut OnSocStore,
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
+        integrity: &mut IntegrityPlane,
         fault: &PageFault,
         epoch: u64,
     ) -> Result<(), SentryError> {
@@ -140,8 +145,14 @@ impl Pager {
                 Ok(())
             }
             Backing::Dram(frame) if pte.encrypted => {
-                let slot_idx = self.acquire_slot(store, kernel, txn, epoch)?;
-                self.page_in(kernel, slot_idx, fault.pid, fault.vpn, frame)
+                // A quarantined frame never pages in: report its stored
+                // violation instead of decrypting poisoned ciphertext.
+                if let Some(err) = integrity.violation_for(frame) {
+                    self.stats.quarantine_rejects += 1;
+                    return Err(err);
+                }
+                let slot_idx = self.acquire_slot(store, kernel, txn, integrity, epoch)?;
+                self.page_in(kernel, integrity, slot_idx, fault.pid, fault.vpn, frame)
             }
             Backing::Dram(_) => {
                 // Unencrypted page (e.g. shared with a non-sensitive
@@ -159,6 +170,7 @@ impl Pager {
         store: &mut OnSocStore,
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
+        integrity: &mut IntegrityPlane,
         epoch: u64,
     ) -> Result<usize, SentryError> {
         if let Some(i) = self.free.pop() {
@@ -183,7 +195,7 @@ impl Pager {
         // at the FIFO head so recovery (and the retried fault) still
         // agree with an uninterrupted run on who gets evicted.
         let victim = *self.resident.front().ok_or(SentryError::OnSocExhausted)?;
-        self.evict(kernel, txn, victim, epoch)?;
+        self.evict(store, kernel, txn, integrity, victim, epoch)?;
         self.resident.pop_front();
         // `evict` pushed the victim onto the free list; claim it back.
         let reclaimed = self.free.pop().expect("evict frees its slot");
@@ -202,8 +214,10 @@ impl Pager {
     /// only reclaimed in the in-memory tail, after the journal closes.
     fn evict(
         &mut self,
+        store: &mut OnSocStore,
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
+        integrity: &mut IntegrityPlane,
         slot_idx: usize,
         epoch: u64,
     ) -> Result<(), SentryError> {
@@ -257,9 +271,38 @@ impl Pager {
             epoch,
             std::slice::from_ref(&entry),
         )?;
+        // The integrity tag goes on-SoC before the ciphertext is
+        // visible in DRAM (no unrecorded-tamper window); idempotent on
+        // a recovery replay.
+        integrity.store_tags(&mut kernel.soc, store, &[(home, iv)], &self.scratch)?;
         kernel.soc.failpoint("pager.evict")?;
         kernel.soc.clock.advance(kernel.soc.costs.page_copy_ns);
         kernel.soc.mem_write(home, &self.scratch)?;
+
+        // Read-back verify: the published frame must MAC against the
+        // tag just stored. An active attacker racing the publish (or a
+        // failing DRAM cell) is caught here, not at the next unlock;
+        // verify_one's bounded re-reads heal a transient glitch, a
+        // persistent mismatch quarantines the frame and leaves the
+        // journal open for `recover()` to roll the eviction forward
+        // from the still-intact on-SoC plaintext.
+        if integrity.enabled() {
+            let mut readback = vec![0u8; PAGE_SIZE as usize];
+            kernel.soc.mem_read(home, &mut readback)?;
+            if let VerifyOutcome::Mismatch { expected, got } =
+                integrity.verify_one(&mut kernel.soc, home, &iv, &mut readback)?
+            {
+                self.stats.quarantine_rejects += 1;
+                return Err(integrity.quarantine(QuarantinedPage {
+                    pid,
+                    vpn,
+                    frame: home,
+                    epoch,
+                    tag_expected: expected,
+                    tag_got: got,
+                }));
+            }
+        }
 
         let proc = kernel.proc_mut(pid)?;
         let pte = proc
@@ -289,6 +332,7 @@ impl Pager {
     fn page_in(
         &mut self,
         kernel: &mut Kernel,
+        integrity: &mut IntegrityPlane,
         slot_idx: usize,
         pid: u32,
         vpn: u64,
@@ -315,6 +359,26 @@ impl Pager {
             .ok_or(SentryError::Unresolvable { pid, vpn })?
             .crypt_epoch;
         let iv = page_iv(pid, vpn, stored_epoch);
+
+        // MAC-verify the gathered ciphertext before the cipher runs on
+        // it. A mismatch quarantines the frame: the PTE is untouched,
+        // the freshly acquired slot goes back to the free list, and the
+        // fault reports the violation.
+        if let VerifyOutcome::Mismatch { expected, got } =
+            integrity.verify_one(&mut kernel.soc, frame, &iv, page.as_mut_slice())?
+        {
+            self.free.push(slot_idx);
+            self.stats.quarantine_rejects += 1;
+            return Err(integrity.quarantine(QuarantinedPage {
+                pid,
+                vpn,
+                frame,
+                epoch: stored_epoch,
+                tag_expected: expected,
+                tag_got: got,
+            }));
+        }
+        let page = &mut self.scratch;
         let sentry_kernel::kernel::Kernel { soc, crypto, .. } = kernel;
         crypto
             .preferred_mut()
@@ -351,8 +415,10 @@ impl Pager {
     /// Propagates eviction errors.
     pub fn evict_all(
         &mut self,
+        store: &mut OnSocStore,
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
+        integrity: &mut IntegrityPlane,
         epoch: u64,
     ) -> Result<(), SentryError> {
         // The FIFO is *not* drained up front: a kill mid-sweep must
@@ -400,6 +466,14 @@ impl Pager {
                 .map_err(SentryError::Kernel)?;
             soc.clock.advance(soc.costs.page_copy_ns * n as u64);
         }
+
+        // Every tag on-SoC before any ciphertext is published below.
+        let tag_jobs: Vec<(u64, [u8; 16])> = targets
+            .iter()
+            .zip(&ivs)
+            .map(|(&(_, _, home), &iv)| (home, iv))
+            .collect();
+        integrity.store_tags(&mut kernel.soc, store, &tag_jobs, &buf)?;
 
         // Scatter the ciphertext back to each page's home frame and
         // re-arm the traps, in journaled chunks: every publish + PTE

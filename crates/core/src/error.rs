@@ -43,6 +43,29 @@ pub enum SentryError {
         /// The entry point that was refused.
         op: &'static str,
     },
+    /// A ciphertext page failed MAC verification against the on-SoC tag
+    /// store: the frame was tampered with (or decayed) while encrypted.
+    /// The page has been quarantined — its PTE stays encrypted, no
+    /// plaintext was exposed, and the rest of the system keeps running.
+    IntegrityViolation {
+        /// Owning pid of the poisoned page.
+        pid: u32,
+        /// Virtual page number of the poisoned page.
+        vpn: u64,
+        /// The 64-bit tag the on-SoC store holds for the frame.
+        tag_expected: [u8; 8],
+        /// The tag recomputed over the frame's current contents.
+        tag_got: [u8; 8],
+    },
+    /// A transient-fault retry budget was exhausted: the same operation
+    /// kept failing with retriable crypt/dispatch errors beyond the
+    /// configured cap, so the fault is treated as persistent.
+    RetriesExhausted {
+        /// The operation that gave up.
+        op: &'static str,
+        /// How many attempts were made (initial try + retries).
+        attempts: u32,
+    },
 }
 
 impl SentryError {
@@ -71,6 +94,14 @@ impl SentryError {
                 ))
         )
     }
+
+    /// True when this error reports a MAC-verification failure (a
+    /// tampered or decayed ciphertext frame caught by the integrity
+    /// plane, now quarantined).
+    #[must_use]
+    pub fn is_integrity_violation(&self) -> bool {
+        matches!(self, SentryError::IntegrityViolation { .. })
+    }
 }
 
 impl fmt::Display for SentryError {
@@ -98,6 +129,20 @@ impl fmt::Display for SentryError {
             SentryError::TransitionInFlight { op } => write!(
                 f,
                 "{op} refused: a journaled transition is in flight (run recover() first)"
+            ),
+            SentryError::IntegrityViolation {
+                pid,
+                vpn,
+                tag_expected,
+                tag_got,
+            } => write!(
+                f,
+                "integrity violation: pid {pid} vpn {vpn:#x} \
+                 (expected tag {tag_expected:02x?}, got {tag_got:02x?}); page quarantined"
+            ),
+            SentryError::RetriesExhausted { op, attempts } => write!(
+                f,
+                "{op}: transient-fault retries exhausted after {attempts} attempts"
             ),
         }
     }

@@ -1,0 +1,611 @@
+//! The authenticated-DRAM integrity plane: per-page CMAC tags in an
+//! on-SoC tag store, verified on every decrypt path, with poisoned
+//! pages quarantined instead of decrypted.
+//!
+//! Encrypted DRAM defeats a *passive* memory attacker — one who reads
+//! the bus or dumps frozen modules. An *active* attacker can do more:
+//! flip ciphertext bits from a rowhammer-style disturbance, splice one
+//! sector's ciphertext over another, or re-plant a stale lock cycle's
+//! ciphertext after the page was rewritten. None of those recover a
+//! secret, but all of them silently corrupt the plaintext Sentry hands
+//! back after unlock. The integrity plane closes that gap:
+//!
+//! * every ciphertext page gets a CMAC tag (SP 800-38B, AES as the
+//!   primitive — no new cipher state on-SoC) over a 16-byte context
+//!   tweak plus the full ciphertext page. The tweak is the page IV,
+//!   which binds `(pid, vpn, lock-epoch)`, so a stale epoch's
+//!   ciphertext — even with its matching stale tag — fails
+//!   verification after a re-lock;
+//! * tags live in an **on-SoC tag store** (iRAM, like the transition
+//!   journal): the attacker who can rewrite every DRAM cell still
+//!   cannot forge or swap a tag;
+//! * every decrypt path verifies the tag over the gathered ciphertext
+//!   *before* running the block cipher. A mismatch is retried a bounded
+//!   number of times (a transient bus glitch re-reads clean; real
+//!   tampering does not) and then the page is **quarantined**: its PTE
+//!   stays encrypted, the caller gets a typed
+//!   [`SentryError::IntegrityViolation`], and the rest of the system
+//!   keeps running.
+//!
+//! Tags are 64 bits — the truncation SP 800-38B §5.5 permits — which
+//! doubles the store's page capacity: 512 tags per 4 KiB page, so even
+//! the 48 MB worst-case working set of the app-cycle experiments needs
+//! only 24 iRAM pages of tags.
+
+use crate::config::{IntegrityConfig, OnSocBackend};
+use crate::error::SentryError;
+use crate::onsoc::OnSocStore;
+use sentry_crypto::{Aes, Cmac};
+use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, IRAM_SIZE, PAGE_SIZE};
+use sentry_soc::Soc;
+use std::collections::{BTreeMap, HashMap};
+
+/// Bytes per stored tag (a truncated CMAC, SP 800-38B §5.5).
+pub const TAG_BYTES: usize = 8;
+
+/// Tags per 4 KiB tag-store page.
+pub const TAGS_PER_PAGE: u64 = PAGE_SIZE / TAG_BYTES as u64;
+
+/// Cumulative integrity-plane statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Pages whose MAC verified cleanly before decryption.
+    pub verified_pages: u64,
+    /// MAC mismatches that survived the re-read retries (each one
+    /// quarantined a page).
+    pub violations: u64,
+    /// Frame re-reads performed to disambiguate transient readout
+    /// glitches from tampering.
+    pub verify_retries: u64,
+    /// Tags written into the on-SoC store.
+    pub tags_stored: u64,
+    /// Tags retired (zeroed and freed) after their page returned to
+    /// plaintext.
+    pub tags_retired: u64,
+    /// Encrypted pages decrypted without a stored tag (pages encrypted
+    /// before the plane was enabled; counted, never blocked).
+    pub untagged_decrypts: u64,
+}
+
+/// One quarantined page: everything needed to report the violation on
+/// every later touch without re-reading anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedPage {
+    /// Owning pid (the first mapping the verifier saw).
+    pub pid: u32,
+    /// Virtual page number of that mapping.
+    pub vpn: u64,
+    /// The poisoned DRAM frame.
+    pub frame: u64,
+    /// Lock epoch of the ciphertext that failed.
+    pub epoch: u64,
+    /// The tag the on-SoC store holds.
+    pub tag_expected: [u8; TAG_BYTES],
+    /// The tag recomputed over the frame's current contents.
+    pub tag_got: [u8; TAG_BYTES],
+}
+
+/// Outcome of verifying one gathered ciphertext page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The stored tag matched: the ciphertext is authentic.
+    Ok,
+    /// No tag is stored for this frame (encrypted before the plane was
+    /// enabled); the page passes through unverified.
+    Untagged,
+    /// The tag did not match even after the bounded re-reads: the frame
+    /// was tampered with (or decayed) while encrypted.
+    Mismatch {
+        /// The tag the on-SoC store holds.
+        expected: [u8; TAG_BYTES],
+        /// The tag recomputed over the frame's current contents.
+        got: [u8; TAG_BYTES],
+    },
+}
+
+/// The integrity plane: a CMAC context keyed off the volatile root key,
+/// the on-SoC tag store, and the quarantine set.
+#[derive(Debug)]
+pub struct IntegrityPlane {
+    config: IntegrityConfig,
+    backend: OnSocBackend,
+    /// CMAC under a domain-separated key derived from the volatile root
+    /// key (`E_rootkey("SENTRY-INTEGRITY")`); `None` when disabled.
+    cmac: Option<Cmac<Aes>>,
+    /// On-SoC pages holding tag slots, in slot order.
+    tag_pages: Vec<u64>,
+    /// DRAM frame → tag slot index.
+    slots: HashMap<u64, u32>,
+    /// Retired slot indices available for reuse.
+    free_slots: Vec<u32>,
+    /// Next never-used slot index.
+    next_slot: u32,
+    /// Locked-L2 backend only: next raw iRAM page to claim for tags
+    /// (iRAM is otherwise unused there except for the journal page).
+    fixed_next: u64,
+    /// Poisoned frames, keyed by frame address.
+    quarantine: BTreeMap<u64, QuarantinedPage>,
+    /// Statistics.
+    pub stats: IntegrityStats,
+}
+
+impl IntegrityPlane {
+    /// Build the plane. When `config.enabled`, the MAC key is derived
+    /// from the volatile root key by one block encryption of a fixed
+    /// domain-separation constant — it inherits the root key's
+    /// lifetime (dies with power) without a second key page on-SoC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates AES key-schedule errors.
+    pub fn new(
+        config: IntegrityConfig,
+        backend: OnSocBackend,
+        root_key: &[u8],
+    ) -> Result<Self, SentryError> {
+        let cmac = if config.enabled {
+            let root = Aes::new(root_key).map_err(sentry_crypto::CryptoError::from)?;
+            let mut mk = *b"SENTRY-INTEGRITY";
+            root.encrypt_block(&mut mk);
+            Some(Cmac::new(
+                Aes::new(&mk).map_err(sentry_crypto::CryptoError::from)?,
+            ))
+        } else {
+            None
+        };
+        Ok(IntegrityPlane {
+            config,
+            backend,
+            cmac,
+            tag_pages: Vec::new(),
+            slots: HashMap::new(),
+            free_slots: Vec::new(),
+            next_slot: 0,
+            // The journal occupies the first post-firmware iRAM page in
+            // locked-L2 mode; tag pages grow from the next one.
+            fixed_next: IRAM_BASE + IRAM_FIRMWARE_RESERVED + PAGE_SIZE,
+            quarantine: BTreeMap::new(),
+            stats: IntegrityStats::default(),
+        })
+    }
+
+    /// Whether the plane is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.cmac.is_some()
+    }
+
+    /// The configured bounded-retry caps.
+    #[must_use]
+    pub fn config(&self) -> IntegrityConfig {
+        self.config
+    }
+
+    /// Number of on-SoC pages the tag store currently occupies.
+    #[must_use]
+    pub fn tag_store_pages(&self) -> usize {
+        self.tag_pages.len()
+    }
+
+    /// The tag over one ciphertext page: CMAC of the IV tweak block
+    /// followed by the page, truncated to 64 bits. The IV binds
+    /// `(pid, vpn, lock-epoch)`, so a replayed stale-epoch ciphertext
+    /// fails against the current tag even if the attacker also knew the
+    /// stale tag.
+    fn compute_tag(&self, iv: &[u8; 16], page: &[u8]) -> [u8; TAG_BYTES] {
+        self.cmac
+            .as_ref()
+            .expect("compute_tag on a disabled plane")
+            .mac_parts_trunc8(&[iv, page])
+    }
+
+    /// Charge the simulated clock for MACing `pages` pages, inside one
+    /// IRQ-disabled critical section. The CBC chains of independent
+    /// pages fill the 16 bitslice lanes of the batch AES kernels, so a
+    /// batch costs `ceil(pages/16)` serial chains of 257 blocks (256
+    /// page blocks + the IV tweak block) each.
+    fn charge_mac(soc: &mut Soc, pages: usize) {
+        if pages == 0 {
+            return;
+        }
+        let chains = pages.div_ceil(16) as u64;
+        let blocks = PAGE_SIZE / 16 + 1;
+        let ns = chains * blocks * soc.costs.aes_block_compute_ns;
+        let was_enabled = soc.cpu.begin_critical();
+        soc.clock.advance(ns);
+        soc.cpu.end_critical(was_enabled, ns);
+    }
+
+    /// The on-SoC address of `slot`'s 8 tag bytes.
+    fn slot_addr(&self, slot: u32) -> u64 {
+        let page = self.tag_pages[(u64::from(slot) / TAGS_PER_PAGE) as usize];
+        page + (u64::from(slot) % TAGS_PER_PAGE) * TAG_BYTES as u64
+    }
+
+    /// Get the frame's tag slot, allocating one (and growing the tag
+    /// store by an on-SoC page when full) if it has none.
+    fn slot_for(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+        frame: u64,
+    ) -> Result<u32, SentryError> {
+        if let Some(&slot) = self.slots.get(&frame) {
+            return Ok(slot);
+        }
+        let slot = if let Some(slot) = self.free_slots.pop() {
+            slot
+        } else {
+            if u64::from(self.next_slot) == self.tag_pages.len() as u64 * TAGS_PER_PAGE {
+                let page = match self.backend {
+                    OnSocBackend::Iram => store.alloc_page(soc)?,
+                    OnSocBackend::LockedL2 { .. } => {
+                        if self.fixed_next + PAGE_SIZE > IRAM_BASE + IRAM_SIZE {
+                            return Err(SentryError::OnSocExhausted);
+                        }
+                        let page = self.fixed_next;
+                        self.fixed_next += PAGE_SIZE;
+                        soc.mem_write(page, &[0u8; PAGE_SIZE as usize])?;
+                        page
+                    }
+                };
+                self.tag_pages.push(page);
+            }
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            slot
+        };
+        self.slots.insert(frame, slot);
+        Ok(slot)
+    }
+
+    /// Compute and store tags for a batch of freshly encrypted pages.
+    /// `buf` holds the ciphertext pages in job order. Idempotent:
+    /// re-storing a frame's tag overwrites it in place, so recovery can
+    /// replay an interrupted encrypt without leaking slots.
+    ///
+    /// Callers run this **before** publishing any ciphertext to DRAM: a
+    /// frame whose ciphertext is visible in DRAM always has its tag
+    /// already on-SoC, so there is no window in which tampering could
+    /// go unrecorded.
+    ///
+    /// # Errors
+    ///
+    /// [`SentryError::OnSocExhausted`] when the tag store cannot grow.
+    pub fn store_tags(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+        jobs: &[(u64, [u8; 16])],
+        buf: &[u8],
+    ) -> Result<(), SentryError> {
+        if !self.enabled() || jobs.is_empty() {
+            return Ok(());
+        }
+        Self::charge_mac(soc, jobs.len());
+        let page = PAGE_SIZE as usize;
+        for ((frame, iv), chunk) in jobs.iter().zip(buf.chunks_exact(page)) {
+            let tag = self.compute_tag(iv, chunk);
+            let slot = self.slot_for(soc, store, *frame)?;
+            soc.mem_write(self.slot_addr(slot), &tag)?;
+            self.stats.tags_stored += 1;
+        }
+        Ok(())
+    }
+
+    /// Verify a batch of gathered ciphertext pages against the tag
+    /// store, before any of them is decrypted. On a mismatch the frame
+    /// is re-read (into the caller's buffer — a transient readout
+    /// glitch heals here) up to `max_verify_retries` times; a page that
+    /// still fails reports [`VerifyOutcome::Mismatch`] and the caller
+    /// quarantines it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC read errors.
+    pub fn verify_frames(
+        &mut self,
+        soc: &mut Soc,
+        jobs: &[(u64, [u8; 16])],
+        buf: &mut [u8],
+    ) -> Result<Vec<VerifyOutcome>, SentryError> {
+        if !self.enabled() {
+            return Ok(vec![VerifyOutcome::Ok; jobs.len()]);
+        }
+        Self::charge_mac(soc, jobs.len());
+        let page = PAGE_SIZE as usize;
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for ((frame, iv), chunk) in jobs.iter().zip(buf.chunks_exact_mut(page)) {
+            let Some(&slot) = self.slots.get(frame) else {
+                self.stats.untagged_decrypts += 1;
+                outcomes.push(VerifyOutcome::Untagged);
+                continue;
+            };
+            let mut expected = [0u8; TAG_BYTES];
+            soc.mem_read(self.slot_addr(slot), &mut expected)?;
+            let mut got = self.compute_tag(iv, chunk);
+            if got != expected {
+                for _ in 0..self.config.max_verify_retries {
+                    self.stats.verify_retries += 1;
+                    soc.mem_read(*frame, chunk)?;
+                    Self::charge_mac(soc, 1);
+                    got = self.compute_tag(iv, chunk);
+                    if got == expected {
+                        break;
+                    }
+                }
+            }
+            if got == expected {
+                self.stats.verified_pages += 1;
+                outcomes.push(VerifyOutcome::Ok);
+            } else {
+                outcomes.push(VerifyOutcome::Mismatch { expected, got });
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Verify one gathered page (the pager's scratch-buffer paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC read errors.
+    pub fn verify_one(
+        &mut self,
+        soc: &mut Soc,
+        frame: u64,
+        iv: &[u8; 16],
+        chunk: &mut [u8],
+    ) -> Result<VerifyOutcome, SentryError> {
+        if !self.enabled() {
+            return Ok(VerifyOutcome::Ok);
+        }
+        let jobs = [(frame, *iv)];
+        Ok(self.verify_frames(soc, &jobs, chunk)?[0])
+    }
+
+    /// Quarantine a poisoned page and return the typed violation error
+    /// the caller propagates. The PTE is left untouched (still
+    /// encrypted) by design — that is the caller's invariant — so the
+    /// page can never reach plaintext, and every later touch reports
+    /// the same violation via [`IntegrityPlane::violation_for`].
+    pub fn quarantine(&mut self, q: QuarantinedPage) -> SentryError {
+        if !self.quarantine.contains_key(&q.frame) {
+            self.stats.violations += 1;
+        }
+        let err = SentryError::IntegrityViolation {
+            pid: q.pid,
+            vpn: q.vpn,
+            tag_expected: q.tag_expected,
+            tag_got: q.tag_got,
+        };
+        self.quarantine.insert(q.frame, q);
+        err
+    }
+
+    /// Whether `frame` is quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, frame: u64) -> bool {
+        self.quarantine.contains_key(&frame)
+    }
+
+    /// Drop a frame's quarantine entry. Only recovery calls this, after
+    /// rolling a poisoned frame forward from a still-intact source (an
+    /// on-SoC eviction slot): the fresh ciphertext *and its fresh tag*
+    /// fully replace the tampered image, so the frame is healed.
+    /// Returns whether an entry was removed.
+    pub fn release(&mut self, frame: u64) -> bool {
+        self.quarantine.remove(&frame).is_some()
+    }
+
+    /// The stored violation for a quarantined frame, if any.
+    #[must_use]
+    pub fn violation_for(&self, frame: u64) -> Option<SentryError> {
+        self.quarantine
+            .get(&frame)
+            .map(|q| SentryError::IntegrityViolation {
+                pid: q.pid,
+                vpn: q.vpn,
+                tag_expected: q.tag_expected,
+                tag_got: q.tag_got,
+            })
+    }
+
+    /// All quarantined pages, in frame order.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<QuarantinedPage> {
+        self.quarantine.values().copied().collect()
+    }
+
+    /// Number of quarantined pages.
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Retire a frame's tag after its page returned to plaintext: the
+    /// slot is zeroed on-SoC and recycled. No-op for untagged frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC write errors.
+    pub fn retire_tag(&mut self, soc: &mut Soc, frame: u64) -> Result<(), SentryError> {
+        if let Some(slot) = self.slots.remove(&frame) {
+            soc.mem_write(self.slot_addr(slot), &[0u8; TAG_BYTES])?;
+            self.free_slots.push(slot);
+            self.stats.tags_retired += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether a tag is currently stored for `frame`.
+    #[must_use]
+    pub fn has_tag(&self, frame: u64) -> bool {
+        self.slots.contains_key(&frame)
+    }
+
+    /// The on-SoC address of `frame`'s stored tag, if one exists.
+    /// Exposed so the tamper tests can flip bits *inside the tag store
+    /// itself* and prove the mismatch is caught from either side.
+    #[must_use]
+    pub fn tag_slot_addr(&self, frame: u64) -> Option<u64> {
+        self.slots.get(&frame).map(|&slot| self.slot_addr(slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentry_soc::{Platform, SocConfig};
+
+    fn soc() -> Soc {
+        Soc::new(SocConfig::new(Platform::Tegra3).with_dram_size(8 << 20))
+    }
+
+    fn plane_and_store(backend: OnSocBackend) -> (IntegrityPlane, OnSocStore, Soc) {
+        let mut soc = soc();
+        let store = OnSocStore::new(backend, &mut soc).unwrap();
+        let plane = IntegrityPlane::new(IntegrityConfig::default(), backend, &[7u8; 16]).unwrap();
+        (plane, store, soc)
+    }
+
+    fn dram_frame(soc: &Soc, index: u64) -> u64 {
+        let _ = soc;
+        sentry_soc::addr::DRAM_BASE + index * PAGE_SIZE
+    }
+
+    #[test]
+    fn store_verify_retire_roundtrip() {
+        let (mut plane, mut store, mut soc) = plane_and_store(OnSocBackend::Iram);
+        let frame = dram_frame(&soc, 3);
+        let iv = [9u8; 16];
+        let mut page = vec![0xABu8; PAGE_SIZE as usize];
+        soc.mem_write(frame, &page).unwrap();
+        plane
+            .store_tags(&mut soc, &mut store, &[(frame, iv)], &page)
+            .unwrap();
+        assert!(plane.has_tag(frame));
+        assert_eq!(
+            plane.verify_one(&mut soc, frame, &iv, &mut page).unwrap(),
+            VerifyOutcome::Ok
+        );
+        plane.retire_tag(&mut soc, frame).unwrap();
+        assert!(!plane.has_tag(frame));
+        assert_eq!(plane.stats.tags_stored, 1);
+        assert_eq!(plane.stats.tags_retired, 1);
+    }
+
+    #[test]
+    fn tampered_page_fails_and_quarantines() {
+        let (mut plane, mut store, mut soc) = plane_and_store(OnSocBackend::Iram);
+        let frame = dram_frame(&soc, 1);
+        let iv = [3u8; 16];
+        let mut page = vec![0x5Au8; PAGE_SIZE as usize];
+        soc.mem_write(frame, &page).unwrap();
+        plane
+            .store_tags(&mut soc, &mut store, &[(frame, iv)], &page)
+            .unwrap();
+        // Tamper one bit in DRAM; re-reads keep seeing the tampered
+        // byte, so the bounded retries cannot heal it.
+        page[100] ^= 0x04;
+        soc.mem_write(frame, &page).unwrap();
+        let outcome = plane.verify_one(&mut soc, frame, &iv, &mut page).unwrap();
+        let VerifyOutcome::Mismatch { expected, got } = outcome else {
+            panic!("tamper not detected: {outcome:?}");
+        };
+        let err = plane.quarantine(QuarantinedPage {
+            pid: 1,
+            vpn: 0,
+            frame,
+            epoch: 1,
+            tag_expected: expected,
+            tag_got: got,
+        });
+        assert!(err.is_integrity_violation());
+        assert!(plane.is_quarantined(frame));
+        assert_eq!(plane.quarantined_count(), 1);
+        assert_eq!(plane.stats.violations, 1);
+        assert!(plane.stats.verify_retries >= 1);
+        assert!(plane.violation_for(frame).is_some());
+    }
+
+    #[test]
+    fn stale_epoch_iv_fails_even_with_identical_ciphertext() {
+        let (mut plane, mut store, mut soc) = plane_and_store(OnSocBackend::Iram);
+        let frame = dram_frame(&soc, 2);
+        let mut page = vec![0xEEu8; PAGE_SIZE as usize];
+        soc.mem_write(frame, &page).unwrap();
+        let old_iv = crate::encdram::page_iv(1, 0, 1);
+        let new_iv = crate::encdram::page_iv(1, 0, 2);
+        plane
+            .store_tags(&mut soc, &mut store, &[(frame, new_iv)], &page)
+            .unwrap();
+        // Same bytes, stale epoch in the tweak: the tag cannot match.
+        assert!(matches!(
+            plane
+                .verify_one(&mut soc, frame, &old_iv, &mut page)
+                .unwrap(),
+            VerifyOutcome::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn tag_store_grows_and_recycles_slots_iram() {
+        let (mut plane, mut store, mut soc) = plane_and_store(OnSocBackend::Iram);
+        let page = vec![1u8; PAGE_SIZE as usize];
+        for i in 0..(TAGS_PER_PAGE + 2) {
+            let frame = dram_frame(&soc, i);
+            soc.mem_write(frame, &page).unwrap();
+            plane
+                .store_tags(&mut soc, &mut store, &[(frame, [0u8; 16])], &page)
+                .unwrap();
+        }
+        assert_eq!(plane.tag_store_pages(), 2, "513th tag needs a second page");
+        let f0 = dram_frame(&soc, 0);
+        plane.retire_tag(&mut soc, f0).unwrap();
+        let fresh = dram_frame(&soc, 999);
+        soc.mem_write(fresh, &page).unwrap();
+        plane
+            .store_tags(&mut soc, &mut store, &[(fresh, [0u8; 16])], &page)
+            .unwrap();
+        assert_eq!(plane.tag_store_pages(), 2, "retired slot was recycled");
+    }
+
+    #[test]
+    fn locked_l2_backend_places_tags_in_iram_after_the_journal() {
+        let backend = OnSocBackend::LockedL2 { max_ways: 2 };
+        let (mut plane, mut store, mut soc) = plane_and_store(backend);
+        let frame = dram_frame(&soc, 0);
+        let page = vec![2u8; PAGE_SIZE as usize];
+        soc.mem_write(frame, &page).unwrap();
+        plane
+            .store_tags(&mut soc, &mut store, &[(frame, [0u8; 16])], &page)
+            .unwrap();
+        let addr = plane.tag_slot_addr(frame).unwrap();
+        assert!(addr >= IRAM_BASE + IRAM_FIRMWARE_RESERVED + PAGE_SIZE);
+        assert!(addr < IRAM_BASE + IRAM_SIZE);
+    }
+
+    #[test]
+    fn disabled_plane_is_inert() {
+        let mut soc = soc();
+        let mut store = OnSocStore::new(OnSocBackend::Iram, &mut soc).unwrap();
+        let mut plane =
+            IntegrityPlane::new(IntegrityConfig::disabled(), OnSocBackend::Iram, &[0u8; 16])
+                .unwrap();
+        assert!(!plane.enabled());
+        let frame = dram_frame(&soc, 0);
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        plane
+            .store_tags(&mut soc, &mut store, &[(frame, [0u8; 16])], &page)
+            .unwrap();
+        assert!(!plane.has_tag(frame));
+        assert_eq!(
+            plane
+                .verify_one(&mut soc, frame, &[0u8; 16], &mut page)
+                .unwrap(),
+            VerifyOutcome::Ok
+        );
+        assert_eq!(plane.stats, IntegrityStats::default());
+    }
+}

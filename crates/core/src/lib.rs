@@ -60,14 +60,16 @@ pub mod config;
 pub mod device;
 pub mod encdram;
 pub mod error;
+pub mod integrity;
 pub mod keys;
 pub mod lifecycle;
 pub mod onsoc;
 pub mod store;
 pub mod txn;
 
-pub use config::{OnSocBackend, ParallelConfig, SentryConfig};
+pub use config::{IntegrityConfig, OnSocBackend, ParallelConfig, SentryConfig};
 pub use device::{DeviceAgent, ScreenState, UnlockOutcome};
 pub use error::SentryError;
+pub use integrity::{IntegrityPlane, IntegrityStats, QuarantinedPage, VerifyOutcome};
 pub use lifecycle::{DeviceState, LifecycleStats, ParallelStats, RecoveryReport, Sentry};
 pub use txn::{JournalEntry, TxnJournal, TxnOp};

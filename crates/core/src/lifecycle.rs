@@ -13,6 +13,7 @@ use crate::aes_onsoc::build_engine;
 use crate::config::{OnSocBackend, SentryConfig};
 use crate::encdram::{page_iv, Pager};
 use crate::error::SentryError;
+use crate::integrity::{IntegrityPlane, QuarantinedPage, VerifyOutcome};
 use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
 use crate::txn::{JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
@@ -95,6 +96,12 @@ pub struct LifecycleStats {
     pub sweep_pages: u64,
     /// Simulated time spent in background sweeper steps.
     pub sweep_ns: u64,
+    /// Transient crypt/dispatch faults absorbed by the bounded-retry
+    /// policy on the fault-readahead and sweeper paths.
+    pub crypt_retries: u64,
+    /// Retry budgets exhausted (each one surfaced a typed
+    /// [`SentryError::RetriesExhausted`] to the caller).
+    pub retries_exhausted: u64,
 }
 
 /// What one background sweeper step did.
@@ -111,6 +118,7 @@ pub struct SweepReport {
 
 /// One gathered page of fault-cluster or sweeper work: a mapping, the
 /// frame behind it, and the IV its ciphertext was produced under.
+#[derive(Clone, Copy)]
 struct ClusterPage {
     pid: Pid,
     vpn: u64,
@@ -136,6 +144,9 @@ pub struct RecoveryReport {
     pub completed: usize,
     /// Entries already marked done before the kill.
     pub already_done: usize,
+    /// Encrypted frames the boot-time integrity audit quarantined
+    /// (decayed or tampered while power was out).
+    pub quarantined: usize,
 }
 
 /// Last 16 bytes of each page-sized chunk — the journal tags of a
@@ -203,6 +214,10 @@ pub struct Sentry {
     /// The most recently resolved on-demand fault (telemetry; `pages >
     /// 1` means the readahead cluster pulled in encrypted neighbours).
     pub last_fault: Option<FaultResolution>,
+    /// The authenticated-DRAM integrity plane: per-page CMAC tags in an
+    /// on-SoC tag store, verified on every decrypt path, with poisoned
+    /// pages quarantined (see [`crate::integrity`]).
+    pub integrity: IntegrityPlane,
     state: DeviceState,
     volatile_key: VolatileRootKey,
     /// The crash-consistency transition journal (one on-SoC page).
@@ -244,6 +259,10 @@ impl Sentry {
             OnSocBackend::Iram => store.alloc_page(&mut kernel.soc)?,
             OnSocBackend::LockedL2 { .. } => IRAM_BASE + IRAM_FIRMWARE_RESERVED,
         };
+        // The integrity plane's MAC key derives from the volatile root
+        // key, and its tag store sits next to the journal on-SoC: both
+        // die with power, exactly like the ciphertext they authenticate.
+        let integrity = IntegrityPlane::new(config.integrity, config.backend, &key)?;
         Ok(Sentry {
             kernel,
             store,
@@ -252,6 +271,7 @@ impl Sentry {
             stats: LifecycleStats::default(),
             parallel: ParallelStats::default(),
             last_fault: None,
+            integrity,
             state: DeviceState::Unlocked,
             volatile_key,
             txn: TxnJournal::new(journal_page),
@@ -343,10 +363,7 @@ impl Sentry {
         direction: Direction,
         jobs: &[(u64, [u8; 16])],
     ) -> Result<(Vec<u8>, Vec<[u8; 16]>, BatchReport), SentryError> {
-        let pages = jobs.len();
-        let bytes = pages as u64 * PAGE_SIZE;
-        let page = PAGE_SIZE as usize;
-        if pages == 0 {
+        if jobs.is_empty() {
             let report = BatchReport {
                 pages: 0,
                 bytes: 0,
@@ -356,19 +373,43 @@ impl Sentry {
             };
             return Ok((Vec::new(), Vec::new(), report));
         }
+        let mut buf = self.gather_frames(jobs)?;
+        let (tags, report) = self.crypt_buffers(direction, jobs, &mut buf)?;
+        Ok((buf, tags, report))
+    }
+
+    /// Gather every job's source frame into one contiguous scratch run.
+    /// Nothing here writes DRAM. Split out of the crypt dispatch so the
+    /// decrypt paths can MAC-verify the gathered ciphertext against the
+    /// on-SoC tag store *before* the block cipher ever runs on it.
+    fn gather_frames(&mut self, jobs: &[(u64, [u8; 16])]) -> Result<Vec<u8>, SentryError> {
+        let page = PAGE_SIZE as usize;
+        let mut buf = vec![0u8; jobs.len() * page];
+        for (chunk, &(frame, _)) in buf.chunks_exact_mut(page).zip(jobs) {
+            self.kernel.soc.mem_read(frame, chunk)?;
+        }
+        Ok(buf)
+    }
+
+    /// Transform already-gathered pages in place (the dispatch half of
+    /// [`Sentry::crypt_frames_to_buffers`]). Returns the per-page
+    /// ciphertext tags and the batch report.
+    fn crypt_buffers(
+        &mut self,
+        direction: Direction,
+        jobs: &[(u64, [u8; 16])],
+        buf: &mut [u8],
+    ) -> Result<(Vec<[u8; 16]>, BatchReport), SentryError> {
+        let pages = jobs.len();
+        let bytes = pages as u64 * PAGE_SIZE;
+        let page = PAGE_SIZE as usize;
         self.kernel.soc.failpoint("crypt.dispatch")?;
         let workers = self.config.parallel.workers;
         let min_batch = self.config.parallel.min_batch_pages.max(1);
 
-        // Gather every source page into one contiguous run. Nothing
-        // below writes DRAM.
-        let mut buf = vec![0u8; pages * page];
-        for (chunk, &(frame, _)) in buf.chunks_exact_mut(page).zip(jobs) {
-            self.kernel.soc.mem_read(frame, chunk)?;
-        }
         // Decrypt jobs carry the ciphertext *now*; snapshot the tags
         // before the transform destroys them.
-        let pre_tags = (direction == Direction::Decrypt).then(|| page_tags(&buf));
+        let pre_tags = (direction == Direction::Decrypt).then(|| page_tags(buf));
 
         let report = if workers <= 1 || pages < min_batch {
             if pages == 1 {
@@ -378,8 +419,8 @@ impl Sentry {
                 let Kernel { soc, crypto, .. } = &mut self.kernel;
                 let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
                 match direction {
-                    Direction::Encrypt => engine.encrypt(soc, &iv, &mut buf),
-                    Direction::Decrypt => engine.decrypt(soc, &iv, &mut buf),
+                    Direction::Encrypt => engine.encrypt(soc, &iv, buf),
+                    Direction::Decrypt => engine.decrypt(soc, &iv, buf),
                 }
                 .map_err(SentryError::Kernel)?;
             } else {
@@ -393,8 +434,8 @@ impl Sentry {
                 let Kernel { soc, crypto, .. } = &mut self.kernel;
                 let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
                 match direction {
-                    Direction::Encrypt => engine.encrypt_extent(soc, &ivs, &mut buf),
-                    Direction::Decrypt => engine.decrypt_extent(soc, &ivs, &mut buf),
+                    Direction::Encrypt => engine.encrypt_extent(soc, &ivs, buf),
+                    Direction::Decrypt => engine.decrypt_extent(soc, &ivs, buf),
                 }
                 .map_err(SentryError::Kernel)?;
             }
@@ -442,7 +483,7 @@ impl Sentry {
             report
         };
 
-        let tags = pre_tags.unwrap_or_else(|| page_tags(&buf));
+        let tags = pre_tags.unwrap_or_else(|| page_tags(buf));
         if report.pages > 0 {
             self.stats.crypt_batches += 1;
             self.stats.crypt_batch_pages += report.pages as u64;
@@ -450,7 +491,7 @@ impl Sentry {
                 self.stats.largest_batch_pages.max(report.pages as u64);
             self.parallel.record(&report);
         }
-        Ok((buf, tags, report))
+        Ok((tags, report))
     }
 
     /// The IV a frame's ciphertext was produced under: shared frames
@@ -484,7 +525,7 @@ impl Sentry {
     /// CBC would turn plaintext into garbage.
     fn decrypt_gathered(&mut self, pages: &[ClusterPage]) -> Result<usize, SentryError> {
         let mut jobs: Vec<(u64, [u8; 16])> = Vec::with_capacity(pages.len());
-        let mut live: Vec<&ClusterPage> = Vec::with_capacity(pages.len());
+        let mut live: Vec<ClusterPage> = Vec::with_capacity(pages.len());
         for cp in pages {
             let still_encrypted = self
                 .kernel
@@ -492,16 +533,69 @@ impl Sentry {
                 .get(&cp.pid)
                 .and_then(|p| p.page_table.get(cp.vpn))
                 .is_some_and(|pte| pte.encrypted);
-            if !still_encrypted || jobs.iter().any(|&(f, _)| f == cp.frame) {
+            if !still_encrypted
+                || self.integrity.is_quarantined(cp.frame)
+                || jobs.iter().any(|&(f, _)| f == cp.frame)
+            {
                 continue;
             }
             jobs.push((cp.frame, cp.iv));
-            live.push(cp);
+            live.push(*cp);
         }
         if jobs.is_empty() {
             return Ok(0);
         }
-        let (buf, tags, _report) = self.crypt_frames_to_buffers(Direction::Decrypt, &jobs)?;
+        let mut buf = self.gather_frames(&jobs)?;
+
+        // MAC-verify the gathered ciphertext against the on-SoC tag
+        // store *before* the block cipher runs. Pages that fail (after
+        // the bounded re-reads) are quarantined — dropped from the
+        // batch, PTE left encrypted — and the authentic remainder
+        // proceeds: graceful degradation, not a panic.
+        if self.integrity.enabled() {
+            let outcomes = self
+                .integrity
+                .verify_frames(&mut self.kernel.soc, &jobs, &mut buf)?;
+            if outcomes
+                .iter()
+                .any(|o| matches!(o, VerifyOutcome::Mismatch { .. }))
+            {
+                let page = PAGE_SIZE as usize;
+                let mut kept_jobs = Vec::with_capacity(jobs.len());
+                let mut kept_live = Vec::with_capacity(live.len());
+                let mut kept_buf = Vec::with_capacity(buf.len());
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    if let VerifyOutcome::Mismatch { expected, got } = *outcome {
+                        let cp = live[i];
+                        let epoch = self
+                            .kernel
+                            .procs
+                            .get(&cp.pid)
+                            .and_then(|p| p.page_table.get(cp.vpn))
+                            .map_or(self.lock_epoch, |pte| pte.crypt_epoch);
+                        let _ = self.integrity.quarantine(QuarantinedPage {
+                            pid: cp.pid,
+                            vpn: cp.vpn,
+                            frame: cp.frame,
+                            epoch,
+                            tag_expected: expected,
+                            tag_got: got,
+                        });
+                    } else {
+                        kept_jobs.push(jobs[i]);
+                        kept_live.push(live[i]);
+                        kept_buf.extend_from_slice(&buf[i * page..(i + 1) * page]);
+                    }
+                }
+                jobs = kept_jobs;
+                live = kept_live;
+                buf = kept_buf;
+                if jobs.is_empty() {
+                    return Ok(0);
+                }
+            }
+        }
+        let (tags, _report) = self.crypt_buffers(Direction::Decrypt, &jobs, &mut buf)?;
 
         // Publish in journaled chunks. Decrypt order is flip-first: the
         // PTE's encrypted bit clears *before* the plaintext lands in the
@@ -557,6 +651,11 @@ impl Sentry {
                 self.kernel
                     .soc
                     .mem_write(jobs[i].0, &buf[i * page..(i + 1) * page])?;
+                // The frame is plaintext now: retire its tag before the
+                // entry is marked done, so a kill in between re-runs the
+                // (idempotent) retire rather than leaving a stale tag
+                // that would poison the frame's next encrypt cycle.
+                self.integrity.retire_tag(&mut self.kernel.soc, jobs[i].0)?;
                 self.txn.mark_done(&mut self.kernel.soc, i - start)?;
             }
             self.txn.close(&mut self.kernel.soc)?;
@@ -565,9 +664,44 @@ impl Sentry {
         Ok(jobs.len())
     }
 
+    /// Run [`Sentry::decrypt_gathered`] under the bounded-retry policy
+    /// for *transient* faults: an injected crypt/dispatch error fails
+    /// the batch cleanly before any DRAM mutates, so the whole gather is
+    /// simply re-attempted, up to `integrity.max_crypt_retries` total
+    /// attempts. Exceeding the cap reports a typed
+    /// [`SentryError::RetriesExhausted`] — the fault is persistent and
+    /// retrying forever would spin. Non-transient errors (power loss,
+    /// integrity violations, real memory errors) propagate immediately.
+    fn decrypt_gathered_with_retry(
+        &mut self,
+        op: &'static str,
+        pages: &[ClusterPage],
+    ) -> Result<usize, SentryError> {
+        let cap = self.integrity.config().max_crypt_retries.max(1);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.decrypt_gathered(pages) {
+                Err(e) if e.is_injected_crypt_fault() => {
+                    if attempts < cap {
+                        self.stats.crypt_retries += 1;
+                    } else {
+                        self.stats.retries_exhausted += 1;
+                        return Err(SentryError::RetriesExhausted { op, attempts });
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Residual-encrypted-pages gauge: encrypted DRAM mappings across
     /// all sensitive processes. Zero means post-unlock decryption is
     /// complete and no further first-touch fault can cost a decrypt.
+    ///
+    /// Quarantined frames are excluded: they can never be decrypted, so
+    /// counting them would report a residue no sweep can drain and the
+    /// sweeper would spin re-attempting known-bad frames every tick.
     #[must_use]
     pub fn residual_encrypted_pages(&self) -> usize {
         self.kernel
@@ -577,7 +711,11 @@ impl Sentry {
             .map(|p| {
                 p.page_table
                     .iter()
-                    .filter(|(_, pte)| pte.encrypted && matches!(pte.backing, Backing::Dram(_)))
+                    .filter(|(_, pte)| {
+                        pte.encrypted
+                            && matches!(pte.backing, Backing::Dram(f)
+                                if !self.integrity.is_quarantined(f))
+                    })
                     .count()
             })
             .sum()
@@ -613,7 +751,9 @@ impl Sentry {
             let proc = self.kernel.proc(pid)?;
             for (vpn, pte) in proc.page_table.iter() {
                 if let Backing::Dram(frame) = pte.backing {
-                    if pte.encrypted {
+                    // Quarantined frames are permanently undecryptable;
+                    // sweeping them would spin without progress.
+                    if pte.encrypted && !self.integrity.is_quarantined(frame) {
                         all.push((pid, vpn, frame));
                     }
                 }
@@ -651,7 +791,7 @@ impl Sentry {
             });
         }
         let next_cursor = gathered.last().map(|g| (g.pid, g.vpn + 1));
-        let pages = self.decrypt_gathered(&gathered)?;
+        let pages = self.decrypt_gathered_with_retry("sweep", &gathered)?;
         if let Some(cur) = next_cursor {
             self.sweep_cursor = Some(cur);
         }
@@ -714,8 +854,13 @@ impl Sentry {
         // namespace too.
         let epoch = self.lock_epoch + 1;
         let zero_drain_ns = self.kernel.drain_zero_thread()?;
-        self.pager
-            .evict_all(&mut self.kernel, &mut self.txn, epoch)?;
+        self.pager.evict_all(
+            &mut self.store,
+            &mut self.kernel,
+            &mut self.txn,
+            &mut self.integrity,
+            epoch,
+        )?;
 
         // Phase 1: collect every crypt job — private pages of every
         // sensitive process, then the shared-frame pass — into one
@@ -825,6 +970,14 @@ impl Sentry {
         // buffers. DRAM is untouched until each page's journaled
         // publish below.
         let (buf, tags, report) = self.crypt_frames_to_buffers(Direction::Encrypt, &jobs)?;
+
+        // Integrity tags go on-SoC *before* any ciphertext is published
+        // to DRAM: a frame whose ciphertext is visible always has its
+        // tag recorded, so there is no window for unrecorded tampering.
+        // Idempotent on a killed-and-retried lock — the same epoch
+        // yields the same IVs, ciphertext, and tags.
+        self.integrity
+            .store_tags(&mut self.kernel.soc, &mut self.store, &jobs, &buf)?;
 
         // Phase 3: publish + flip as a two-phase commit, in journal
         // chunks. Encrypt order is publish-first: the ciphertext lands,
@@ -966,11 +1119,69 @@ impl Sentry {
                 })
                 .collect();
             for (vpn, frame, stored_epoch) in dma_pages {
+                // Quarantined DMA frames stay encrypted; the violation
+                // surfaces on explicit access, not here — the unlock
+                // itself must keep working for every healthy page.
+                if self.integrity.is_quarantined(frame) {
+                    continue;
+                }
                 jobs.push((frame, page_iv(pid, vpn, stored_epoch)));
                 updates.push((pid, vpn, stored_epoch));
             }
         }
-        let (buf, tags, report) = self.crypt_frames_to_buffers(Direction::Decrypt, &jobs)?;
+
+        // Gather, MAC-verify, then decrypt — the same verify-before-
+        // cipher discipline as `decrypt_gathered`, with failed pages
+        // quarantined out of the batch.
+        let mut buf = self.gather_frames(&jobs)?;
+        if self.integrity.enabled() && !jobs.is_empty() {
+            let outcomes = self
+                .integrity
+                .verify_frames(&mut self.kernel.soc, &jobs, &mut buf)?;
+            if outcomes
+                .iter()
+                .any(|o| matches!(o, VerifyOutcome::Mismatch { .. }))
+            {
+                let page = PAGE_SIZE as usize;
+                let mut kept_jobs = Vec::with_capacity(jobs.len());
+                let mut kept_updates = Vec::with_capacity(updates.len());
+                let mut kept_buf = Vec::with_capacity(buf.len());
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    if let VerifyOutcome::Mismatch { expected, got } = *outcome {
+                        let (pid, vpn, epoch) = updates[i];
+                        let _ = self.integrity.quarantine(QuarantinedPage {
+                            pid,
+                            vpn,
+                            frame: jobs[i].0,
+                            epoch,
+                            tag_expected: expected,
+                            tag_got: got,
+                        });
+                    } else {
+                        kept_jobs.push(jobs[i]);
+                        kept_updates.push(updates[i]);
+                        kept_buf.extend_from_slice(&buf[i * page..(i + 1) * page]);
+                    }
+                }
+                jobs = kept_jobs;
+                updates = kept_updates;
+                buf = kept_buf;
+            }
+        }
+        let (tags, report) = if jobs.is_empty() {
+            (
+                Vec::new(),
+                BatchReport {
+                    pages: 0,
+                    bytes: 0,
+                    workers_used: 1,
+                    per_worker_bytes: vec![0],
+                    sequential_fallback: true,
+                },
+            )
+        } else {
+            self.crypt_buffers(Direction::Decrypt, &jobs, &mut buf)?
+        };
 
         // Journaled publish, flip-first (see `decrypt_gathered`).
         let page = PAGE_SIZE as usize;
@@ -1007,6 +1218,7 @@ impl Sentry {
                 self.kernel
                     .soc
                     .mem_write(jobs[i].0, &buf[i * page..(i + 1) * page])?;
+                self.integrity.retire_tag(&mut self.kernel.soc, jobs[i].0)?;
                 self.txn.mark_done(&mut self.kernel.soc, i - start)?;
             }
             self.txn.close(&mut self.kernel.soc)?;
@@ -1038,6 +1250,7 @@ impl Sentry {
                         &mut self.store,
                         &mut self.kernel,
                         &mut self.txn,
+                        &mut self.integrity,
                         fault,
                         self.lock_epoch,
                     )
@@ -1066,7 +1279,14 @@ impl Sentry {
                         vpn: fault.vpn,
                     })?;
                 match pte.backing {
-                    Backing::Dram(_) if pte.encrypted => {
+                    Backing::Dram(frame) if pte.encrypted => {
+                        // A quarantined frame can never be decrypted:
+                        // report the stored violation instead of
+                        // faulting forever. Everything else keeps
+                        // running — quarantine is per-page.
+                        if let Some(err) = self.integrity.violation_for(frame) {
+                            return Err(err);
+                        }
                         // On-demand decryption in the fault handler (§7),
                         // with fault-cluster readahead: gather the
                         // faulting page plus its spatially-adjacent
@@ -1086,7 +1306,11 @@ impl Sentry {
                                 None => continue,
                             };
                             let frame = match cand.backing {
-                                Backing::Dram(f) if cand.encrypted => f,
+                                Backing::Dram(f)
+                                    if cand.encrypted && !self.integrity.is_quarantined(f) =>
+                                {
+                                    f
+                                }
                                 _ => continue,
                             };
                             let iv = self.frame_iv(fault.pid, vpn, &cand, frame);
@@ -1097,7 +1321,15 @@ impl Sentry {
                                 iv,
                             });
                         }
-                        let decrypted = self.decrypt_gathered(&gathered)?;
+                        let decrypted =
+                            self.decrypt_gathered_with_retry("handle_fault", &gathered)?;
+                        // If the *faulting* page itself just failed its
+                        // MAC it was quarantined mid-batch: surface its
+                        // violation (readahead companions that failed
+                        // are reported lazily, on their own first touch).
+                        if let Some(err) = self.integrity.violation_for(frame) {
+                            return Err(err);
+                        }
                         let duration_ns = self.kernel.soc.clock.now_ns() - t0;
                         self.stats.ondemand_faults += 1;
                         self.stats.ondemand_bytes += decrypted as u64 * PAGE_SIZE;
@@ -1271,7 +1503,70 @@ impl Sentry {
             self.txn.close(&mut self.kernel.soc)?;
         }
         self.pager.reconcile(&self.kernel);
+        report.quarantined = self.audit_encrypted_frames()?;
         Ok(report)
+    }
+
+    /// Boot-time integrity audit: a power event can decay or tamper
+    /// DRAM while the machine is down, so after the journal is rolled
+    /// forward every encrypted, tagged frame is MAC-verified against the
+    /// on-SoC tag store. Decayed frames are quarantined now — the reboot
+    /// converges on the surviving set instead of decrypting rot into
+    /// plaintext on some later fault. Returns the number of frames newly
+    /// quarantined. A shared frame verifies if *any* sharer's IV
+    /// matches (the tag was computed under whichever mapping encrypted
+    /// it).
+    fn audit_encrypted_frames(&mut self) -> Result<usize, SentryError> {
+        if !self.integrity.enabled() {
+            return Ok(0);
+        }
+        // frame -> every (pid, vpn, epoch) mapping it encrypted-backs.
+        let mut frames: std::collections::BTreeMap<u64, Vec<(Pid, u64, u64)>> =
+            std::collections::BTreeMap::new();
+        let pids: Vec<Pid> = self.kernel.procs.keys().copied().collect();
+        for pid in pids {
+            for (vpn, pte) in self.kernel.procs[&pid].page_table.iter() {
+                if let Backing::Dram(frame) = pte.backing {
+                    if pte.encrypted {
+                        frames
+                            .entry(frame)
+                            .or_default()
+                            .push((pid, vpn, pte.crypt_epoch));
+                    }
+                }
+            }
+        }
+        let mut quarantined = 0usize;
+        for (frame, mappings) in frames {
+            if !self.integrity.has_tag(frame) || self.integrity.is_quarantined(frame) {
+                continue;
+            }
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            self.kernel.soc.mem_read(frame, &mut page)?;
+            let mut verdict = VerifyOutcome::Ok;
+            for &(pid, vpn, epoch) in &mappings {
+                let iv = page_iv(pid, vpn, epoch);
+                verdict = self
+                    .integrity
+                    .verify_one(&mut self.kernel.soc, frame, &iv, &mut page)?;
+                if matches!(verdict, VerifyOutcome::Ok | VerifyOutcome::Untagged) {
+                    break;
+                }
+            }
+            if let VerifyOutcome::Mismatch { expected, got } = verdict {
+                let (pid, vpn, epoch) = mappings[0];
+                let _ = self.integrity.quarantine(QuarantinedPage {
+                    pid,
+                    vpn,
+                    frame,
+                    epoch,
+                    tag_expected: expected,
+                    tag_got: got,
+                });
+                quarantined += 1;
+            }
+        }
+        Ok(quarantined)
     }
 
     /// Read the frame's last 16 bytes — the slot the journal tag (the
@@ -1288,7 +1583,9 @@ impl Sentry {
     fn recover_encrypt(&mut self, entry: &JournalEntry) -> Result<(), SentryError> {
         if self.frame_tag(entry.frame)? != entry.tag {
             // The publish never landed; the source still holds
-            // plaintext. Roll forward: re-encrypt and publish.
+            // plaintext. Roll forward: re-encrypt and publish, with the
+            // integrity tag stored on-SoC before the ciphertext goes to
+            // DRAM — the same ordering the live path guarantees.
             let mut page = vec![0u8; PAGE_SIZE as usize];
             self.kernel.soc.mem_read(entry.src, &mut page)?;
             {
@@ -1299,7 +1596,16 @@ impl Sentry {
                     .encrypt(soc, &entry.iv, &mut page)
                     .map_err(SentryError::Kernel)?;
             }
+            self.integrity.store_tags(
+                &mut self.kernel.soc,
+                &mut self.store,
+                &[(entry.frame, entry.iv)],
+                &page,
+            )?;
             self.kernel.soc.mem_write(entry.frame, &page)?;
+            // Fresh ciphertext + fresh tag from the intact source: a
+            // frame quarantined mid-eviction is healed by this replay.
+            self.integrity.release(entry.frame);
         }
         let mappings = self
             .kernel
@@ -1329,7 +1635,83 @@ impl Sentry {
     }
 
     /// Complete one interrupted decrypt entry (unlock, fault, sweep).
+    ///
+    /// With the integrity plane active and a tag on-SoC for the frame,
+    /// recovery MAC-verifies before rolling forward — a tampered frame
+    /// can never be "recovered" into plaintext. Three cases:
+    ///
+    /// * MAC verifies ⇒ genuine ciphertext: decrypt, publish, flip,
+    ///   retire the tag.
+    /// * MAC fails, but trial-encrypting the frame's current contents
+    ///   under the journaled IV reproduces the journaled ciphertext tag
+    ///   ⇒ the plaintext already landed before the kill (the tag simply
+    ///   had not been retired yet): flip and retire, nothing to publish.
+    /// * MAC fails and the trial does not match ⇒ the frame was
+    ///   tampered with while the transition was in flight: quarantine
+    ///   it, leave every PTE encrypted, and let recovery continue over
+    ///   the surviving entries.
     fn recover_decrypt(&mut self, entry: &JournalEntry) -> Result<(), SentryError> {
+        if self.integrity.enabled() && self.integrity.has_tag(entry.frame) {
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            self.kernel.soc.mem_read(entry.frame, &mut page)?;
+            match self.integrity.verify_one(
+                &mut self.kernel.soc,
+                entry.frame,
+                &entry.iv,
+                &mut page,
+            )? {
+                VerifyOutcome::Ok => {
+                    {
+                        let Kernel { soc, crypto, .. } = &mut self.kernel;
+                        crypto
+                            .preferred_mut()
+                            .map_err(SentryError::Kernel)?
+                            .decrypt(soc, &entry.iv, &mut page)
+                            .map_err(SentryError::Kernel)?;
+                    }
+                    self.kernel.soc.mem_write(entry.frame, &page)?;
+                }
+                VerifyOutcome::Mismatch { expected, got } => {
+                    let mut trial = page.clone();
+                    {
+                        let Kernel { soc, crypto, .. } = &mut self.kernel;
+                        crypto
+                            .preferred_mut()
+                            .map_err(SentryError::Kernel)?
+                            .encrypt(soc, &entry.iv, &mut trial)
+                            .map_err(SentryError::Kernel)?;
+                    }
+                    if trial[trial.len() - 16..] != entry.tag[..] {
+                        let _ = self.integrity.quarantine(QuarantinedPage {
+                            pid: entry.pid,
+                            vpn: entry.vpn,
+                            frame: entry.frame,
+                            epoch: entry.epoch,
+                            tag_expected: expected,
+                            tag_got: got,
+                        });
+                        // The publish loop flips PTEs *before* writing
+                        // the plaintext, so the dying transition may
+                        // have left mappings claiming plaintext over
+                        // what is now tampered ciphertext. Force them
+                        // back to encrypted: every later access must
+                        // fault into the quarantine check, never read
+                        // the frame raw.
+                        self.flip_mappings_encrypted(entry);
+                        return Ok(());
+                    }
+                    // Plaintext already landed: only the flip remains.
+                }
+                VerifyOutcome::Untagged => unreachable!("has_tag checked above"),
+            }
+            self.integrity
+                .retire_tag(&mut self.kernel.soc, entry.frame)?;
+            self.flip_mappings_plaintext(entry);
+            return Ok(());
+        }
+        // Legacy path (plane disabled, or a frame encrypted before it
+        // was enabled): the journal tag — the final CBC block — tells
+        // which side of the publish the kill landed on.
         if self.frame_tag(entry.frame)? == entry.tag {
             // Still ciphertext: decrypt under the journaled IV and
             // publish the plaintext.
@@ -1345,6 +1727,35 @@ impl Sentry {
             }
             self.kernel.soc.mem_write(entry.frame, &page)?;
         }
+        self.flip_mappings_plaintext(entry);
+        Ok(())
+    }
+
+    /// Re-arm every mapping of a quarantined frame as encrypted at the
+    /// journaled epoch, so accesses fault and hit the quarantine check.
+    fn flip_mappings_encrypted(&mut self, entry: &JournalEntry) {
+        let mappings = self
+            .kernel
+            .sharers_of(entry.frame)
+            .map(<[(u32, u64)]>::to_vec)
+            .unwrap_or_else(|| vec![(entry.pid, entry.vpn)]);
+        for (pid, vpn) in mappings {
+            if let Some(pte) = self
+                .kernel
+                .procs
+                .get_mut(&pid)
+                .and_then(|p| p.page_table.get_mut(vpn))
+            {
+                pte.encrypted = true;
+                pte.young = false;
+                pte.crypt_epoch = entry.epoch;
+            }
+        }
+    }
+
+    /// Flip every mapping of a recovered decrypt entry's frame back to
+    /// plaintext state (idempotent).
+    fn flip_mappings_plaintext(&mut self, entry: &JournalEntry) {
         let mappings = self
             .kernel
             .sharers_of(entry.frame)
@@ -1361,7 +1772,6 @@ impl Sentry {
                 pte.young = true;
             }
         }
-        Ok(())
     }
 }
 

@@ -5,7 +5,7 @@ use sentry_core::config::OnSocBackend;
 use sentry_core::onsoc::OnSocStore;
 use sentry_core::{Sentry, SentryConfig, TxnJournal};
 use sentry_kernel::Kernel;
-use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, PAGE_SIZE};
+use sentry_soc::addr::{IRAM_BASE, PAGE_SIZE};
 use sentry_soc::cache::ALL_WAYS;
 use sentry_soc::Soc;
 
@@ -27,21 +27,21 @@ fn pager_slots_can_be_released_back_to_the_store() {
     assert!(sentry.pager.resident_count() > 0);
 
     // Evict everything and hand the slots back. Driving the pager
-    // directly means supplying a journal; a spare iRAM page (unused
-    // under the locked-L2 backend) serves.
+    // directly means supplying a journal; the last iRAM page (far past
+    // the real journal and the integrity tag store) serves.
     let epoch = sentry.lock_epoch();
-    let mut txn = TxnJournal::new(IRAM_BASE + IRAM_FIRMWARE_RESERVED + PAGE_SIZE);
-    sentry
-        .pager
-        .evict_all(&mut sentry.kernel, &mut txn, epoch)
-        .unwrap();
-    assert_eq!(sentry.pager.resident_count(), 0);
+    let mut txn = TxnJournal::new(IRAM_BASE + sentry_soc::addr::IRAM_SIZE - PAGE_SIZE);
     let Sentry {
         kernel,
         store,
         pager,
+        integrity,
         ..
     } = &mut sentry;
+    pager
+        .evict_all(store, kernel, &mut txn, integrity, epoch)
+        .unwrap();
+    assert_eq!(pager.resident_count(), 0);
     pager.release_slots(store, kernel).unwrap();
     assert_eq!(pager.slot_count(), 0);
 

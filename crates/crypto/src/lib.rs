@@ -49,6 +49,7 @@ pub mod block;
 pub mod error;
 pub mod gf;
 pub mod key_schedule;
+pub mod mac;
 pub mod modes;
 pub mod parallel;
 pub mod sbox;
@@ -60,6 +61,7 @@ pub use batch::BlockCipherBatch;
 pub use bitslice::BitslicedAes;
 pub use block::{Aes, AesRef};
 pub use error::{CryptoError, KeyError};
+pub use mac::Cmac;
 pub use state::{AesStateLayout, Sensitivity, StateComponent};
 pub use tracked::{AccessEvent, StateStore, TableId, TrackedAes, TrackedBitslicedAes, VecStore};
 

@@ -1,0 +1,254 @@
+//! CMAC (NIST SP 800-38B) over any [`BlockCipher`].
+//!
+//! The integrity plane of the Sentry reproduction authenticates encrypted
+//! DRAM pages with a per-page MAC. Reusing AES as the MAC primitive means
+//! no new cipher state has to live on-SoC: the CMAC subkeys derive from
+//! one block encryption and the running CBC chain fits in registers, so
+//! the MAC inherits the same leakage profile as the page cipher itself.
+//!
+//! The implementation is a straightforward transcription of SP 800-38B:
+//!
+//! * subkeys `K1 = dbl(E_K(0^128))`, `K2 = dbl(K1)` where `dbl` is
+//!   doubling in GF(2^128) with the x^128 + x^7 + x^2 + x + 1 modulus;
+//! * complete final block → XOR with `K1`; partial/empty final block →
+//!   pad with `10…0` and XOR with `K2`;
+//! * the tag is the final CBC state, optionally truncated (the on-SoC
+//!   tag store keeps 64-bit tags to double its page capacity, which
+//!   SP 800-38B §5.5 explicitly permits).
+//!
+//! Verified against the NIST AES-128 CMAC examples.
+
+use crate::block::Block;
+use crate::modes::BlockCipher;
+use crate::BLOCK_SIZE;
+
+/// Double a 128-bit value in GF(2^128) (the `dbl` of SP 800-38B §6.1).
+fn dbl(block: &Block) -> Block {
+    let mut out = [0u8; BLOCK_SIZE];
+    let mut carry = 0u8;
+    for i in (0..BLOCK_SIZE).rev() {
+        let b = block[i];
+        out[i] = (b << 1) | carry;
+        carry = b >> 7;
+    }
+    if carry != 0 {
+        out[BLOCK_SIZE - 1] ^= 0x87;
+    }
+    out
+}
+
+fn xor_into(dst: &mut Block, src: &Block) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+/// A CMAC context: the underlying cipher plus precomputed subkeys.
+///
+/// The context borrows nothing and owns the cipher, so callers that
+/// already hold an expanded AES key (e.g. the on-SoC engine) construct
+/// one `Cmac` per key and reuse it for every page.
+#[derive(Debug, Clone)]
+pub struct Cmac<C: BlockCipher> {
+    cipher: C,
+    k1: Block,
+    k2: Block,
+}
+
+impl<C: BlockCipher> Cmac<C> {
+    /// Build a CMAC context, deriving the two subkeys from `cipher`.
+    pub fn new(cipher: C) -> Self {
+        let mut l = [0u8; BLOCK_SIZE];
+        cipher.encrypt_block(&mut l);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Cmac { cipher, k1, k2 }
+    }
+
+    /// The first subkey (`K1`), exposed for known-answer tests.
+    #[must_use]
+    pub fn subkey1(&self) -> &Block {
+        &self.k1
+    }
+
+    /// The second subkey (`K2`), exposed for known-answer tests.
+    #[must_use]
+    pub fn subkey2(&self) -> &Block {
+        &self.k2
+    }
+
+    /// MAC a message supplied as a list of byte slices, treated as their
+    /// concatenation. Returns the full 128-bit tag.
+    ///
+    /// The multi-part form lets the integrity plane prepend a 16-byte
+    /// context tweak (derived from the page IV) to a ciphertext page
+    /// without copying the page.
+    #[must_use]
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> Block {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut x = [0u8; BLOCK_SIZE];
+        let mut buf = [0u8; BLOCK_SIZE];
+        let mut buf_len = 0usize;
+        let mut consumed = 0usize;
+        for part in parts {
+            for &byte in *part {
+                // Keep the most recent (possibly final) block buffered so
+                // the subkey XOR can be applied before the last cipher
+                // call, per SP 800-38B step 6.
+                if buf_len == BLOCK_SIZE {
+                    xor_into(&mut x, &buf);
+                    self.cipher.encrypt_block(&mut x);
+                    buf_len = 0;
+                }
+                buf[buf_len] = byte;
+                buf_len += 1;
+                consumed += 1;
+            }
+        }
+        debug_assert_eq!(consumed, total);
+        if total > 0 && buf_len == BLOCK_SIZE {
+            // Complete final block: XOR with K1.
+            xor_into(&mut buf, &self.k1);
+        } else {
+            // Empty or partial final block: pad 10..0, XOR with K2.
+            buf[buf_len] = 0x80;
+            for b in buf.iter_mut().skip(buf_len + 1) {
+                *b = 0;
+            }
+            xor_into(&mut buf, &self.k2);
+        }
+        xor_into(&mut x, &buf);
+        self.cipher.encrypt_block(&mut x);
+        x
+    }
+
+    /// MAC a single contiguous message. Returns the full 128-bit tag.
+    #[must_use]
+    pub fn mac(&self, msg: &[u8]) -> Block {
+        self.mac_parts(&[msg])
+    }
+
+    /// MAC a message and truncate the tag to 64 bits (most-significant
+    /// bytes first, per SP 800-38B truncation).
+    #[must_use]
+    pub fn mac_parts_trunc8(&self, parts: &[&[u8]]) -> [u8; 8] {
+        let full = self.mac_parts(parts);
+        let mut out = [0u8; 8];
+        out.copy_from_slice(&full[..8]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Aes;
+
+    fn nist_cmac() -> Cmac<Aes> {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        Cmac::new(Aes::new(&key).unwrap())
+    }
+
+    /// The SP 800-38A sample plaintext the CMAC examples reuse.
+    const MSG: [u8; 64] = [
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17,
+        0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+        0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19, 0x1a,
+        0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41, 0x7b,
+        0xe6, 0x6c, 0x37, 0x10,
+    ];
+
+    #[test]
+    fn nist_subkeys() {
+        let c = nist_cmac();
+        assert_eq!(
+            c.subkey1(),
+            &[
+                0xfb, 0xee, 0xd6, 0x18, 0x35, 0x71, 0x33, 0x66, 0x7c, 0x85, 0xe0, 0x8f, 0x72, 0x36,
+                0xa8, 0xde,
+            ]
+        );
+        assert_eq!(
+            c.subkey2(),
+            &[
+                0xf7, 0xdd, 0xac, 0x30, 0x6a, 0xe2, 0x66, 0xcc, 0xf9, 0x0b, 0xc1, 0x1e, 0xe4, 0x6d,
+                0x51, 0x3b,
+            ]
+        );
+    }
+
+    #[test]
+    fn nist_empty_message() {
+        assert_eq!(
+            nist_cmac().mac(&[]),
+            [
+                0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75,
+                0x67, 0x46,
+            ]
+        );
+    }
+
+    #[test]
+    fn nist_one_block() {
+        assert_eq!(
+            nist_cmac().mac(&MSG[..16]),
+            [
+                0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d, 0xd0, 0x4a,
+                0x28, 0x7c,
+            ]
+        );
+    }
+
+    #[test]
+    fn nist_partial_final_block() {
+        assert_eq!(
+            nist_cmac().mac(&MSG[..40]),
+            [
+                0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca, 0x32, 0x61, 0x14, 0x97,
+                0xc8, 0x27,
+            ]
+        );
+    }
+
+    #[test]
+    fn nist_four_blocks() {
+        assert_eq!(
+            nist_cmac().mac(&MSG),
+            [
+                0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17, 0x79, 0x36,
+                0x3c, 0xfe,
+            ]
+        );
+    }
+
+    #[test]
+    fn parts_equal_contiguous() {
+        let c = nist_cmac();
+        assert_eq!(c.mac_parts(&[&MSG[..16], &MSG[16..]]), c.mac(&MSG));
+        assert_eq!(c.mac_parts(&[&MSG[..7], &MSG[7..40]]), c.mac(&MSG[..40]));
+        assert_eq!(c.mac_parts(&[&[], &MSG, &[]]), c.mac(&MSG));
+    }
+
+    #[test]
+    fn trunc8_is_tag_prefix() {
+        let c = nist_cmac();
+        let full = c.mac_parts(&[&MSG]);
+        assert_eq!(c.mac_parts_trunc8(&[&MSG]), full[..8]);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_tag() {
+        let c = nist_cmac();
+        let base = c.mac(&MSG);
+        for byte in [0usize, 15, 16, 63] {
+            for bit in 0..8u8 {
+                let mut m = MSG;
+                m[byte] ^= 1 << bit;
+                assert_ne!(c.mac(&m), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -34,6 +34,17 @@ pub enum KernelError {
         /// The offending sector.
         sector: u64,
     },
+    /// A dm-crypt sector read returned ciphertext whose MAC does not
+    /// match the tag recorded when the sector was written: the device
+    /// (or the DMA path to it) returned tampered or spliced data.
+    SectorTamper {
+        /// The offending sector.
+        sector: u64,
+        /// Tag recorded at write time.
+        tag_expected: [u8; 8],
+        /// MAC of the ciphertext actually read.
+        tag_got: [u8; 8],
+    },
     /// No such file in the VFS.
     NoSuchFile(String),
     /// A file operation ran past the end of the file.
@@ -63,6 +74,15 @@ impl fmt::Display for KernelError {
             KernelError::BlockOutOfRange { sector } => {
                 write!(f, "sector {sector} outside block device")
             }
+            KernelError::SectorTamper {
+                sector,
+                tag_expected,
+                tag_got,
+            } => write!(
+                f,
+                "sector {sector} failed integrity check: \
+                 expected tag {tag_expected:02x?}, got {tag_got:02x?}"
+            ),
             KernelError::NoSuchFile(name) => write!(f, "no file named {name:?}"),
             KernelError::FileBounds { name, end, size } => {
                 write!(f, "access to {end} past end of {name:?} ({size} bytes)")

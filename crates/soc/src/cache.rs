@@ -424,6 +424,23 @@ impl Pl310 {
         }
     }
 
+    /// Drop the line covering `addr` (if resident) **without**
+    /// write-back. Models a DRAM-array disturbance behind the cache's
+    /// back: the stale line is discarded so the next access refills from
+    /// the (tampered) DRAM contents. Returns whether a line was dropped.
+    pub fn invalidate_line(&mut self, addr: u64) -> bool {
+        let (set, _) = Self::set_and_tag(addr);
+        match self.lookup_way(addr) {
+            Some(way) => {
+                let line = &mut self.lines[Self::idx(set, way)];
+                line.valid = false;
+                line.dirty = false;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Power-on reset: invalidate everything *without* write-back (the
     /// arrays come up in an undefined state and firmware initializes
     /// them), and reset masks. Matches the firmware behaviour that makes

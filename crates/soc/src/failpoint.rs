@@ -53,6 +53,21 @@ pub enum FaultAction {
     /// A multi-page batch is aborted mid-dispatch with
     /// [`crate::SocError::BatchAborted`].
     AbortBatch,
+    /// An active memory attacker flips one DRAM bit at this instant —
+    /// a bus-level glitch or rowhammer-style disturbance. Execution
+    /// continues normally (the access that hit the failpoint succeeds):
+    /// the point is to corrupt ciphertext *between* legitimate steps
+    /// and observe whether the integrity plane catches it. The flip is
+    /// applied raw to the DRAM array; any cache line covering the byte
+    /// is dropped without write-back (the disturbance hits the DRAM
+    /// cells behind the cache's back, and the stale line is modelled as
+    /// already evicted so the corruption is observable).
+    TamperDramBit {
+        /// Physical DRAM address of the byte to disturb.
+        addr: u64,
+        /// Bit index (0–7) within that byte.
+        bit: u8,
+    },
 }
 
 /// One planned fault: fire `action` at the `after`-th (0-based) hit of
@@ -67,6 +82,12 @@ pub struct FaultPlan {
     pub after: u64,
     /// What to inject when the plan fires.
     pub action: FaultAction,
+    /// When `false` (the default) the plane disarms itself after firing
+    /// so recovery and retry run fault-free. When `true` the plan stays
+    /// armed and fires at **every** matching hit from `after` onwards —
+    /// the model of a *persistent* fault (a broken engine, a pinned
+    /// attacker) used to exercise bounded-retry exhaustion.
+    pub persistent: bool,
 }
 
 impl FaultPlan {
@@ -78,6 +99,7 @@ impl FaultPlan {
             site: None,
             after: step,
             action,
+            persistent: false,
         }
     }
 
@@ -88,7 +110,16 @@ impl FaultPlan {
             site: Some(site),
             after,
             action,
+            persistent: false,
         }
+    }
+
+    /// Make this plan persistent: it keeps firing at every matching hit
+    /// from `after` onwards instead of self-disarming.
+    #[must_use]
+    pub fn persistent(mut self) -> Self {
+        self.persistent = true;
+        self
     }
 }
 
@@ -214,15 +245,22 @@ impl Failpoints {
                 }
                 let matching = self.plan_hits;
                 self.plan_hits += 1;
-                if matching == plan.after {
+                let fires = if plan.persistent {
+                    matching >= plan.after
+                } else {
+                    matching == plan.after
+                };
+                if fires {
                     self.fired = Some(FiredFault {
                         site,
                         step,
                         action: plan.action,
                     });
-                    // Disarm so recovery and retry run fault-free.
-                    self.mode = Mode::Off;
-                    self.plan = None;
+                    if !plan.persistent {
+                        // Disarm so recovery and retry run fault-free.
+                        self.mode = Mode::Off;
+                        self.plan = None;
+                    }
                     Some(plan.action)
                 } else {
                     None
@@ -281,6 +319,21 @@ mod tests {
         assert_eq!(fp.hit("crypt"), None); // 0th crypt hit
         assert_eq!(fp.hit("dram.write"), None);
         assert_eq!(fp.hit("crypt"), Some(FaultAction::AbortBatch));
+    }
+
+    #[test]
+    fn persistent_plan_fires_on_every_matching_hit() {
+        let mut fp = Failpoints::default();
+        fp.arm(FaultPlan::at_site("crypt", 1, FaultAction::CryptError).persistent());
+        assert_eq!(fp.hit("crypt"), None); // 0th hit: before `after`
+        assert_eq!(fp.hit("crypt"), Some(FaultAction::CryptError));
+        assert_eq!(fp.hit("dram.write"), None);
+        // Still armed: every later matching hit fires too.
+        assert!(fp.is_enabled());
+        assert_eq!(fp.hit("crypt"), Some(FaultAction::CryptError));
+        assert_eq!(fp.hit("crypt"), Some(FaultAction::CryptError));
+        fp.disarm();
+        assert_eq!(fp.hit("crypt"), None);
     }
 
     #[test]

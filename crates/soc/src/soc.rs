@@ -204,6 +204,20 @@ impl Soc {
             }
             Some(FaultAction::CryptError) => Err(SocError::CryptFault { site }),
             Some(FaultAction::AbortBatch) => Err(SocError::BatchAborted { site }),
+            Some(FaultAction::TamperDramBit { addr, bit }) => {
+                // Active attacker: flip one DRAM bit behind the cache's
+                // back and let execution continue. Only DRAM can be
+                // disturbed this way; tamper plans aimed elsewhere
+                // (iRAM is on-SoC and out of reach) are no-ops.
+                if addr::classify_span(addr, 1, self.dram.size()) == Region::Dram {
+                    let mut byte = [0u8];
+                    self.dram.read(addr, &mut byte);
+                    byte[0] ^= 1 << (bit & 7);
+                    self.dram.write(addr, &byte);
+                    self.cache.invalidate_line(addr);
+                }
+                Ok(())
+            }
         }
     }
 

@@ -132,6 +132,9 @@ pub fn run_background(
     } else {
         (SentryConfig::tegra3_locked_l2(1), None)
     };
+    // Figures 6–8 calibrate against the paper's prototype, which is
+    // confidentiality-only — no per-page MAC on the pager path.
+    let config = config.without_integrity();
     let config = match slot_limit {
         Some(limit) => config.with_slot_limit(limit),
         None => config,
