@@ -160,6 +160,44 @@ impl Scenario {
         }
     }
 
+    /// The parallel scenario under the XTS page cipher: the lane-filling
+    /// mode plus the commit-CMAC journal tags that replace the
+    /// final-CBC-block scheme (non-chaining modes have tail-collision
+    /// problems the CMAC closes — see `sentry_core::CommitTagger`).
+    #[must_use]
+    pub fn tegra3_xts(seed: u64) -> Self {
+        Scenario {
+            name: "tegra3-l2-xts",
+            config: SentryConfig::tegra3_locked_l2(2)
+                .with_cipher_mode(sentry_core::PageCipherMode::Xts)
+                .with_slot_limit(2)
+                .with_parallel_workers(2)
+                .with_readahead(
+                    sentry_core::config::ReadaheadConfig::with_cluster(2).sweep_budget(2),
+                ),
+            seed,
+            secret_pages: 4,
+        }
+    }
+
+    /// The parallel scenario under the CTR page cipher (same commit-CMAC
+    /// journal tags as XTS).
+    #[must_use]
+    pub fn tegra3_ctr(seed: u64) -> Self {
+        Scenario {
+            name: "tegra3-l2-ctr",
+            config: SentryConfig::tegra3_locked_l2(2)
+                .with_cipher_mode(sentry_core::PageCipherMode::Ctr)
+                .with_slot_limit(2)
+                .with_parallel_workers(2)
+                .with_readahead(
+                    sentry_core::config::ReadaheadConfig::with_cluster(2).sweep_budget(2),
+                ),
+            seed,
+            secret_pages: 4,
+        }
+    }
+
     /// The iRAM backend (journal and pager slots both in iRAM).
     #[must_use]
     pub fn iram(seed: u64) -> Self {
@@ -999,5 +1037,22 @@ mod tests {
         let cell = run_cell(&scn, &reference, 0).unwrap();
         assert_eq!(cell.site, Some("lock.begin"));
         assert!(cell.clean(), "cell not clean: {cell:?}");
+    }
+
+    #[test]
+    fn xts_and_ctr_kill_cells_recover_under_the_commit_cmac_tags() {
+        // The full every-step sweep for these scenarios runs in
+        // `exp_fault_matrix`; here a spread of kill steps checks that
+        // recovery's published/not-published decision — now a commit
+        // CMAC over IV ‖ ciphertext instead of the final CBC block —
+        // still converges with the uninterrupted reference.
+        for scn in [Scenario::tegra3_xts(7), Scenario::tegra3_ctr(7)] {
+            let reference = record(&scn).unwrap();
+            assert!(reference.steps > 20, "schedule too shallow to matter");
+            for step in [0, 4, 8, 12, 16, 20] {
+                let cell = run_cell(&scn, &reference, step).unwrap();
+                assert!(cell.clean(), "{} step {step} not clean: {cell:?}", scn.name);
+            }
+        }
     }
 }

@@ -535,6 +535,25 @@ mod tests {
     }
 
     #[test]
+    fn xts_and_ctr_modes_detect_every_tamper() {
+        // The non-chaining page ciphers must hold the same 13/13 line:
+        // the integrity CMAC binds (pid, vpn, epoch) through the IV
+        // regardless of mode, so bit flips, frame splices, and
+        // stale-epoch replays all still break the tag.
+        for scn in [Scenario::tegra3_xts(14), Scenario::tegra3_ctr(15)] {
+            let outcome = run_tamper_matrix(&scn).unwrap();
+            assert_eq!(outcome.cells.len(), 13);
+            assert!(
+                outcome.clean(),
+                "{} tamper matrix not clean: {:#?}",
+                scn.name,
+                outcome.cells
+            );
+            assert!((outcome.detection_rate() - 1.0).abs() < f64::EPSILON);
+        }
+    }
+
+    #[test]
     fn disabled_integrity_plane_is_actually_broken() {
         // Sanity check on the harness itself: without the tag store the
         // bit flip decrypts to garbage and nobody notices — the exact

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sentry_crypto::parallel::{crypt_batch, Direction, PageJob};
-use sentry_crypto::Aes;
+use sentry_crypto::{Aes, PageCipherMode};
 
 const BATCH_PAGES: usize = 256;
 const PAGE: usize = 4096;
@@ -38,7 +38,15 @@ fn bench_crypt_batch(c: &mut Criterion) {
                             data: p.as_mut_slice(),
                         })
                         .collect();
-                    crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1).unwrap()
+                    crypt_batch(
+                        &aes,
+                        PageCipherMode::Cbc,
+                        Direction::Encrypt,
+                        &mut jobs,
+                        workers,
+                        1,
+                    )
+                    .unwrap()
                 });
             },
         );

@@ -1,7 +1,9 @@
 //! Exhaustive fault-injection matrix over the Sentry lifecycle.
 //!
-//! For each scenario (sequential locked-L2, parallel locked-L2, iRAM
-//! backend) this runs the [`sentry_attacks::faultmatrix`] sweep: record
+//! For each scenario (sequential locked-L2, parallel locked-L2, the
+//! parallel engine under the XTS and CTR page ciphers with their
+//! commit-CMAC journal tags, and the iRAM backend) this runs the
+//! [`sentry_attacks::faultmatrix`] sweep: record
 //! the reachable failpoint steps of a fixed lock/unlock/fault/sweep
 //! schedule, then kill the machine at *every* step and check each cell
 //! for cold-boot-visible secrets, torn PTEs, recovery errors, and
@@ -23,9 +25,11 @@ type SeededScenario = (fn(u64) -> Scenario, u64);
 
 /// Fixed seeds: the matrix is a correctness sweep, not a sampling run —
 /// every CI execution enumerates the identical cells.
-const SCENARIOS: [SeededScenario; 3] = [
+const SCENARIOS: [SeededScenario; 5] = [
     (Scenario::tegra3, 0xC0FFEE),
     (Scenario::tegra3_parallel, 0xFA11),
+    (Scenario::tegra3_xts, 0x1619),
+    (Scenario::tegra3_ctr, 0x38A),
     (Scenario::iram, 0xB007),
 ];
 

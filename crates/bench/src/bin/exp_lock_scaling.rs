@@ -1,13 +1,20 @@
 //! Lock-path scaling sweep for the parallel page-crypt engine.
 //!
-//! For each worker count in {1, 2, 4, 8} this measures both sides of the
-//! engine on a 256-page (1 MiB) lock-sized batch:
+//! For each page cipher mode (CBC, XTS, CTR) and each worker count in
+//! {1, 2, 4, 8} this measures both sides of the engine on a 256-page
+//! (1 MiB) lock-sized batch:
 //!
 //! * **host wall-clock** of `crypt_batch` itself — real threads, real
-//!   AES, median of several repetitions;
+//!   AES, median of several repetitions. The thread count handed to the
+//!   engine is clamped to the cores the host actually has: threads
+//!   beyond that only time-slice, so measuring them as if they were
+//!   lanes produced a flat `host_speedup` curve that looked like an
+//!   engine bug. `workers_used` reports the honest lane count.
 //! * **simulated lock latency** of a full `Sentry::on_lock` transition
 //!   over the same working set, where the batch charges the serial AES
-//!   cost divided by the lanes used.
+//!   cost divided by the lanes used. The sim sweep keeps the *requested*
+//!   worker count — it models the device's cores, not the build
+//!   machine's.
 //!
 //! Results print as a table and are written to `BENCH_lock_scaling.json`
 //! so CI (and the bench trajectory) can track the sweep.
@@ -18,7 +25,7 @@ use sentry_bench::print_table;
 use sentry_core::config::ParallelConfig;
 use sentry_core::{Sentry, SentryConfig};
 use sentry_crypto::parallel::{crypt_batch, Direction, PageJob};
-use sentry_crypto::Aes;
+use sentry_crypto::{Aes, BitslicedAes, PageCipherMode};
 use sentry_kernel::Kernel;
 use sentry_soc::Soc;
 
@@ -28,6 +35,7 @@ const REPS: usize = 7;
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 struct Point {
+    mode: PageCipherMode,
     workers: usize,
     workers_used: usize,
     host_wall_ns: u64,
@@ -50,11 +58,15 @@ fn mk_batch() -> Vec<Vec<u8>> {
 /// repetitions: allocating 1 MiB of fresh pages per rep put allocator
 /// and page-fault time *inside* the measured region, which both inflated
 /// the absolute numbers and flattened the speedup curve (the allocation
-/// cost does not parallelize). Only `crypt_batch` is timed now.
-fn host_point(aes: &Aes, workers: usize) -> (u64, usize) {
+/// cost does not parallelize). Only `crypt_batch` is timed now, with the
+/// same bitsliced backend the lock engine hands its lanes.
+fn host_point(bits: &BitslicedAes, mode: PageCipherMode, workers: usize) -> (u64, usize) {
     let mut samples = Vec::with_capacity(REPS);
     let mut workers_used = 1;
     let mut pages = mk_batch();
+    // Threads beyond the physical cores only time-slice; clamp so the
+    // reported lane count matches the parallelism that can exist.
+    let host_workers = workers.min(host_cores());
     for rep in 0..=REPS {
         for (i, page) in pages.iter_mut().enumerate() {
             for (j, b) in page.iter_mut().enumerate() {
@@ -70,8 +82,8 @@ fn host_point(aes: &Aes, workers: usize) -> (u64, usize) {
             })
             .collect();
         let t0 = Instant::now();
-        let report =
-            crypt_batch(aes, Direction::Encrypt, &mut jobs, workers, 1).expect("batch crypt");
+        let report = crypt_batch(bits, mode, Direction::Encrypt, &mut jobs, host_workers, 1)
+            .expect("batch crypt");
         let elapsed = t0.elapsed().as_nanos() as u64;
         workers_used = report.workers_used;
         if rep > 0 {
@@ -84,13 +96,15 @@ fn host_point(aes: &Aes, workers: usize) -> (u64, usize) {
 }
 
 /// Simulated `on_lock` latency over the same working set.
-fn sim_point(workers: usize) -> u64 {
+fn sim_point(mode: PageCipherMode, workers: usize) -> u64 {
     let mut s = Sentry::new(
         Kernel::new(Soc::tegra3_small()),
-        SentryConfig::tegra3_locked_l2(2).with_parallel(ParallelConfig {
-            workers,
-            min_batch_pages: 1,
-        }),
+        SentryConfig::tegra3_locked_l2(2)
+            .with_cipher_mode(mode)
+            .with_parallel(ParallelConfig {
+                workers,
+                min_batch_pages: 1,
+            }),
     )
     .expect("sentry builds");
     let pid = s.kernel.spawn("sweep");
@@ -105,25 +119,27 @@ fn sim_point(workers: usize) -> u64 {
     report.duration_ns
 }
 
-/// CPUs actually available to the worker pool. With `host_cores == 1`
-/// a flat host speedup curve is the *expected* result — threads time-
-/// slice one core — so the emitted JSON records the core count and
-/// readers (and CI) can interpret `host_speedup` accordingly. The
-/// simulated sweep is unaffected: it models the device's core count,
+/// CPUs actually available to the worker pool. The host sweep clamps its
+/// thread count to this, so `host_speedup` only ever compares runs whose
+/// threads could truly execute concurrently; the emitted JSON records
+/// the core count so readers (and CI) can interpret a saturated curve.
+/// The simulated sweep is unaffected: it models the device's core count,
 /// not the build machine's.
 fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 fn json_escape_free(points: &[Point]) -> String {
-    // Hand-rolled JSON: fixed schema, numbers only — no serde needed.
+    // Hand-rolled JSON: fixed schema, numbers and mode names only — no
+    // serde needed.
     let entries: Vec<String> = points
         .iter()
         .map(|p| {
             format!(
-                "    {{\"workers\": {}, \"workers_used\": {}, \"host_wall_ns\": {}, \
-                 \"host_mib_s\": {:.1}, \"host_speedup\": {:.2}, \
+                "    {{\"mode\": \"{}\", \"workers\": {}, \"workers_used\": {}, \
+                 \"host_wall_ns\": {}, \"host_mib_s\": {:.1}, \"host_speedup\": {:.2}, \
                  \"sim_lock_ns\": {}, \"sim_speedup\": {:.2}}}",
+                p.mode.name(),
                 p.workers,
                 p.workers_used,
                 p.host_wall_ns,
@@ -145,33 +161,46 @@ fn json_escape_free(points: &[Point]) -> String {
 
 fn main() {
     let aes = Aes::new(&[0x6Bu8; 32]).expect("valid key length");
+    let bits = BitslicedAes::from_schedule(aes.schedule());
     let batch_bytes = (BATCH_PAGES * PAGE) as f64;
 
-    let mut points: Vec<Point> = Vec::with_capacity(SWEEP.len());
-    for workers in SWEEP {
-        let (host_wall_ns, workers_used) = host_point(&aes, workers);
-        let sim_lock_ns = sim_point(workers);
-        points.push(Point {
-            workers,
-            workers_used,
-            host_wall_ns,
-            host_mib_s: batch_bytes / (1 << 20) as f64 / (host_wall_ns as f64 * 1e-9),
-            host_speedup: 0.0,
-            sim_lock_ns,
-            sim_speedup: 0.0,
-        });
+    let mut points: Vec<Point> = Vec::with_capacity(3 * SWEEP.len());
+    for mode in PageCipherMode::all() {
+        for workers in SWEEP {
+            let (host_wall_ns, workers_used) = host_point(&bits, mode, workers);
+            let sim_lock_ns = sim_point(mode, workers);
+            points.push(Point {
+                mode,
+                workers,
+                workers_used,
+                host_wall_ns,
+                host_mib_s: batch_bytes / (1 << 20) as f64 / (host_wall_ns as f64 * 1e-9),
+                host_speedup: 0.0,
+                sim_lock_ns,
+                sim_speedup: 0.0,
+            });
+        }
     }
-    let host_base = points[0].host_wall_ns as f64;
-    let sim_base = points[0].sim_lock_ns as f64;
-    for p in &mut points {
-        p.host_speedup = host_base / p.host_wall_ns as f64;
-        p.sim_speedup = sim_base / p.sim_lock_ns as f64;
+    // Speedups are relative to the same mode's single-worker point.
+    for mode in PageCipherMode::all() {
+        let (host_base, sim_base) = {
+            let base = points
+                .iter()
+                .find(|p| p.mode == mode && p.workers == 1)
+                .expect("sweep starts at one worker");
+            (base.host_wall_ns as f64, base.sim_lock_ns as f64)
+        };
+        for p in points.iter_mut().filter(|p| p.mode == mode) {
+            p.host_speedup = host_base / p.host_wall_ns as f64;
+            p.sim_speedup = sim_base / p.sim_lock_ns as f64;
+        }
     }
 
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
             vec![
+                p.mode.name().to_string(),
                 p.workers.to_string(),
                 p.workers_used.to_string(),
                 format!("{:.3}", p.host_wall_ns as f64 * 1e-6),
@@ -184,8 +213,9 @@ fn main() {
         .collect();
     let cores = host_cores();
     print_table(
-        &format!("Lock scaling: 256-page batch vs worker count ({cores} host core(s))"),
+        &format!("Lock scaling: 256-page batch vs mode and worker count ({cores} host core(s))"),
         &[
+            "Mode",
             "Workers",
             "Lanes",
             "Host ms",
@@ -199,8 +229,8 @@ fn main() {
 
     if cores == 1 {
         println!(
-            "\nnote: single host core — worker threads time-slice it, so a flat \
-             host_speedup column is expected here; sim_speedup models the device's cores"
+            "\nnote: single host core — the host sweep runs every point on one lane \
+             (host_speedup pinned at 1.0 by construction); sim_speedup models the device's cores"
         );
     }
 

@@ -29,7 +29,7 @@
 
 use crate::error::SentryError;
 use crate::store::CachedSocStore;
-use sentry_crypto::{BitslicedAes, TrackedAes, TrackedBitslicedAes};
+use sentry_crypto::{BitslicedAes, PageCipherMode, TrackedAes, TrackedBitslicedAes};
 use sentry_kernel::crypto_api::{CipherEngine, KeyResidency};
 use sentry_kernel::KernelError;
 use sentry_soc::Soc;
@@ -87,6 +87,9 @@ pub struct AesOnSocEngine {
     /// key-install time; drives the fast-path CBC decryption 16 blocks
     /// per kernel call.
     native_bits: Option<BitslicedAes>,
+    /// Selected page cipher mode; all three are implemented on both the
+    /// fast and the full-simulation data path.
+    mode: PageCipherMode,
     full_sim: bool,
 }
 
@@ -125,6 +128,7 @@ impl AesOnSocEngine {
             tracked: None,
             native: None,
             native_bits: None,
+            mode: PageCipherMode::Cbc,
             full_sim: false,
         }
     }
@@ -257,6 +261,15 @@ impl CipherEngine for AesOnSocEngine {
         Ok(())
     }
 
+    fn set_mode(&mut self, mode: PageCipherMode) -> Result<(), KernelError> {
+        self.mode = mode;
+        Ok(())
+    }
+
+    fn mode(&self) -> PageCipherMode {
+        self.mode
+    }
+
     fn encrypt(
         &mut self,
         soc: &mut Soc,
@@ -265,16 +278,31 @@ impl CipherEngine for AesOnSocEngine {
     ) -> Result<(), KernelError> {
         soc.failpoint("crypt.one")?;
         let ns = self.calibrated_ns(soc, data.len());
+        let mode = self.mode;
         if self.full_sim {
-            self.critical(soc, ns, |ctx, store| match ctx {
-                TrackedCtx::Table(aes) => aes.cbc_encrypt(store, iv, data),
-                TrackedCtx::Bitsliced(aes) => aes.cbc_encrypt(store, iv, data),
+            self.critical(soc, ns, |ctx, store| match (ctx, mode) {
+                (TrackedCtx::Table(aes), PageCipherMode::Cbc) => aes.cbc_encrypt(store, iv, data),
+                (TrackedCtx::Table(aes), PageCipherMode::Xts) => aes.xts_encrypt(store, iv, data),
+                (TrackedCtx::Table(aes), PageCipherMode::Ctr) => aes.ctr_crypt(store, iv, data),
+                (TrackedCtx::Bitsliced(aes), PageCipherMode::Cbc) => {
+                    aes.cbc_encrypt(store, iv, data)
+                }
+                (TrackedCtx::Bitsliced(aes), PageCipherMode::Xts) => {
+                    aes.xts_encrypt(store, iv, data)
+                }
+                (TrackedCtx::Bitsliced(aes), PageCipherMode::Ctr) => aes.ctr_crypt(store, iv, data),
             })
         } else {
-            // CBC encryption is serially chained; the scalar context is
-            // the fast one for a one-block-at-a-time dependency chain.
-            self.critical_native(soc, ns, |aes, _| {
-                sentry_crypto::modes::cbc_encrypt(aes, iv, data);
+            self.critical_native(soc, ns, |aes, bits| match mode {
+                // CBC encryption is serially chained; the scalar context
+                // is the fast one for a one-block-at-a-time chain.
+                PageCipherMode::Cbc => sentry_crypto::modes::cbc_encrypt(aes, iv, data),
+                // XTS/CTR are block-parallel in both directions: the
+                // batched context runs 16 blocks per kernel call.
+                // Single-key XEX: the tweak cipher is the data cipher,
+                // matching the one-context tracked path byte for byte.
+                PageCipherMode::Xts => sentry_crypto::modes::xts_encrypt(bits, bits, iv, data),
+                PageCipherMode::Ctr => sentry_crypto::modes::ctr_crypt(bits, iv, data),
             })
         }
     }
@@ -287,16 +315,27 @@ impl CipherEngine for AesOnSocEngine {
     ) -> Result<(), KernelError> {
         soc.failpoint("crypt.one")?;
         let ns = self.calibrated_ns(soc, data.len());
+        let mode = self.mode;
         if self.full_sim {
-            self.critical(soc, ns, |ctx, store| match ctx {
-                TrackedCtx::Table(aes) => aes.cbc_decrypt(store, iv, data),
-                TrackedCtx::Bitsliced(aes) => aes.cbc_decrypt(store, iv, data),
+            self.critical(soc, ns, |ctx, store| match (ctx, mode) {
+                (TrackedCtx::Table(aes), PageCipherMode::Cbc) => aes.cbc_decrypt(store, iv, data),
+                (TrackedCtx::Table(aes), PageCipherMode::Xts) => aes.xts_decrypt(store, iv, data),
+                (TrackedCtx::Table(aes), PageCipherMode::Ctr) => aes.ctr_crypt(store, iv, data),
+                (TrackedCtx::Bitsliced(aes), PageCipherMode::Cbc) => {
+                    aes.cbc_decrypt(store, iv, data)
+                }
+                (TrackedCtx::Bitsliced(aes), PageCipherMode::Xts) => {
+                    aes.xts_decrypt(store, iv, data)
+                }
+                (TrackedCtx::Bitsliced(aes), PageCipherMode::Ctr) => aes.ctr_crypt(store, iv, data),
             })
         } else {
-            // CBC decryption is data-parallel: the batched context runs
-            // it 16 blocks per kernel call.
-            self.critical_native(soc, ns, |_, bits| {
-                sentry_crypto::modes::cbc_decrypt(bits, iv, data);
+            // Every mode decrypts data-parallel: the batched context runs
+            // 16 blocks per kernel call.
+            self.critical_native(soc, ns, |_, bits| match mode {
+                PageCipherMode::Cbc => sentry_crypto::modes::cbc_decrypt(bits, iv, data),
+                PageCipherMode::Xts => sentry_crypto::modes::xts_decrypt(bits, bits, iv, data),
+                PageCipherMode::Ctr => sentry_crypto::modes::ctr_crypt(bits, iv, data),
             })
         }
     }
@@ -326,19 +365,28 @@ impl CipherEngine for AesOnSocEngine {
             }
             return Ok(());
         }
-        // One IRQ-critical section for the whole run. The extents are
-        // independent CBC chains, so the bitsliced context fills its 16
-        // lanes with one chain each; a single extent has nothing to
-        // batch against and stays on the scalar chain. The calibrated
-        // charge is linear in bytes, so the total simulated time is
-        // identical to the per-unit loop.
+        // One IRQ-critical section for the whole run. Under CBC the
+        // extents are independent chains, so the bitsliced context fills
+        // its 16 lanes with one chain each (a single extent has nothing
+        // to batch against and stays on the scalar chain); under XTS/CTR
+        // every block is independent and the batched stream crosses
+        // extent boundaries without draining. The calibrated charge is
+        // linear in bytes, so the total simulated time is identical to
+        // the per-unit loop.
         let ns = self.calibrated_ns(soc, data.len());
-        self.critical_native(soc, ns, |aes, bits| {
-            if ivs.len() == 1 {
-                sentry_crypto::modes::cbc_encrypt(aes, &ivs[0], data);
-            } else {
-                sentry_crypto::modes::cbc_encrypt_extents(bits, ivs, data);
+        let mode = self.mode;
+        self.critical_native(soc, ns, |aes, bits| match mode {
+            PageCipherMode::Cbc => {
+                if ivs.len() == 1 {
+                    sentry_crypto::modes::cbc_encrypt(aes, &ivs[0], data);
+                } else {
+                    sentry_crypto::modes::cbc_encrypt_extents(bits, ivs, data);
+                }
             }
+            PageCipherMode::Xts => {
+                sentry_crypto::modes::xts_crypt_extents(bits, bits, true, ivs, data);
+            }
+            PageCipherMode::Ctr => sentry_crypto::modes::ctr_crypt_extents(bits, ivs, data),
         })
     }
 
@@ -369,8 +417,13 @@ impl CipherEngine for AesOnSocEngine {
         // boundary — this is the kernel call a fault-cluster readahead
         // lands on.
         let ns = self.calibrated_ns(soc, data.len());
-        self.critical_native(soc, ns, |_, bits| {
-            sentry_crypto::modes::cbc_decrypt_extents(bits, ivs, data);
+        let mode = self.mode;
+        self.critical_native(soc, ns, |_, bits| match mode {
+            PageCipherMode::Cbc => sentry_crypto::modes::cbc_decrypt_extents(bits, ivs, data),
+            PageCipherMode::Xts => {
+                sentry_crypto::modes::xts_crypt_extents(bits, bits, false, ivs, data);
+            }
+            PageCipherMode::Ctr => sentry_crypto::modes::ctr_crypt_extents(bits, ivs, data),
         })
     }
 }
@@ -596,6 +649,72 @@ mod tests {
 
         eng_b.decrypt_extent(&mut soc_b, &ivs, &mut full).unwrap();
         assert_eq!(full, pt, "full-sim extent decrypt roundtrips");
+    }
+
+    #[test]
+    fn all_modes_roundtrip_and_fast_matches_full_sim() {
+        // For every (cipher backend, mode): the fast register-resident
+        // path and the fully simulated store-resident path must produce
+        // identical ciphertext, and both must round-trip — including the
+        // extent stream.
+        use sentry_kernel::crypto_api::GenericAesEngine;
+        let key = [0x42u8; 16];
+        for cipher_backend in [
+            OnSocCipherBackend::TableDriven,
+            OnSocCipherBackend::BitslicedTableFree,
+        ] {
+            for mode in PageCipherMode::all() {
+                let mut soc = Soc::tegra3_small();
+                let mut store = OnSocStore::new(OnSocBackend::Iram, &mut soc).unwrap();
+                let mut eng =
+                    build_engine_with_backend(&mut store, &mut soc, &key, cipher_backend).unwrap();
+                eng.set_mode(mode).unwrap();
+                assert_eq!(eng.mode(), mode);
+
+                // The generic engine is the cross-implementation witness.
+                let mut generic = GenericAesEngine::new(0);
+                generic.set_key(&mut soc, &key).unwrap();
+                generic.set_mode(mode).unwrap();
+
+                let iv = [0x1Du8; 16];
+                let pt: Vec<u8> = (0..4096).map(|i| (i * 7) as u8).collect();
+                let mut expect = pt.clone();
+                generic.encrypt(&mut soc, &iv, &mut expect).unwrap();
+
+                for full_sim in [false, true] {
+                    eng.set_full_simulation(full_sim);
+                    let mut data = pt.clone();
+                    eng.encrypt(&mut soc, &iv, &mut data).unwrap();
+                    assert_eq!(
+                        data, expect,
+                        "{cipher_backend:?}/{mode} full_sim={full_sim} encrypt"
+                    );
+                    eng.decrypt(&mut soc, &iv, &mut data).unwrap();
+                    assert_eq!(
+                        data, pt,
+                        "{cipher_backend:?}/{mode} full_sim={full_sim} round-trip"
+                    );
+                }
+
+                // Extent stream agrees with the per-unit loop.
+                eng.set_full_simulation(false);
+                let ivs = [[3u8; 16], [4u8; 16], [5u8; 16]];
+                let mut ext: Vec<u8> = pt.iter().cycle().take(3 * 4096).copied().collect();
+                eng.encrypt_extent(&mut soc, &ivs, &mut ext).unwrap();
+                let mut want = pt.clone();
+                eng.encrypt(&mut soc, &ivs[2], &mut want).unwrap();
+                assert_eq!(
+                    &ext[2 * 4096..],
+                    &want[..],
+                    "{cipher_backend:?}/{mode} extent"
+                );
+                eng.decrypt_extent(&mut soc, &ivs, &mut ext).unwrap();
+                assert!(
+                    ext.chunks(4096).all(|c| c == &pt[..]),
+                    "{cipher_backend:?}/{mode} extent round-trip"
+                );
+            }
+        }
     }
 
     #[test]

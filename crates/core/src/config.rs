@@ -1,5 +1,7 @@
 //! Sentry configuration.
 
+pub use sentry_crypto::PageCipherMode;
+
 /// Which on-SoC storage backs Sentry's secrets (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OnSocBackend {
@@ -157,6 +159,11 @@ pub struct SentryConfig {
     pub readahead: ReadaheadConfig,
     /// Authenticated-DRAM integrity plane tuning.
     pub integrity: IntegrityConfig,
+    /// Per-page cipher mode for every page/sector crypt path: the pager,
+    /// the parallel lock batch, dm-crypt, readahead, and the sweeper.
+    /// CBC is the paper's mode; XTS and CTR fill every bitsliced lane on
+    /// encrypt as well as decrypt (see `sentry_crypto::modes`).
+    pub cipher_mode: PageCipherMode,
     /// Whether sensitive apps may run in the background while locked
     /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
     /// Without it, sensitive apps are parked unschedulable on lock (the
@@ -186,6 +193,7 @@ impl SentryConfig {
             parallel: ParallelConfig::default(),
             readahead: ReadaheadConfig::default(),
             integrity: IntegrityConfig::default(),
+            cipher_mode: PageCipherMode::Cbc,
             background_support: true,
             slot_limit: None,
         }
@@ -199,6 +207,7 @@ impl SentryConfig {
             parallel: ParallelConfig::default(),
             readahead: ReadaheadConfig::default(),
             integrity: IntegrityConfig::default(),
+            cipher_mode: PageCipherMode::Cbc,
             background_support: true,
             slot_limit: None,
         }
@@ -214,6 +223,7 @@ impl SentryConfig {
             parallel: ParallelConfig::default(),
             readahead: ReadaheadConfig::default(),
             integrity: IntegrityConfig::default(),
+            cipher_mode: PageCipherMode::Cbc,
             background_support: false,
             slot_limit: None,
         }
@@ -252,6 +262,13 @@ impl SentryConfig {
     #[must_use]
     pub fn with_integrity(mut self, integrity: IntegrityConfig) -> Self {
         self.integrity = integrity;
+        self
+    }
+
+    /// Set the per-page cipher mode (see [`PageCipherMode`]).
+    #[must_use]
+    pub fn with_cipher_mode(mut self, mode: PageCipherMode) -> Self {
+        self.cipher_mode = mode;
         self
     }
 

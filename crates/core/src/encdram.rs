@@ -18,7 +18,7 @@
 use crate::error::SentryError;
 use crate::integrity::{IntegrityPlane, QuarantinedPage, VerifyOutcome};
 use crate::onsoc::OnSocStore;
-use crate::txn::{JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
+use crate::txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_kernel::fault::PageFault;
 use sentry_kernel::pagetable::Backing;
 use sentry_kernel::Kernel;
@@ -118,12 +118,14 @@ impl Pager {
     ///
     /// [`SentryError::OnSocExhausted`] if no slot can be obtained at
     /// all; kernel/SoC errors from the copies.
+    #[allow(clippy::too_many_arguments)] // the lifecycle's full plumbing: store, kernel, journal, integrity, commit tagger
     pub fn handle_fault(
         &mut self,
         store: &mut OnSocStore,
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
         integrity: &mut IntegrityPlane,
+        commit: &CommitTagger,
         fault: &PageFault,
         epoch: u64,
     ) -> Result<(), SentryError> {
@@ -151,7 +153,7 @@ impl Pager {
                     self.stats.quarantine_rejects += 1;
                     return Err(err);
                 }
-                let slot_idx = self.acquire_slot(store, kernel, txn, integrity, epoch)?;
+                let slot_idx = self.acquire_slot(store, kernel, txn, integrity, commit, epoch)?;
                 self.page_in(kernel, integrity, slot_idx, fault.pid, fault.vpn, frame)
             }
             Backing::Dram(_) => {
@@ -171,6 +173,7 @@ impl Pager {
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
         integrity: &mut IntegrityPlane,
+        commit: &CommitTagger,
         epoch: u64,
     ) -> Result<usize, SentryError> {
         if let Some(i) = self.free.pop() {
@@ -195,7 +198,7 @@ impl Pager {
         // at the FIFO head so recovery (and the retried fault) still
         // agree with an uninterrupted run on who gets evicted.
         let victim = *self.resident.front().ok_or(SentryError::OnSocExhausted)?;
-        self.evict(store, kernel, txn, integrity, victim, epoch)?;
+        self.evict(store, kernel, txn, integrity, commit, victim, epoch)?;
         self.resident.pop_front();
         // `evict` pushed the victim onto the free list; claim it back.
         let reclaimed = self.free.pop().expect("evict frees its slot");
@@ -212,12 +215,14 @@ impl Pager {
     /// and the PTE flipped. A kill anywhere in between is completed or
     /// rolled forward by [`crate::Sentry::recover`]; the slot itself is
     /// only reclaimed in the in-memory tail, after the journal closes.
+    #[allow(clippy::too_many_arguments)] // same plumbing as `handle_fault`
     fn evict(
         &mut self,
         store: &mut OnSocStore,
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
         integrity: &mut IntegrityPlane,
+        commit: &CommitTagger,
         slot_idx: usize,
         epoch: u64,
     ) -> Result<(), SentryError> {
@@ -248,11 +253,11 @@ impl Pager {
                 .encrypt(soc, &iv, page.as_mut_slice())
                 .map_err(SentryError::Kernel)?;
         }
-        // The tag is the *final* CBC block: it chains over the whole
-        // page, so it cannot collide between old and new ciphertexts of
-        // a rewritten page the way the first block does.
-        let mut tag = [0u8; 16];
-        tag.copy_from_slice(&self.scratch[PAGE_SIZE as usize - 16..]);
+        // The commit tag follows the cipher mode: the final CBC block
+        // (chains over the whole page, so it cannot collide between old
+        // and new ciphertexts of a rewritten page the way the first
+        // block does) or the commit CMAC under XTS/CTR.
+        let tag = commit.tag(&iv, &self.scratch);
 
         // Journal the intent, then publish and flip.
         let entry = JournalEntry {
@@ -419,6 +424,7 @@ impl Pager {
         kernel: &mut Kernel,
         txn: &mut TxnJournal,
         integrity: &mut IntegrityPlane,
+        commit: &CommitTagger,
         epoch: u64,
     ) -> Result<(), SentryError> {
         // The FIFO is *not* drained up front: a kill mid-sweep must
@@ -485,8 +491,7 @@ impl Pager {
             let entries: Vec<JournalEntry> = (start..end)
                 .map(|i| {
                     let (pid, vpn, home) = targets[i];
-                    let mut tag = [0u8; 16];
-                    tag.copy_from_slice(&buf[(i + 1) * page - 16..(i + 1) * page]);
+                    let tag = commit.tag(&ivs[i], &buf[i * page..(i + 1) * page]);
                     JournalEntry {
                         pid,
                         vpn,

@@ -67,9 +67,9 @@ pub mod onsoc;
 pub mod store;
 pub mod txn;
 
-pub use config::{IntegrityConfig, OnSocBackend, ParallelConfig, SentryConfig};
+pub use config::{IntegrityConfig, OnSocBackend, PageCipherMode, ParallelConfig, SentryConfig};
 pub use device::{DeviceAgent, ScreenState, UnlockOutcome};
 pub use error::SentryError;
 pub use integrity::{IntegrityPlane, IntegrityStats, QuarantinedPage, VerifyOutcome};
 pub use lifecycle::{DeviceState, LifecycleStats, ParallelStats, RecoveryReport, Sentry};
-pub use txn::{JournalEntry, TxnJournal, TxnOp};
+pub use txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp};

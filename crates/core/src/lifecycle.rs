@@ -16,9 +16,10 @@ use crate::error::SentryError;
 use crate::integrity::{IntegrityPlane, QuarantinedPage, VerifyOutcome};
 use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
-use crate::txn::{JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
+use crate::txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_crypto::parallel::{crypt_batch, BatchReport, Direction, PageJob};
 use sentry_crypto::{Aes, CryptoError};
+use sentry_kernel::crypto_api::CipherEngine;
 use sentry_kernel::fault::{FaultResolution, PageFault};
 use sentry_kernel::pagetable::{Backing, Pte, Sharing};
 use sentry_kernel::{Kernel, KernelError, Pid};
@@ -149,19 +150,6 @@ pub struct RecoveryReport {
     pub quarantined: usize,
 }
 
-/// Last 16 bytes of each page-sized chunk — the journal tags of a
-/// ciphertext image. The *final* CBC block is the tag because it chains
-/// over the whole page: two ciphertexts of different page contents
-/// under the same IV always differ there, whereas their first blocks
-/// collide whenever the pages share a first plaintext block (e.g. a
-/// common header rewritten with different bodies).
-fn page_tags(buf: &[u8]) -> Vec<[u8; 16]> {
-    let page = PAGE_SIZE as usize;
-    buf.chunks_exact(page)
-        .map(|c| c[page - 16..].try_into().expect("page has a 16-byte tail"))
-        .collect()
-}
-
 /// Cumulative parallel-engine statistics. Kept separate from
 /// [`LifecycleStats`] because the per-lane byte loads are variable
 /// length (one slot per worker lane ever used).
@@ -218,6 +206,10 @@ pub struct Sentry {
     /// on-SoC tag store, verified on every decrypt path, with poisoned
     /// pages quarantined (see [`crate::integrity`]).
     pub integrity: IntegrityPlane,
+    /// Journal commit-tag scheme for the configured cipher mode: the
+    /// final ciphertext block under CBC, a commit CMAC over
+    /// IV ‖ ciphertext under XTS/CTR (see [`CommitTagger`]).
+    pub commit: CommitTagger,
     state: DeviceState,
     volatile_key: VolatileRootKey,
     /// The crash-consistency transition journal (one on-SoC page).
@@ -249,7 +241,10 @@ impl Sentry {
         let volatile_key =
             VolatileRootKey::generate(&mut kernel.soc, key_page, 0xB007_0000 ^ key_page)?;
         let key = volatile_key.read(&mut kernel.soc)?;
-        let engine = build_engine(&mut store, &mut kernel.soc, &key)?;
+        let mut engine = build_engine(&mut store, &mut kernel.soc, &key)?;
+        engine
+            .set_mode(config.cipher_mode)
+            .map_err(SentryError::Kernel)?;
         kernel.crypto.register(Box::new(engine));
         // The transition journal lives in iRAM — on-SoC, so it dies with
         // power exactly like the volatile key. With the iRAM backend it
@@ -263,6 +258,9 @@ impl Sentry {
         // key, and its tag store sits next to the journal on-SoC: both
         // die with power, exactly like the ciphertext they authenticate.
         let integrity = IntegrityPlane::new(config.integrity, config.backend, &key)?;
+        // The journal commit-tag scheme follows the cipher mode: the
+        // CMAC it may need is keyed once here, from the same root key.
+        let commit = CommitTagger::new(config.cipher_mode, &key)?;
         Ok(Sentry {
             kernel,
             store,
@@ -272,6 +270,7 @@ impl Sentry {
             parallel: ParallelStats::default(),
             last_fault: None,
             integrity,
+            commit,
             state: DeviceState::Unlocked,
             volatile_key,
             txn: TxnJournal::new(journal_page),
@@ -406,10 +405,11 @@ impl Sentry {
         self.kernel.soc.failpoint("crypt.dispatch")?;
         let workers = self.config.parallel.workers;
         let min_batch = self.config.parallel.min_batch_pages.max(1);
+        let ivs: Vec<[u8; 16]> = jobs.iter().map(|&(_, iv)| iv).collect();
 
-        // Decrypt jobs carry the ciphertext *now*; snapshot the tags
-        // before the transform destroys them.
-        let pre_tags = (direction == Direction::Decrypt).then(|| page_tags(buf));
+        // Decrypt jobs carry the ciphertext *now*; snapshot the commit
+        // tags before the transform destroys them.
+        let pre_tags = (direction == Direction::Decrypt).then(|| self.commit.tags(&ivs, buf));
 
         let report = if workers <= 1 || pages < min_batch {
             if pages == 1 {
@@ -430,7 +430,6 @@ impl Sentry {
                 // loop, while the backend batches across page
                 // boundaries (the encrypt side fills its lanes with
                 // independent page chains).
-                let ivs: Vec<[u8; 16]> = jobs.iter().map(|&(_, iv)| iv).collect();
                 let Kernel { soc, crypto, .. } = &mut self.kernel;
                 let engine = crypto.preferred_mut().map_err(SentryError::Kernel)?;
                 match direction {
@@ -464,8 +463,15 @@ impl Sentry {
             // reference — the schedule expanded above is the only key
             // expansion in the whole batch.
             let bits = sentry_crypto::BitslicedAes::from_schedule(aes.schedule());
-            let report = crypt_batch(&bits, direction, &mut batch, workers, min_batch)
-                .map_err(SentryError::Crypto)?;
+            let report = crypt_batch(
+                &bits,
+                self.config.cipher_mode,
+                direction,
+                &mut batch,
+                workers,
+                min_batch,
+            )
+            .map_err(SentryError::Crypto)?;
 
             // Same calibrated per-block cost as the AES-On-SoC engine,
             // spread across the lanes that actually ran.
@@ -483,7 +489,7 @@ impl Sentry {
             report
         };
 
-        let tags = pre_tags.unwrap_or_else(|| page_tags(buf));
+        let tags = pre_tags.unwrap_or_else(|| self.commit.tags(&ivs, buf));
         if report.pages > 0 {
             self.stats.crypt_batches += 1;
             self.stats.crypt_batch_pages += report.pages as u64;
@@ -859,6 +865,7 @@ impl Sentry {
             &mut self.kernel,
             &mut self.txn,
             &mut self.integrity,
+            &self.commit,
             epoch,
         )?;
 
@@ -1251,6 +1258,7 @@ impl Sentry {
                         &mut self.kernel,
                         &mut self.txn,
                         &mut self.integrity,
+                        &self.commit,
                         fault,
                         self.lock_epoch,
                     )
@@ -1569,19 +1577,28 @@ impl Sentry {
         Ok(quarantined)
     }
 
-    /// Read the frame's last 16 bytes — the slot the journal tag (the
-    /// final CBC block of the ciphertext image) is compared against.
-    fn frame_tag(&mut self, frame: u64) -> Result<[u8; 16], SentryError> {
-        let mut tail = [0u8; 16];
-        self.kernel
-            .soc
-            .mem_read(frame + PAGE_SIZE - 16, &mut tail)?;
-        Ok(tail)
+    /// Commit tag of the ciphertext image a frame currently holds,
+    /// computed exactly as the journal recorded it. Under the chaining
+    /// mode only the frame's 16-byte tail is read (the tag *is* the
+    /// final CBC block); under XTS/CTR the whole frame is read and the
+    /// commit CMAC recomputed over IV ‖ contents.
+    fn frame_commit_tag(&mut self, iv: &[u8; 16], frame: u64) -> Result<[u8; 16], SentryError> {
+        if self.commit.mode().is_chaining() {
+            let mut tail = [0u8; 16];
+            self.kernel
+                .soc
+                .mem_read(frame + PAGE_SIZE - 16, &mut tail)?;
+            Ok(tail)
+        } else {
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            self.kernel.soc.mem_read(frame, &mut page)?;
+            Ok(self.commit.tag(iv, &page))
+        }
     }
 
     /// Complete one interrupted encrypt entry (lock or eviction).
     fn recover_encrypt(&mut self, entry: &JournalEntry) -> Result<(), SentryError> {
-        if self.frame_tag(entry.frame)? != entry.tag {
+        if self.frame_commit_tag(&entry.iv, entry.frame)? != entry.tag {
             // The publish never landed; the source still holds
             // plaintext. Roll forward: re-encrypt and publish, with the
             // integrity tag stored on-SoC before the ciphertext goes to
@@ -1681,7 +1698,7 @@ impl Sentry {
                             .encrypt(soc, &entry.iv, &mut trial)
                             .map_err(SentryError::Kernel)?;
                     }
-                    if trial[trial.len() - 16..] != entry.tag[..] {
+                    if self.commit.tag(&entry.iv, &trial) != entry.tag {
                         let _ = self.integrity.quarantine(QuarantinedPage {
                             pid: entry.pid,
                             vpn: entry.vpn,
@@ -1710,9 +1727,9 @@ impl Sentry {
             return Ok(());
         }
         // Legacy path (plane disabled, or a frame encrypted before it
-        // was enabled): the journal tag — the final CBC block — tells
-        // which side of the publish the kill landed on.
-        if self.frame_tag(entry.frame)? == entry.tag {
+        // was enabled): the journal commit tag tells which side of the
+        // publish the kill landed on.
+        if self.frame_commit_tag(&entry.iv, entry.frame)? == entry.tag {
             // Still ciphertext: decrypt under the journaled IV and
             // publish the plaintext.
             let mut page = vec![0u8; PAGE_SIZE as usize];
@@ -1778,6 +1795,7 @@ impl Sentry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PageCipherMode;
     use sentry_soc::Soc;
 
     fn tegra_sentry() -> Sentry {
@@ -1808,6 +1826,52 @@ mod tests {
         s.read(pid, 0, &mut back).unwrap();
         assert_eq!(back, data);
         assert!(s.stats.ondemand_faults >= 3, "lazy decryption must fault");
+    }
+
+    #[test]
+    fn xts_and_ctr_modes_lock_unlock_and_page_in() {
+        for mode in [PageCipherMode::Xts, PageCipherMode::Ctr] {
+            let config = SentryConfig::tegra3_locked_l2(2)
+                .with_cipher_mode(mode)
+                .with_parallel_workers(4);
+            let mut s = Sentry::new(Kernel::new(Soc::tegra3_small()), config).unwrap();
+            assert_eq!(
+                s.kernel.crypto.preferred_mut().unwrap().mode(),
+                mode,
+                "registered engine follows the configured mode"
+            );
+            let pid = s.kernel.spawn("twitter");
+            s.mark_sensitive(pid).unwrap();
+            let secret = b"feed cache: @alice dm draft.....";
+            let data = secret.repeat(12 * 4096 / secret.len());
+            s.write(pid, 0, &data).unwrap();
+
+            let lock = s.on_lock().unwrap();
+            assert!(lock.bytes_encrypted >= 12 * 4096);
+            assert!(
+                s.stats.crypt_batches >= 1,
+                "the batched lane path must carry the {mode} lock sweep"
+            );
+            s.kernel.soc.cache_maintenance_flush();
+            let needle = b"feed cache: @alice";
+            for (_addr, frame) in s.kernel.soc.dram.iter_frames() {
+                assert!(
+                    !frame.windows(needle.len()).any(|w| w == needle.as_slice()),
+                    "plaintext found in DRAM after a {mode} lock"
+                );
+            }
+
+            // A background fault while locked pages in through the pager
+            // — same mode, same commit-tag scheme on its eviction path.
+            let mut probe = [0u8; 64];
+            s.read(pid, 0, &mut probe).unwrap();
+            assert_eq!(&probe[..], &data[..64]);
+
+            s.on_unlock().unwrap();
+            let mut back = vec![0u8; data.len()];
+            s.read(pid, 0, &mut back).unwrap();
+            assert_eq!(back, data, "{mode} unlock restores every byte");
+        }
     }
 
     #[test]

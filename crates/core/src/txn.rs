@@ -22,16 +22,25 @@
 //! back and completes or rolls forward each undone entry idempotently.
 //!
 //! The tag disambiguates "published" from "not yet published" without
-//! any extra write ordering: CBC under a journaled IV is deterministic,
-//! so re-encrypting the (still intact) source bytes reproduces the
-//! byte-identical ciphertext, and comparing the frame's last 16 bytes
-//! against the tag tells recovery exactly which side of the publish the
-//! kill landed on. The *final* block is used (not the first) because
-//! CBC chains: it depends on every byte of the page, so the ciphertexts
-//! of two different versions of a page never share it — first blocks
-//! collide whenever the versions share their first 16 plaintext bytes.
+//! any extra write ordering: every page cipher mode under a journaled
+//! IV is deterministic, so re-encrypting the (still intact) source
+//! bytes reproduces the byte-identical ciphertext, and comparing the
+//! frame's commit tag against the journaled one tells recovery exactly
+//! which side of the publish the kill landed on. *How* the tag is
+//! computed depends on the mode (see [`CommitTagger`]):
+//!
+//! * **CBC** (the chaining mode): the tag is the ciphertext's *final*
+//!   block. CBC chains, so it depends on every byte of the page and
+//!   two versions of a page never share it — first blocks collide
+//!   whenever the versions share their first 16 plaintext bytes.
+//! * **XTS / CTR** (the parallel modes): the final ciphertext block
+//!   depends only on the final *plaintext* block, so two versions of a
+//!   page with the same tail would collide there. The tag becomes a
+//!   full-width CMAC over IV ‖ ciphertext under a commit key derived
+//!   from the volatile root key.
 
 use crate::error::SentryError;
+use sentry_crypto::{Aes, Cmac, PageCipherMode};
 use sentry_soc::{Soc, PAGE_SIZE};
 
 /// Journal magic: a valid, open journal starts with these bytes.
@@ -88,11 +97,11 @@ pub struct JournalEntry {
     /// The crypt epoch the IV was derived under — what the PTE's
     /// `crypt_epoch` must read once the entry commits.
     pub epoch: u64,
-    /// The per-page CBC IV.
+    /// The per-page IV (CBC IV, XTS tweak, or CTR counter base).
     pub iv: [u8; 16],
-    /// Last 16 bytes of the frame's *ciphertext* image (the final CBC
-    /// block): what the frame ends with after an encrypt publishes, or
-    /// before a decrypt publishes.
+    /// The commit tag of the frame's *ciphertext* image — what
+    /// [`CommitTagger::tag`] computes over the frame after an encrypt
+    /// publishes, or before a decrypt publishes.
     pub tag: [u8; 16],
     /// Whether this entry's publish + PTE flip completed.
     pub done: bool,
@@ -123,6 +132,77 @@ impl JournalEntry {
             iv: b[40..56].try_into().unwrap(),
             tag: b[56..72].try_into().unwrap(),
         }
+    }
+}
+
+/// Computes the 16-byte journal commit tag of a ciphertext page image.
+///
+/// Under the chaining mode (CBC) the tag is the page's final
+/// ciphertext block, read straight off the image's tail: chaining
+/// makes it depend on every byte of the page, so two ciphertexts of
+/// different page versions under one IV never share it.
+///
+/// Under the parallel modes (XTS, CTR) the final block depends only on
+/// the final *plaintext* block — two versions of a page with the same
+/// tail would collide, and recovery could mistake a half-published
+/// frame for a committed one. The tag is instead a full-width CMAC
+/// over IV ‖ ciphertext, keyed with `E_rootkey("SENTRY-TXNCOMMIT")` —
+/// domain-separated from the integrity plane's key, and dying with
+/// power exactly like the journal it guards.
+#[derive(Debug)]
+pub struct CommitTagger {
+    mode: PageCipherMode,
+    cmac: Cmac<Aes>,
+}
+
+impl CommitTagger {
+    /// Build a tagger for `mode`. The commit-CMAC key derives from the
+    /// volatile root key by one block encryption of a fixed
+    /// domain-separation constant, like the integrity plane's key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates AES key-schedule errors.
+    pub fn new(mode: PageCipherMode, root_key: &[u8]) -> Result<Self, SentryError> {
+        let root = Aes::new(root_key).map_err(sentry_crypto::CryptoError::from)?;
+        let mut ck = *b"SENTRY-TXNCOMMIT";
+        root.encrypt_block(&mut ck);
+        Ok(CommitTagger {
+            mode,
+            cmac: Cmac::new(Aes::new(&ck).map_err(sentry_crypto::CryptoError::from)?),
+        })
+    }
+
+    /// The page cipher mode the tagger computes tags for.
+    #[must_use]
+    pub fn mode(&self) -> PageCipherMode {
+        self.mode
+    }
+
+    /// Commit tag of one ciphertext page image under its IV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is shorter than one block.
+    #[must_use]
+    pub fn tag(&self, iv: &[u8; 16], page: &[u8]) -> [u8; 16] {
+        if self.mode.is_chaining() {
+            page[page.len() - 16..]
+                .try_into()
+                .expect("page has a 16-byte tail")
+        } else {
+            self.cmac.mac_parts(&[iv, page])
+        }
+    }
+
+    /// Per-page commit tags of a contiguous run of page-sized chunks
+    /// (chunk `i` tagged under `ivs[i]`).
+    #[must_use]
+    pub fn tags(&self, ivs: &[[u8; 16]], buf: &[u8]) -> Vec<[u8; 16]> {
+        buf.chunks_exact(PAGE_SIZE as usize)
+            .zip(ivs)
+            .map(|(page, iv)| self.tag(iv, page))
+            .collect()
     }
 }
 

@@ -36,10 +36,11 @@ fn pager_slots_can_be_released_back_to_the_store() {
         store,
         pager,
         integrity,
+        commit,
         ..
     } = &mut sentry;
     pager
-        .evict_all(store, kernel, &mut txn, integrity, epoch)
+        .evict_all(store, kernel, &mut txn, integrity, commit, epoch)
         .unwrap();
     assert_eq!(pager.resident_count(), 0);
     pager.release_slots(store, kernel).unwrap();

@@ -62,6 +62,7 @@ pub use bitslice::BitslicedAes;
 pub use block::{Aes, AesRef};
 pub use error::{CryptoError, KeyError};
 pub use mac::Cmac;
+pub use modes::PageCipherMode;
 pub use state::{AesStateLayout, Sensitivity, StateComponent};
 pub use tracked::{AccessEvent, StateStore, TableId, TrackedAes, TrackedBitslicedAes, VecStore};
 

@@ -1,14 +1,80 @@
-//! Block cipher modes of operation: ECB, CBC, and CTR.
+//! Block cipher modes of operation: ECB, CBC, XTS, and CTR.
 //!
-//! Sentry uses CBC — the default AES mode on Android and Linux at the time
-//! of the paper — for both the encrypted-DRAM pager and dm-crypt. All mode
-//! functions here operate on whole blocks; callers (the pager works in
-//! 4 KiB pages, dm-crypt in 512-byte sectors) always supply block-aligned
+//! Sentry originally used CBC — the default AES mode on Android and Linux
+//! at the time of the paper — for both the encrypted-DRAM pager and
+//! dm-crypt. CBC *encryption* is serially chained, though: block `j`
+//! cannot start until block `j-1` finishes, so a 16-lane bitsliced kernel
+//! runs it one lane out of sixteen. [`xts_encrypt`]/[`xts_decrypt`]
+//! (IEEE P1619) and [`ctr_crypt`] are the parallel per-page alternatives:
+//! every block is independent given a cheap GF(2^128) tweak chain (XTS) or
+//! a counter (CTR), so both directions fill every lane. All block-mode
+//! functions operate on whole blocks; callers (the pager works in 4 KiB
+//! pages, dm-crypt in 512-byte sectors) always supply block-aligned
 //! buffers.
 
 use crate::batch::BlockCipherBatch;
 use crate::block::{Aes, AesRef, Block};
 use crate::BLOCK_SIZE;
+
+/// The per-page cipher mode a Sentry engine runs.
+///
+/// Selected on `SentryConfig` and threaded through every producer and
+/// consumer of page ciphertext: the kernel engines, the parallel lock
+/// batch, the pager's extent streams, dm-crypt sectors, and the txn
+/// journal's commit-tag scheme (non-chaining modes switch the tag from
+/// "final CBC block" to the integrity CMAC, since the last XTS/CTR block
+/// no longer depends on the whole page).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PageCipherMode {
+    /// AES-CBC: the paper's mode. Decryption is data-parallel, but the
+    /// encryption chain keeps only one bitsliced lane busy per page.
+    #[default]
+    Cbc,
+    /// AES-XTS (IEEE P1619): tweak = page IV, per-block tweak chain via
+    /// GF(2^128) doubling. Parallel in both directions.
+    Xts,
+    /// Epoch-bound AES-CTR: the 16-byte page IV is the initial counter
+    /// block, incremented big-endian per block. Parallel in both
+    /// directions.
+    Ctr,
+}
+
+impl PageCipherMode {
+    /// Display name (bench tables, JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PageCipherMode::Cbc => "cbc",
+            PageCipherMode::Xts => "xts",
+            PageCipherMode::Ctr => "ctr",
+        }
+    }
+
+    /// Whether a page's last ciphertext block depends on every earlier
+    /// plaintext block. True only for CBC; the txn journal's commit tag
+    /// can use the final block directly when this holds and must fall
+    /// back to a MAC otherwise.
+    #[must_use]
+    pub fn is_chaining(self) -> bool {
+        matches!(self, PageCipherMode::Cbc)
+    }
+
+    /// All modes, in declaration order.
+    #[must_use]
+    pub fn all() -> [PageCipherMode; 3] {
+        [
+            PageCipherMode::Cbc,
+            PageCipherMode::Xts,
+            PageCipherMode::Ctr,
+        ]
+    }
+}
+
+impl std::fmt::Display for PageCipherMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Scratch blocks used by the batched modes below: two bitsliced batches,
 /// so the batch backend streams at full width while the scratch stays on
@@ -329,6 +395,247 @@ pub fn ctr_xor<C: BlockCipherBatch>(
     }
 }
 
+/// Multiply an element of GF(2^128) by `x` (the XTS tweak step), using
+/// the IEEE P1619 convention: byte 0 holds the lowest-order coefficients,
+/// the carry shifts out of byte 15's MSB, and the reduction polynomial
+/// `x^128 + x^7 + x^2 + x + 1` feeds back as `0x87` into byte 0.
+pub fn xts_mul_alpha(t: &mut [u8; 16]) {
+    let mut carry = 0u8;
+    for b in t.iter_mut() {
+        let next = *b >> 7;
+        *b = (*b << 1) | carry;
+        carry = next;
+    }
+    if carry != 0 {
+        t[0] ^= 0x87;
+    }
+}
+
+fn xor_block(block: &mut Block, mask: &Block) {
+    for (b, m) in block.iter_mut().zip(mask.iter()) {
+        *b ^= m;
+    }
+}
+
+/// The shared XTS data path: given the already-encrypted tweak `t0`,
+/// walk the GF(2^128) tweak chain (serial but cipher-free, a shift and a
+/// conditional XOR per block) and run the actual block cipher
+/// `SCRATCH_BLOCKS` at a time. Every lane fills in both directions.
+fn xts_apply<C: BlockCipherBatch>(cipher: &C, encrypt: bool, mut t: Block, data: &mut [u8]) {
+    let (blocks, _) = data.as_chunks_mut::<BLOCK_SIZE>();
+    let mut tweaks = [[0u8; BLOCK_SIZE]; SCRATCH_BLOCKS];
+    for chunk in blocks.chunks_mut(SCRATCH_BLOCKS) {
+        let n = chunk.len();
+        for tw in tweaks[..n].iter_mut() {
+            *tw = t;
+            xts_mul_alpha(&mut t);
+        }
+        for (block, tw) in chunk.iter_mut().zip(&tweaks) {
+            xor_block(block, tw);
+        }
+        if encrypt {
+            cipher.encrypt_blocks(chunk);
+        } else {
+            cipher.decrypt_blocks(chunk);
+        }
+        for (block, tw) in chunk.iter_mut().zip(&tweaks) {
+            xor_block(block, tw);
+        }
+    }
+}
+
+/// Encrypt `data` in place in XTS mode (IEEE P1619).
+///
+/// `tweak` is the data unit's 16-byte tweak value (Sentry: the page IV;
+/// dm-crypt: the sector IV), encrypted once under `tweak_cipher` to seed
+/// the per-block GF(2^128) doubling chain. IEEE P1619 splits the key as
+/// K1 ∥ K2 with independent schedules for data and tweak; Sentry's
+/// engines pass the same cipher for both (XEX-style single-key XTS), so
+/// the tracked full-simulation path — which owns exactly one keyed
+/// context — stays byte-identical to the fast path.
+///
+/// # Panics
+///
+/// Panics if `data` is not block-aligned.
+pub fn xts_encrypt<C: BlockCipherBatch>(
+    cipher: &C,
+    tweak_cipher: &impl BlockCipher,
+    tweak: &[u8; 16],
+    data: &mut [u8],
+) {
+    check_aligned(data);
+    let mut t0 = *tweak;
+    tweak_cipher.encrypt_block(&mut t0);
+    xts_apply(cipher, true, t0, data);
+}
+
+/// Decrypt `data` in place in XTS mode. See [`xts_encrypt`]; the tweak
+/// chain always uses the *encrypt* direction of `tweak_cipher`.
+///
+/// # Panics
+///
+/// Panics if `data` is not block-aligned.
+pub fn xts_decrypt<C: BlockCipherBatch>(
+    cipher: &C,
+    tweak_cipher: &impl BlockCipher,
+    tweak: &[u8; 16],
+    data: &mut [u8],
+) {
+    check_aligned(data);
+    let mut t0 = *tweak;
+    tweak_cipher.encrypt_block(&mut t0);
+    xts_apply(cipher, false, t0, data);
+}
+
+fn check_extents(ivs: &[[u8; 16]], data: &[u8]) -> usize {
+    if ivs.is_empty() {
+        assert!(data.is_empty(), "extent data without IVs");
+        return 0;
+    }
+    assert!(
+        data.len().is_multiple_of(ivs.len()),
+        "data does not divide into {} extents",
+        ivs.len()
+    );
+    let unit = data.len() / ivs.len();
+    check_aligned(&data[..unit]);
+    unit
+}
+
+/// XTS over a run of consecutive equal-sized extents laid out
+/// back-to-back in `data`, the `i`-th tweaked from `ivs[i]`; `encrypt`
+/// picks the direction (the tweak chain is direction-agnostic).
+///
+/// Every block of every extent is independent, so the batch kernel
+/// streams across extent boundaries with no pipeline drain — a 512-byte
+/// dm-crypt sector is only 32 blocks, but 8 sectors of a 4 KiB buffer
+/// cache block run here as one 256-block stream. The per-extent tweak
+/// bases are themselves encrypted as one batched call. Byte-identical to
+/// ciphering each extent separately.
+///
+/// # Panics
+///
+/// Panics if `data` does not divide evenly into `ivs.len()` block-aligned
+/// extents (an empty `ivs` requires an empty `data`).
+pub fn xts_crypt_extents<C: BlockCipherBatch>(
+    cipher: &C,
+    tweak_cipher: &impl BlockCipherBatch,
+    encrypt: bool,
+    ivs: &[[u8; 16]],
+    data: &mut [u8],
+) {
+    let unit = check_extents(ivs, data);
+    if unit == 0 {
+        return;
+    }
+    let blocks_per_unit = unit / BLOCK_SIZE;
+    // Encrypt every extent's tweak base in one batched pass.
+    let mut bases: Vec<Block> = ivs.to_vec();
+    tweak_cipher.encrypt_blocks(&mut bases);
+
+    let (blocks, _) = data.as_chunks_mut::<BLOCK_SIZE>();
+    let mut tweaks = [[0u8; BLOCK_SIZE]; SCRATCH_BLOCKS];
+    let mut t = [0u8; BLOCK_SIZE];
+    for (chunk_no, chunk) in blocks.chunks_mut(SCRATCH_BLOCKS).enumerate() {
+        let n = chunk.len();
+        for (i, tw) in tweaks[..n].iter_mut().enumerate() {
+            let global = chunk_no * SCRATCH_BLOCKS + i;
+            if global.is_multiple_of(blocks_per_unit) {
+                t = bases[global / blocks_per_unit];
+            }
+            *tw = t;
+            xts_mul_alpha(&mut t);
+        }
+        for (block, tw) in chunk.iter_mut().zip(&tweaks) {
+            xor_block(block, tw);
+        }
+        if encrypt {
+            cipher.encrypt_blocks(chunk);
+        } else {
+            cipher.decrypt_blocks(chunk);
+        }
+        for (block, tw) in chunk.iter_mut().zip(&tweaks) {
+            xor_block(block, tw);
+        }
+    }
+}
+
+/// Increment a full 16-byte counter block, big-endian (the NIST
+/// SP 800-38A standard incrementing function over all 128 bits).
+pub fn ctr_increment(block: &mut Block) {
+    for b in block.iter_mut().rev() {
+        *b = b.wrapping_add(1);
+        if *b != 0 {
+            break;
+        }
+    }
+}
+
+/// Encrypt or decrypt `data` in place in CTR mode, treating the full
+/// 16-byte `iv` as the initial counter block (incremented big-endian per
+/// block, as in NIST SP 800-38A). The operations are identical.
+///
+/// This is the page-mode CTR driver: Sentry passes the same
+/// `page_iv(pid, vpn, epoch)` it uses as the CBC IV and XTS tweak, so
+/// the epoch discipline that prevents IV reuse across lock cycles
+/// carries over unchanged. Compare [`ctr_xor`], the nonce + 64-bit
+/// counter variant used by stream consumers. Keystream blocks are
+/// independent, so all lanes fill; arbitrary (non-block-aligned) lengths
+/// are handled.
+pub fn ctr_crypt<C: BlockCipherBatch>(cipher: &C, iv: &[u8; 16], data: &mut [u8]) {
+    let mut counter = *iv;
+    let mut ks = [[0u8; BLOCK_SIZE]; SCRATCH_BLOCKS];
+    for chunk in data.chunks_mut(SCRATCH_BLOCKS * BLOCK_SIZE) {
+        let nblocks = chunk.len().div_ceil(BLOCK_SIZE);
+        for k in ks[..nblocks].iter_mut() {
+            *k = counter;
+            ctr_increment(&mut counter);
+        }
+        cipher.encrypt_blocks(&mut ks[..nblocks]);
+        for (b, k) in chunk.iter_mut().zip(ks.iter().flatten()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// CTR over a run of consecutive equal-sized extents laid out
+/// back-to-back in `data`, the `i`-th counting from `ivs[i]`
+/// (encrypt and decrypt are the same operation).
+///
+/// Like [`xts_crypt_extents`], the whole run streams through the batch
+/// kernel with no drain at extent boundaries. Byte-identical to calling
+/// [`ctr_crypt`] on each extent separately.
+///
+/// # Panics
+///
+/// Panics if `data` does not divide evenly into `ivs.len()` block-aligned
+/// extents (an empty `ivs` requires an empty `data`).
+pub fn ctr_crypt_extents<C: BlockCipherBatch>(cipher: &C, ivs: &[[u8; 16]], data: &mut [u8]) {
+    let unit = check_extents(ivs, data);
+    if unit == 0 {
+        return;
+    }
+    let blocks_per_unit = unit / BLOCK_SIZE;
+    let (blocks, _) = data.as_chunks_mut::<BLOCK_SIZE>();
+    let mut ks = [[0u8; BLOCK_SIZE]; SCRATCH_BLOCKS];
+    let mut counter = [0u8; BLOCK_SIZE];
+    for (chunk_no, chunk) in blocks.chunks_mut(SCRATCH_BLOCKS).enumerate() {
+        let n = chunk.len();
+        for (i, k) in ks[..n].iter_mut().enumerate() {
+            let global = chunk_no * SCRATCH_BLOCKS + i;
+            if global.is_multiple_of(blocks_per_unit) {
+                counter = ivs[global / blocks_per_unit];
+            }
+            *k = counter;
+            ctr_increment(&mut counter);
+        }
+        cipher.encrypt_blocks(&mut ks[..n]);
+        for (block, k) in chunk.iter_mut().zip(&ks) {
+            xor_block(block, k);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,5 +888,249 @@ mod tests {
         cbc_encrypt(&fast, &iv, &mut a);
         cbc_encrypt(&reference, &iv, &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xts_mul_alpha_matches_p1619_convention() {
+        // x * 1 = x: bit 1 of byte 0.
+        let mut t = [0u8; 16];
+        t[0] = 1;
+        xts_mul_alpha(&mut t);
+        assert_eq!(t[0], 2);
+        // Carry out of byte 15's MSB reduces with 0x87 into byte 0.
+        let mut t = [0u8; 16];
+        t[15] = 0x80;
+        xts_mul_alpha(&mut t);
+        let mut expect = [0u8; 16];
+        expect[0] = 0x87;
+        assert_eq!(t, expect);
+        // Cross-byte carry: byte 0's MSB moves into byte 1's LSB.
+        let mut t = [0u8; 16];
+        t[0] = 0x80;
+        xts_mul_alpha(&mut t);
+        assert_eq!(t[0], 0);
+        assert_eq!(t[1], 1);
+    }
+
+    #[test]
+    fn xts_matches_ieee_p1619_vector_1() {
+        // IEEE P1619 XTS-AES-128 Vector 1: all-zero keys, tweak 0,
+        // 32 zero bytes of plaintext.
+        let k1 = [0u8; 16];
+        let k2 = [0u8; 16];
+        let data_cipher = Aes::new(&k1).unwrap();
+        let tweak_cipher = Aes::new(&k2).unwrap();
+        let tweak = [0u8; 16];
+        let mut data = vec![0u8; 32];
+        let expected = hex(concat!(
+            "917cf69ebd68b2ec9b9fe9a3eadda692",
+            "cd43d2f59598ed858c02c2652fbf922e",
+        ));
+        xts_encrypt(&data_cipher, &tweak_cipher, &tweak, &mut data);
+        assert_eq!(data, expected);
+        xts_decrypt(&data_cipher, &tweak_cipher, &tweak, &mut data);
+        assert_eq!(data, vec![0u8; 32]);
+
+        // Same vector through the bitsliced backend.
+        let bits = crate::bitslice::BitslicedAes::new(&k1).unwrap();
+        let mut data = vec![0u8; 32];
+        xts_encrypt(&bits, &tweak_cipher, &tweak, &mut data);
+        assert_eq!(data, expected);
+        xts_decrypt(&bits, &tweak_cipher, &tweak, &mut data);
+        assert_eq!(data, vec![0u8; 32]);
+    }
+
+    #[test]
+    fn xts_matches_ieee_p1619_vector_2() {
+        // IEEE P1619 XTS-AES-128 Vector 2: distinct keys, nonzero tweak.
+        let k1 = hex("11111111111111111111111111111111");
+        let k2 = hex("22222222222222222222222222222222");
+        let data_cipher = Aes::new(&k1).unwrap();
+        let tweak_cipher = Aes::new(&k2).unwrap();
+        let tweak: [u8; 16] = hex("33333333330000000000000000000000").try_into().unwrap();
+        let mut data = vec![0x44u8; 32];
+        let expected = hex(concat!(
+            "c454185e6a16936e39334038acef838b",
+            "fb186fff7480adc4289382ecd6d394f0",
+        ));
+        xts_encrypt(&data_cipher, &tweak_cipher, &tweak, &mut data);
+        assert_eq!(data, expected);
+        xts_decrypt(&data_cipher, &tweak_cipher, &tweak, &mut data);
+        assert_eq!(data, vec![0x44u8; 32]);
+
+        let bits = crate::bitslice::BitslicedAes::new(&k1).unwrap();
+        let bits_tweak = crate::bitslice::BitslicedAes::new(&k2).unwrap();
+        let mut data = vec![0x44u8; 32];
+        xts_encrypt(&bits, &bits_tweak, &tweak, &mut data);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn ctr_crypt_matches_nist_sp800_38a_f5_1() {
+        // NIST SP 800-38A F.5.1 CTR-AES128, full 16-byte counter block.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut data = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710",
+        ));
+        let expected = hex(concat!(
+            "874d6191b620e3261bef6864990db6ce",
+            "9806f66b7970fdff8617187bb9fffdff",
+            "5ae4df3edbd5d35e5b4f09020db03eab",
+            "1e031dda2fbe03d1792170a0f3009cee",
+        ));
+        let aes = Aes::new(&key).unwrap();
+        let pt = data.clone();
+        ctr_crypt(&aes, &iv, &mut data);
+        assert_eq!(data, expected);
+        ctr_crypt(&aes, &iv, &mut data);
+        assert_eq!(data, pt);
+
+        let bits = crate::bitslice::BitslicedAes::new(&key).unwrap();
+        let mut data = pt.clone();
+        ctr_crypt(&bits, &iv, &mut data);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn ctr_crypt_carries_across_counter_byte_boundaries() {
+        // An IV whose low bytes are near-overflow exercises the 128-bit
+        // big-endian carry; both backends must agree.
+        let key = [0x21u8; 16];
+        let aes = Aes::new(&key).unwrap();
+        let bits = crate::bitslice::BitslicedAes::from_schedule(aes.schedule());
+        let mut iv = [0xFFu8; 16];
+        iv[0] = 0x01;
+        let pt: Vec<u8> = (0..20 * BLOCK_SIZE).map(|i| (i * 7) as u8).collect();
+        let mut a = pt.clone();
+        let mut b = pt.clone();
+        ctr_crypt(&aes, &iv, &mut a);
+        ctr_crypt(&bits, &iv, &mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, pt);
+        ctr_crypt(&aes, &iv, &mut a);
+        assert_eq!(a, pt);
+    }
+
+    #[test]
+    fn xts_roundtrips_across_backends_and_lengths() {
+        let key = [0x7Eu8; 32];
+        let table = Aes::new(&key).unwrap();
+        let reference = AesRef::new(&key).unwrap();
+        let bits = crate::bitslice::BitslicedAes::from_schedule(table.schedule());
+        let tweak = [0x5Cu8; 16];
+        // Single-key (XEX-style) XTS, as the Sentry engines run it.
+        for nblocks in [1usize, 2, 15, 16, 31, 32, 33, 256] {
+            let pt: Vec<u8> = (0..nblocks * BLOCK_SIZE).map(|i| (i * 13) as u8).collect();
+            let mut ct = pt.clone();
+            xts_encrypt(&table, &table, &tweak, &mut ct);
+            assert_ne!(ct, pt);
+            let mut r = ct.clone();
+            xts_decrypt(&reference, &reference, &tweak, &mut r);
+            assert_eq!(r, pt, "reference decrypts table output, {nblocks} blocks");
+            let mut b = ct.clone();
+            xts_decrypt(&bits, &bits, &tweak, &mut b);
+            assert_eq!(b, pt, "bitsliced decrypts table output, {nblocks} blocks");
+            // And each backend encrypts identically.
+            let mut e = pt.clone();
+            xts_encrypt(&bits, &bits, &tweak, &mut e);
+            assert_eq!(e, ct, "bitsliced encrypt, {nblocks} blocks");
+        }
+    }
+
+    #[test]
+    fn xts_hides_equal_blocks_and_binds_the_tweak() {
+        let aes = Aes::new(&[0x09u8; 16]).unwrap();
+        let mut data = vec![0xABu8; 64];
+        xts_encrypt(&aes, &aes, &[1u8; 16], &mut data);
+        assert_ne!(&data[0..16], &data[16..32], "tweak chain hides structure");
+        // Decrypting under a different tweak must not recover plaintext.
+        let mut wrong = data.clone();
+        xts_decrypt(&aes, &aes, &[2u8; 16], &mut wrong);
+        assert_ne!(wrong, vec![0xABu8; 64]);
+        xts_decrypt(&aes, &aes, &[1u8; 16], &mut data);
+        assert_eq!(data, vec![0xABu8; 64]);
+    }
+
+    #[test]
+    fn xts_extents_match_per_extent() {
+        let key = [0x61u8; 16];
+        let table = Aes::new(&key).unwrap();
+        let bits = crate::bitslice::BitslicedAes::from_schedule(table.schedule());
+        // Unit sizes exercising sub-batch extents, the dm-crypt sector
+        // (32 blocks), and units straddling scratch-chunk boundaries.
+        for (unit_blocks, units) in [(1usize, 5usize), (2, 9), (3, 23), (32, 8), (256, 3)] {
+            let unit = unit_blocks * BLOCK_SIZE;
+            let ivs: Vec<[u8; 16]> = (0..units).map(|i| [(i * 29 + 1) as u8; 16]).collect();
+            let pt: Vec<u8> = (0..units * unit).map(|i| (i * 13 + 7) as u8).collect();
+            let mut expect = pt.clone();
+            for (iv, chunk) in ivs.iter().zip(expect.chunks_exact_mut(unit)) {
+                xts_encrypt(&table, &table, iv, chunk);
+            }
+            for backend in ["table", "bitsliced"] {
+                let mut got = pt.clone();
+                match backend {
+                    "table" => xts_crypt_extents(&table, &table, true, &ivs, &mut got),
+                    _ => xts_crypt_extents(&bits, &bits, true, &ivs, &mut got),
+                }
+                assert_eq!(
+                    got, expect,
+                    "{backend} encrypt: {units} extents of {unit_blocks} blocks"
+                );
+                match backend {
+                    "table" => xts_crypt_extents(&table, &table, false, &ivs, &mut got),
+                    _ => xts_crypt_extents(&bits, &bits, false, &ivs, &mut got),
+                }
+                assert_eq!(
+                    got, pt,
+                    "{backend} decrypt: {units} extents of {unit_blocks} blocks"
+                );
+            }
+        }
+        // Degenerate case: no extents.
+        xts_crypt_extents(&table, &table, true, &[], &mut []);
+    }
+
+    #[test]
+    fn ctr_extents_match_per_extent() {
+        let key = [0x73u8; 24];
+        let table = Aes::new(&key).unwrap();
+        let bits = crate::bitslice::BitslicedAes::from_schedule(table.schedule());
+        for (unit_blocks, units) in [(1usize, 5usize), (3, 23), (32, 8), (256, 3)] {
+            let unit = unit_blocks * BLOCK_SIZE;
+            let ivs: Vec<[u8; 16]> = (0..units).map(|i| [(i * 43 + 5) as u8; 16]).collect();
+            let pt: Vec<u8> = (0..units * unit).map(|i| (i * 17 + 3) as u8).collect();
+            let mut expect = pt.clone();
+            for (iv, chunk) in ivs.iter().zip(expect.chunks_exact_mut(unit)) {
+                ctr_crypt(&table, iv, chunk);
+            }
+            for backend in ["table", "bitsliced"] {
+                let mut got = pt.clone();
+                match backend {
+                    "table" => ctr_crypt_extents(&table, &ivs, &mut got),
+                    _ => ctr_crypt_extents(&bits, &ivs, &mut got),
+                }
+                assert_eq!(
+                    got, expect,
+                    "{backend}: {units} extents of {unit_blocks} blocks"
+                );
+            }
+        }
+        ctr_crypt_extents(&table, &[], &mut []);
+    }
+
+    #[test]
+    fn page_cipher_mode_names_and_chaining() {
+        assert_eq!(PageCipherMode::default(), PageCipherMode::Cbc);
+        assert_eq!(PageCipherMode::Cbc.to_string(), "cbc");
+        assert_eq!(PageCipherMode::Xts.to_string(), "xts");
+        assert_eq!(PageCipherMode::Ctr.to_string(), "ctr");
+        assert!(PageCipherMode::Cbc.is_chaining());
+        assert!(!PageCipherMode::Xts.is_chaining());
+        assert!(!PageCipherMode::Ctr.is_chaining());
+        assert_eq!(PageCipherMode::all().len(), 3);
     }
 }

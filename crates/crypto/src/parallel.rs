@@ -26,7 +26,8 @@
 
 use crate::batch::BlockCipherBatch;
 use crate::error::CryptoError;
-use crate::modes::{cbc_decrypt, cbc_encrypt_batch};
+use crate::modes::{cbc_decrypt, cbc_encrypt_batch, ctr_crypt, xts_decrypt, xts_encrypt};
+use crate::PageCipherMode;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which way a batch transforms its pages.
@@ -67,8 +68,8 @@ pub struct BatchReport {
     pub sequential_fallback: bool,
 }
 
-/// Run every job in `jobs` through CBC under `cipher`, fanning across at
-/// most `workers` scoped threads.
+/// Run every job in `jobs` through `mode` under `cipher`, fanning across
+/// at most `workers` scoped threads.
 ///
 /// The context is expanded exactly once by the caller and *shared* by
 /// reference across all lanes — no per-lane clone, no per-page key
@@ -76,7 +77,10 @@ pub struct BatchReport {
 /// [`crate::BitslicedAes`] makes each lane's CBC decryption run 16
 /// blocks per kernel call, and each lane's CBC *encryption* fill those
 /// 16 lanes with independent page chains via [`cbc_encrypt_batch`].
-/// Falls back to the in-thread sequential loop
+/// Under [`PageCipherMode::Xts`] and [`PageCipherMode::Ctr`] every block
+/// *within* a page is already independent, so each job streams through
+/// the kernel at full width in both directions — no cross-page batching
+/// needed. Falls back to the in-thread sequential loop
 /// when `workers <= 1` or `jobs.len() < min_batch_pages`; output bytes
 /// are identical either way.
 ///
@@ -89,6 +93,7 @@ pub struct BatchReport {
 /// discarded by the caller.
 pub fn crypt_batch<C: BlockCipherBatch + Sync>(
     cipher: &C,
+    mode: PageCipherMode,
     direction: Direction,
     jobs: &mut [PageJob<'_>],
     workers: usize,
@@ -98,7 +103,7 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
     let bytes: u64 = jobs.iter().map(|j| j.data.len() as u64).sum();
 
     if workers <= 1 || pages < min_batch_pages.max(1) {
-        contained_chunk(cipher, direction, jobs, 0)?;
+        contained_chunk(cipher, mode, direction, jobs, 0)?;
         return Ok(BatchReport {
             pages,
             bytes,
@@ -126,7 +131,8 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
             // schedule serves the whole pool. The unwind is caught
             // *inside* the lane, so a panicking cipher surfaces as a
             // typed error instead of aborting the simulation.
-            handles.push(scope.spawn(move || contained_chunk(cipher, direction, chunk, lane)));
+            handles
+                .push(scope.spawn(move || contained_chunk(cipher, mode, direction, chunk, lane)));
         }
         for (lane, handle) in handles.into_iter().enumerate() {
             match handle.join() {
@@ -166,11 +172,15 @@ pub fn crypt_batch<C: BlockCipherBatch + Sync>(
 /// the typed [`CryptoError::WorkerPanicked`].
 fn contained_chunk<C: BlockCipherBatch>(
     cipher: &C,
+    mode: PageCipherMode,
     direction: Direction,
     chunk: &mut [PageJob<'_>],
     lane: usize,
 ) -> Result<u64, CryptoError> {
-    catch_unwind(AssertUnwindSafe(|| crypt_chunk(cipher, direction, chunk))).map_err(|payload| {
+    catch_unwind(AssertUnwindSafe(|| {
+        crypt_chunk(cipher, mode, direction, chunk)
+    }))
+    .map_err(|payload| {
         let detail = payload
             .downcast_ref::<&str>()
             .map(|s| (*s).to_string())
@@ -182,26 +192,44 @@ fn contained_chunk<C: BlockCipherBatch>(
 
 /// Transform one lane's chunk of jobs, returning the bytes processed.
 ///
-/// Decryption is data-parallel *within* a page, so each job streams
-/// through [`cbc_decrypt`]'s own batching. Encryption chains are serial
-/// within a page but independent *across* pages, so the whole chunk goes
-/// through [`cbc_encrypt_batch`], which fills the backend's lanes with
-/// one page chain each.
+/// CBC decryption is data-parallel *within* a page, so each job streams
+/// through [`cbc_decrypt`]'s own batching. CBC encryption chains are
+/// serial within a page but independent *across* pages, so the whole
+/// chunk goes through [`cbc_encrypt_batch`], which fills the backend's
+/// lanes with one page chain each. XTS and CTR are block-parallel in
+/// both directions, so each job streams at full kernel width on its own;
+/// the job's IV is the XTS tweak or the initial CTR counter block.
 fn crypt_chunk<C: BlockCipherBatch>(
     cipher: &C,
+    mode: PageCipherMode,
     direction: Direction,
     chunk: &mut [PageJob<'_>],
 ) -> u64 {
     let bytes: u64 = chunk.iter().map(|j| j.data.len() as u64).sum();
-    match direction {
-        Direction::Encrypt => {
+    match (mode, direction) {
+        (PageCipherMode::Cbc, Direction::Encrypt) => {
             let ivs: Vec<[u8; 16]> = chunk.iter().map(|j| j.iv).collect();
             let mut bufs: Vec<&mut [u8]> = chunk.iter_mut().map(|j| &mut *j.data).collect();
             cbc_encrypt_batch(cipher, &ivs, &mut bufs);
         }
-        Direction::Decrypt => {
+        (PageCipherMode::Cbc, Direction::Decrypt) => {
             for job in chunk.iter_mut() {
                 cbc_decrypt(cipher, &job.iv, job.data);
+            }
+        }
+        (PageCipherMode::Xts, Direction::Encrypt) => {
+            for job in chunk.iter_mut() {
+                xts_encrypt(cipher, cipher, &job.iv, job.data);
+            }
+        }
+        (PageCipherMode::Xts, Direction::Decrypt) => {
+            for job in chunk.iter_mut() {
+                xts_decrypt(cipher, cipher, &job.iv, job.data);
+            }
+        }
+        (PageCipherMode::Ctr, _) => {
+            for job in chunk.iter_mut() {
+                ctr_crypt(cipher, &job.iv, job.data);
             }
         }
     }
@@ -235,14 +263,30 @@ mod tests {
         let aes = Aes::new(&[7u8; 32]).unwrap();
         let mut expect = mk_pages(37, |i| i as u8);
         let mut ejobs = jobs_of(&mut expect);
-        let seq = crypt_batch(&aes, Direction::Encrypt, &mut ejobs, 1, 1).unwrap();
+        let seq = crypt_batch(
+            &aes,
+            PageCipherMode::Cbc,
+            Direction::Encrypt,
+            &mut ejobs,
+            1,
+            1,
+        )
+        .unwrap();
         assert!(seq.sequential_fallback);
         assert_eq!(seq.per_worker_bytes, vec![37 * 4096]);
 
         for workers in [2usize, 3, 4, 8, 64] {
             let mut got = mk_pages(37, |i| i as u8);
             let mut jobs = jobs_of(&mut got);
-            let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1).unwrap();
+            let rep = crypt_batch(
+                &aes,
+                PageCipherMode::Cbc,
+                Direction::Encrypt,
+                &mut jobs,
+                workers,
+                1,
+            )
+            .unwrap();
             assert_eq!(got, expect, "{workers} workers diverged");
             assert_eq!(rep.workers_used, workers.min(37));
             assert_eq!(rep.per_worker_bytes.iter().sum::<u64>(), 37 * 4096);
@@ -255,10 +299,26 @@ mod tests {
         let orig = mk_pages(9, |i| (i * 13) as u8);
         let mut work = orig.clone();
         let mut jobs = jobs_of(&mut work);
-        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1).unwrap();
+        crypt_batch(
+            &aes,
+            PageCipherMode::Cbc,
+            Direction::Encrypt,
+            &mut jobs,
+            4,
+            1,
+        )
+        .unwrap();
         assert_ne!(work, orig);
         let mut jobs = jobs_of(&mut work);
-        crypt_batch(&aes, Direction::Decrypt, &mut jobs, 3, 1).unwrap();
+        crypt_batch(
+            &aes,
+            PageCipherMode::Cbc,
+            Direction::Decrypt,
+            &mut jobs,
+            3,
+            1,
+        )
+        .unwrap();
         assert_eq!(work, orig);
     }
 
@@ -273,13 +333,56 @@ mod tests {
         let orig = mk_pages(11, |i| (i * 7) as u8);
         let mut expect = orig.clone();
         let mut jobs = jobs_of(&mut expect);
-        crypt_batch(&aes, Direction::Encrypt, &mut jobs, 1, 1).unwrap();
+        crypt_batch(
+            &aes,
+            PageCipherMode::Cbc,
+            Direction::Encrypt,
+            &mut jobs,
+            1,
+            1,
+        )
+        .unwrap();
 
         for workers in [1usize, 2, 4] {
             let mut got = expect.clone();
             let mut jobs = jobs_of(&mut got);
-            crypt_batch(&bits, Direction::Decrypt, &mut jobs, workers, 1).unwrap();
+            crypt_batch(
+                &bits,
+                PageCipherMode::Cbc,
+                Direction::Decrypt,
+                &mut jobs,
+                workers,
+                1,
+            )
+            .unwrap();
             assert_eq!(got, orig, "bitsliced decrypt, {workers} workers");
+        }
+    }
+
+    #[test]
+    fn xts_and_ctr_parallel_match_sequential_and_roundtrip() {
+        // The non-chaining modes must keep the same byte-identity
+        // guarantee as CBC for every worker count, and decrypt must
+        // invert encrypt through the pool.
+        let aes = Aes::new(&[0x42u8; 16]).unwrap();
+        let bits = crate::bitslice::BitslicedAes::from_schedule(aes.schedule());
+        for mode in [PageCipherMode::Xts, PageCipherMode::Ctr] {
+            let orig = mk_pages(13, |i| (i * 3) as u8);
+            let mut expect = orig.clone();
+            let mut ejobs = jobs_of(&mut expect);
+            crypt_batch(&aes, mode, Direction::Encrypt, &mut ejobs, 1, 1).unwrap();
+            assert_ne!(expect, orig, "{mode} encrypt is not a noop");
+
+            for workers in [2usize, 4, 8] {
+                let mut got = orig.clone();
+                let mut jobs = jobs_of(&mut got);
+                crypt_batch(&bits, mode, Direction::Encrypt, &mut jobs, workers, 1).unwrap();
+                assert_eq!(got, expect, "{mode} encrypt, {workers} workers diverged");
+
+                let mut jobs = jobs_of(&mut got);
+                crypt_batch(&bits, mode, Direction::Decrypt, &mut jobs, workers, 1).unwrap();
+                assert_eq!(got, orig, "{mode} decrypt, {workers} workers");
+            }
         }
     }
 
@@ -288,7 +391,15 @@ mod tests {
         let aes = Aes::new(&[1u8; 16]).unwrap();
         let mut pages = mk_pages(3, |i| i as u8);
         let mut jobs = jobs_of(&mut pages);
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 8, 4).unwrap();
+        let rep = crypt_batch(
+            &aes,
+            PageCipherMode::Cbc,
+            Direction::Encrypt,
+            &mut jobs,
+            8,
+            4,
+        )
+        .unwrap();
         assert!(rep.sequential_fallback);
         assert_eq!(rep.workers_used, 1);
     }
@@ -296,7 +407,8 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let aes = Aes::new(&[1u8; 16]).unwrap();
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut [], 4, 1).unwrap();
+        let rep =
+            crypt_batch(&aes, PageCipherMode::Cbc, Direction::Encrypt, &mut [], 4, 1).unwrap();
         assert_eq!(rep.pages, 0);
         assert_eq!(rep.bytes, 0);
     }
@@ -362,7 +474,15 @@ mod tests {
         };
         let mut pages = mk_pages(8, |i| i as u8);
         let mut jobs = jobs_of(&mut pages);
-        let parallel_err = crypt_batch(&cipher, Direction::Encrypt, &mut jobs, 4, 1).unwrap_err();
+        let parallel_err = crypt_batch(
+            &cipher,
+            PageCipherMode::Cbc,
+            Direction::Encrypt,
+            &mut jobs,
+            4,
+            1,
+        )
+        .unwrap_err();
 
         // Sequential fallback: the in-thread chunk is contained too.
         let cipher = PanicAfter {
@@ -371,7 +491,15 @@ mod tests {
         };
         let mut pages = mk_pages(2, |i| i as u8);
         let mut jobs = jobs_of(&mut pages);
-        let seq_err = crypt_batch(&cipher, Direction::Decrypt, &mut jobs, 1, 1).unwrap_err();
+        let seq_err = crypt_batch(
+            &cipher,
+            PageCipherMode::Cbc,
+            Direction::Decrypt,
+            &mut jobs,
+            1,
+            1,
+        )
+        .unwrap_err();
 
         std::panic::set_hook(prev_hook);
         match parallel_err {
@@ -391,7 +519,15 @@ mod tests {
         let aes = Aes::new(&[2u8; 16]).unwrap();
         let mut pages = mk_pages(10, |i| i as u8);
         let mut jobs = jobs_of(&mut pages);
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 4, 1).unwrap();
+        let rep = crypt_batch(
+            &aes,
+            PageCipherMode::Cbc,
+            Direction::Encrypt,
+            &mut jobs,
+            4,
+            1,
+        )
+        .unwrap();
         let min = rep.per_worker_bytes.iter().min().unwrap();
         let max = rep.per_worker_bytes.iter().max().unwrap();
         assert!(

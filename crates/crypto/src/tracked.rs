@@ -486,6 +486,93 @@ impl TrackedAes {
             store.write(self.offsets.ivec, &ct);
         }
     }
+
+    /// XTS-encrypt a block-aligned buffer in place (single-key XEX: the
+    /// tweak is encrypted under this same context, matching the engine
+    /// construction), with the running tweak chained through the
+    /// store-resident ivec slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn xts_encrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        tweak: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        self.xts_apply(store, tweak, data, false);
+    }
+
+    /// XTS-decrypt a block-aligned buffer in place. The tweak chain is
+    /// always computed with the *encrypt* direction, per IEEE P1619.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn xts_decrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        tweak: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        self.xts_apply(store, tweak, data, true);
+    }
+
+    fn xts_apply<S: StateStore>(
+        &self,
+        store: &mut S,
+        tweak: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+        decrypt: bool,
+    ) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "XTS buffer must be block aligned"
+        );
+        let mut t0 = *tweak;
+        self.encrypt_block(store, &mut t0);
+        store.write(self.offsets.ivec, &t0);
+        for (block_no, chunk) in data.chunks_exact_mut(BLOCK_SIZE).enumerate() {
+            store.write(self.offsets.block_index, &[(block_no & 0xff) as u8]);
+            let mut t = [0u8; BLOCK_SIZE];
+            store.read(self.offsets.ivec, &mut t);
+            for (b, c) in chunk.iter_mut().zip(t.iter()) {
+                *b ^= c;
+            }
+            let block: &mut [u8; BLOCK_SIZE] = chunk.try_into().expect("block sized");
+            if decrypt {
+                self.decrypt_block(store, block);
+            } else {
+                self.encrypt_block(store, block);
+            }
+            for (b, c) in block.iter_mut().zip(t.iter()) {
+                *b ^= c;
+            }
+            crate::modes::xts_mul_alpha(&mut t);
+            store.write(self.offsets.ivec, &t);
+        }
+    }
+
+    /// CTR-transform a buffer in place (encrypt and decrypt are the same
+    /// operation), treating `iv` as the full 128-bit big-endian counter
+    /// block. Ragged tails are fine; the running counter lives in the
+    /// store's ivec slot.
+    pub fn ctr_crypt<S: StateStore>(&self, store: &mut S, iv: &[u8; BLOCK_SIZE], data: &mut [u8]) {
+        store.write(self.offsets.ivec, iv);
+        for (block_no, chunk) in data.chunks_mut(BLOCK_SIZE).enumerate() {
+            store.write(self.offsets.block_index, &[(block_no & 0xff) as u8]);
+            let mut counter = [0u8; BLOCK_SIZE];
+            store.read(self.offsets.ivec, &mut counter);
+            let mut ks = counter;
+            self.encrypt_block(store, &mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            crate::modes::ctr_increment(&mut counter);
+            store.write(self.offsets.ivec, &counter);
+        }
+    }
 }
 
 /// Offsets of the table-free bitsliced layout's components.
@@ -761,6 +848,95 @@ impl TrackedBitslicedAes {
             store.write(self.offsets.ivec, &saved[n - BLOCK_SIZE..n]);
         }
     }
+
+    /// XTS-encrypt in place, one full 16-block batch per kernel call —
+    /// unlike CBC encryption, every block's whitening tweak is known up
+    /// front, so the batched kernel runs at full width in this direction
+    /// too. Single-key XEX: the tweak is encrypted under this context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn xts_encrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        tweak: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        self.xts_apply(store, tweak, data, false);
+    }
+
+    /// XTS-decrypt in place, one full 16-block batch per kernel call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a multiple of 16 bytes.
+    pub fn xts_decrypt<S: StateStore>(
+        &self,
+        store: &mut S,
+        tweak: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+    ) {
+        self.xts_apply(store, tweak, data, true);
+    }
+
+    fn xts_apply<S: StateStore>(
+        &self,
+        store: &mut S,
+        tweak: &[u8; BLOCK_SIZE],
+        data: &mut [u8],
+        decrypt: bool,
+    ) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_SIZE),
+            "XTS buffer must be block aligned"
+        );
+        let mut t = *tweak;
+        self.encrypt_block(store, &mut t);
+        for (batch_no, chunk) in data.chunks_mut(BATCH_BYTES).enumerate() {
+            store.write(self.offsets.block_index, &[(batch_no & 0xff) as u8]);
+            let mut tweaks = [[0u8; BLOCK_SIZE]; crate::bitslice::PAR_BLOCKS];
+            for (i, block) in chunk.chunks_exact_mut(BLOCK_SIZE).enumerate() {
+                tweaks[i] = t;
+                for (b, c) in block.iter_mut().zip(t.iter()) {
+                    *b ^= c;
+                }
+                crate::modes::xts_mul_alpha(&mut t);
+            }
+            if decrypt {
+                self.decrypt_blocks(store, chunk);
+            } else {
+                self.encrypt_blocks(store, chunk);
+            }
+            for (i, block) in chunk.chunks_exact_mut(BLOCK_SIZE).enumerate() {
+                for (b, c) in block.iter_mut().zip(tweaks[i].iter()) {
+                    *b ^= c;
+                }
+            }
+            store.write(self.offsets.ivec, &t);
+        }
+    }
+
+    /// CTR-transform a buffer in place, 16 counter blocks per kernel
+    /// call. `iv` is the full 128-bit big-endian counter block; ragged
+    /// tails are fine.
+    pub fn ctr_crypt<S: StateStore>(&self, store: &mut S, iv: &[u8; BLOCK_SIZE], data: &mut [u8]) {
+        let mut counter = *iv;
+        for (batch_no, chunk) in data.chunks_mut(BATCH_BYTES).enumerate() {
+            store.write(self.offsets.block_index, &[(batch_no & 0xff) as u8]);
+            let nblocks = chunk.len().div_ceil(BLOCK_SIZE);
+            let mut ks = [0u8; BATCH_BYTES];
+            for i in 0..nblocks {
+                ks[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE].copy_from_slice(&counter);
+                crate::modes::ctr_increment(&mut counter);
+            }
+            self.encrypt_blocks(store, &mut ks[..nblocks * BLOCK_SIZE]);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            store.write(self.offsets.ivec, &counter);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -824,6 +1000,68 @@ mod tests {
 
         tracked.cbc_decrypt(&mut store, &iv, &mut data_b);
         assert_eq!(data_b, (0..128u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tracked_xts_and_ctr_match_fast_modes() {
+        // Both tracked variants must be byte-identical to the fast
+        // single-key XEX/CTR paths — this is what lets the full-sim
+        // on-SoC engine keep one keyed context per mode.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let fast = Aes::new(&key).unwrap();
+        let tweak = [0x9Cu8; 16];
+
+        let layout = AesStateLayout::for_key_size(KeySize::Aes128);
+        let blayout = AesStateLayout::bitsliced(KeySize::Aes128);
+        for nblocks in [1usize, 3, 15, 16, 17, 33] {
+            let pt: Vec<u8> = (0..nblocks * 16).map(|i| (i * 41) as u8).collect();
+
+            let mut want_xts = pt.clone();
+            modes::xts_encrypt(&fast, &fast, &tweak, &mut want_xts);
+            let mut want_ctr = pt.clone();
+            modes::ctr_crypt(&fast, &tweak, &mut want_ctr);
+
+            let mut store = VecStore::new(layout.total_bytes());
+            let tracked = TrackedAes::init(&mut store, &key).unwrap();
+            let mut got = pt.clone();
+            tracked.xts_encrypt(&mut store, &tweak, &mut got);
+            assert_eq!(got, want_xts, "tracked xts_encrypt {nblocks} blocks");
+            tracked.xts_decrypt(&mut store, &tweak, &mut got);
+            assert_eq!(got, pt, "tracked xts_decrypt {nblocks} blocks");
+            tracked.ctr_crypt(&mut store, &tweak, &mut got);
+            assert_eq!(got, want_ctr, "tracked ctr_crypt {nblocks} blocks");
+
+            let mut bstore = VecStore::new(blayout.total_bytes());
+            let btracked = TrackedBitslicedAes::init(&mut bstore, &key).unwrap();
+            let mut got = pt.clone();
+            btracked.xts_encrypt(&mut bstore, &tweak, &mut got);
+            assert_eq!(
+                got, want_xts,
+                "bitsliced tracked xts_encrypt {nblocks} blocks"
+            );
+            btracked.xts_decrypt(&mut bstore, &tweak, &mut got);
+            assert_eq!(got, pt, "bitsliced tracked xts_decrypt {nblocks} blocks");
+            btracked.ctr_crypt(&mut bstore, &tweak, &mut got);
+            assert_eq!(
+                got, want_ctr,
+                "bitsliced tracked ctr_crypt {nblocks} blocks"
+            );
+        }
+
+        // CTR ragged tail: 40 bytes, both variants.
+        let pt: Vec<u8> = (0..40).map(|i| (i * 7) as u8).collect();
+        let mut want = pt.clone();
+        modes::ctr_crypt(&fast, &tweak, &mut want);
+        let mut store = VecStore::new(layout.total_bytes());
+        let tracked = TrackedAes::init(&mut store, &key).unwrap();
+        let mut got = pt.clone();
+        tracked.ctr_crypt(&mut store, &tweak, &mut got);
+        assert_eq!(got, want, "tracked ctr ragged tail");
+        let mut bstore = VecStore::new(blayout.total_bytes());
+        let btracked = TrackedBitslicedAes::init(&mut bstore, &key).unwrap();
+        let mut got = pt;
+        btracked.ctr_crypt(&mut bstore, &tweak, &mut got);
+        assert_eq!(got, want, "bitsliced tracked ctr ragged tail");
     }
 
     #[test]

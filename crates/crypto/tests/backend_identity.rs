@@ -11,7 +11,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sentry_crypto::modes::{
-    cbc_decrypt, cbc_decrypt_extents, cbc_encrypt, cbc_encrypt_extents, ctr_xor,
+    cbc_decrypt, cbc_decrypt_extents, cbc_encrypt, cbc_encrypt_extents, ctr_crypt,
+    ctr_crypt_extents, ctr_xor, xts_crypt_extents, xts_decrypt, xts_encrypt,
 };
 use sentry_crypto::{
     Aes, AesRef, AesStateLayout, BitslicedAes, KeySize, TrackedAes, TrackedBitslicedAes, VecStore,
@@ -128,6 +129,137 @@ proptest! {
         ctr_xor(&bits, &nonce, counter, &mut c);
         prop_assert_eq!(&a, &b, "table vs reference");
         prop_assert_eq!(&a, &c, "table vs bitsliced");
+    }
+
+    /// XTS (single-key XEX, the engine construction): encrypt with the
+    /// table backend, decrypt with every other backend — reference,
+    /// bitsliced, and both tracked variants — and recover the plaintext;
+    /// all backends also agree on the ciphertext byte for byte.
+    #[test]
+    fn xts_agrees_and_roundtrips_across_all_backends(
+        key in key_strategy(),
+        tweak in iv_strategy(),
+        nblocks in 1usize..48,
+        seed in any::<u8>(),
+    ) {
+        let pt: Vec<u8> = (0..nblocks * 16).map(|i| seed.wrapping_add((i * 29) as u8)).collect();
+        let table = Aes::new(&key).unwrap();
+        let mut ct = pt.clone();
+        xts_encrypt(&table, &table, &tweak, &mut ct);
+
+        let reference = AesRef::new(&key).unwrap();
+        let mut other = pt.clone();
+        xts_encrypt(&reference, &reference, &tweak, &mut other);
+        prop_assert_eq!(&other, &ct, "reference encrypt");
+
+        let bits = BitslicedAes::from_schedule(table.schedule());
+        let mut other = pt.clone();
+        xts_encrypt(&bits, &bits, &tweak, &mut other);
+        prop_assert_eq!(&other, &ct, "bitsliced encrypt");
+
+        let mut d = ct.clone();
+        xts_decrypt(&bits, &bits, &tweak, &mut d);
+        prop_assert_eq!(&d, &pt, "bitsliced decrypt");
+
+        let key_size = KeySize::from_key_len(key.len()).unwrap();
+        let mut store = VecStore::new(AesStateLayout::for_key_size(key_size).total_bytes());
+        let tracked = TrackedAes::init(&mut store, &key).unwrap();
+        let mut d = ct.clone();
+        tracked.xts_decrypt(&mut store, &tweak, &mut d);
+        prop_assert_eq!(&d, &pt, "tracked table decrypt");
+        let mut e = pt.clone();
+        tracked.xts_encrypt(&mut store, &tweak, &mut e);
+        prop_assert_eq!(&e, &ct, "tracked table encrypt");
+
+        let mut store = VecStore::new(AesStateLayout::bitsliced(key_size).total_bytes());
+        let tracked_bits = TrackedBitslicedAes::init(&mut store, &key).unwrap();
+        let mut d = ct.clone();
+        tracked_bits.xts_decrypt(&mut store, &tweak, &mut d);
+        prop_assert_eq!(&d, &pt, "tracked bitsliced decrypt");
+        let mut e = pt.clone();
+        tracked_bits.xts_encrypt(&mut store, &tweak, &mut e);
+        prop_assert_eq!(&e, &ct, "tracked bitsliced encrypt");
+    }
+
+    /// Page-mode CTR (full 128-bit counter block): every backend,
+    /// tracked and untracked, produces the same stream, including ragged
+    /// tails, and applying it twice is the identity.
+    #[test]
+    fn page_ctr_agrees_across_all_backends(
+        key in key_strategy(),
+        iv in iv_strategy(),
+        len in 1usize..700,
+        seed in any::<u8>(),
+    ) {
+        let pt: Vec<u8> = (0..len).map(|i| seed.wrapping_add((i * 13) as u8)).collect();
+        let table = Aes::new(&key).unwrap();
+        let mut ct = pt.clone();
+        ctr_crypt(&table, &iv, &mut ct);
+
+        let reference = AesRef::new(&key).unwrap();
+        let mut other = pt.clone();
+        ctr_crypt(&reference, &iv, &mut other);
+        prop_assert_eq!(&other, &ct, "reference");
+
+        let bits = BitslicedAes::from_schedule(table.schedule());
+        let mut other = pt.clone();
+        ctr_crypt(&bits, &iv, &mut other);
+        prop_assert_eq!(&other, &ct, "bitsliced");
+
+        let key_size = KeySize::from_key_len(key.len()).unwrap();
+        let mut store = VecStore::new(AesStateLayout::for_key_size(key_size).total_bytes());
+        let tracked = TrackedAes::init(&mut store, &key).unwrap();
+        let mut other = pt.clone();
+        tracked.ctr_crypt(&mut store, &iv, &mut other);
+        prop_assert_eq!(&other, &ct, "tracked table");
+
+        let mut store = VecStore::new(AesStateLayout::bitsliced(key_size).total_bytes());
+        let tracked_bits = TrackedBitslicedAes::init(&mut store, &key).unwrap();
+        let mut other = pt.clone();
+        tracked_bits.ctr_crypt(&mut store, &iv, &mut other);
+        prop_assert_eq!(&other, &ct, "tracked bitsliced");
+
+        // Involution.
+        ctr_crypt(&table, &iv, &mut ct);
+        prop_assert_eq!(&ct, &pt, "ctr twice is identity");
+    }
+
+    /// The cross-extent XTS and CTR streaming paths equal per-extent
+    /// application for arbitrary unit sizes and counts.
+    #[test]
+    fn xts_and_ctr_extents_equal_per_extent(
+        key in key_strategy(),
+        unit_blocks in 1usize..9,
+        units in 1usize..12,
+        seed in any::<u8>(),
+    ) {
+        let unit = unit_blocks * 16;
+        let table = Aes::new(&key).unwrap();
+        let bits = BitslicedAes::from_schedule(table.schedule());
+        let ivs: Vec<[u8; 16]> = (0..units)
+            .map(|i| [seed.wrapping_add((i * 43) as u8); 16])
+            .collect();
+        let pt: Vec<u8> = (0..units * unit).map(|i| seed.wrapping_mul(5).wrapping_add(i as u8)).collect();
+
+        let mut expect = pt.clone();
+        for (iv, chunk) in ivs.iter().zip(expect.chunks_exact_mut(unit)) {
+            xts_encrypt(&table, &table, iv, chunk);
+        }
+        let mut got = pt.clone();
+        xts_crypt_extents(&bits, &bits, true, &ivs, &mut got);
+        prop_assert_eq!(&got, &expect, "xts extents encrypt");
+        xts_crypt_extents(&bits, &bits, false, &ivs, &mut got);
+        prop_assert_eq!(&got, &pt, "xts extents round-trip");
+
+        let mut expect = pt.clone();
+        for (iv, chunk) in ivs.iter().zip(expect.chunks_exact_mut(unit)) {
+            ctr_crypt(&table, iv, chunk);
+        }
+        let mut got = pt.clone();
+        ctr_crypt_extents(&bits, &ivs, &mut got);
+        prop_assert_eq!(&got, &expect, "ctr extents");
+        ctr_crypt_extents(&bits, &ivs, &mut got);
+        prop_assert_eq!(&got, &pt, "ctr extents round-trip");
     }
 
     /// The cross-extent batched decrypt equals per-extent decryption for

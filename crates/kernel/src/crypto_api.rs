@@ -14,8 +14,11 @@
 
 use crate::error::KernelError;
 use crate::layout::CRYPTO_KEYS_BASE;
-use sentry_crypto::modes::{cbc_decrypt, cbc_decrypt_extents, cbc_encrypt, cbc_encrypt_extents};
-use sentry_crypto::{Aes, BitslicedAes};
+use sentry_crypto::modes::{
+    cbc_decrypt, cbc_decrypt_extents, cbc_encrypt, cbc_encrypt_extents, ctr_crypt,
+    ctr_crypt_extents, xts_crypt_extents, xts_decrypt, xts_encrypt,
+};
+use sentry_crypto::{Aes, BitslicedAes, PageCipherMode};
 use sentry_soc::Soc;
 
 /// Where an engine's sensitive key state resides.
@@ -46,14 +49,43 @@ pub trait CipherEngine {
     ///
     /// Implementation-specific; typically invalid key length.
     fn set_key(&mut self, soc: &mut Soc, key: &[u8]) -> Result<(), KernelError>;
-    /// CBC-encrypt `data` in place.
+
+    /// Select the page cipher mode for subsequent operations.
+    ///
+    /// The default implementation accepts only [`PageCipherMode::Cbc`] —
+    /// the mode every engine has always implemented — so legacy engines
+    /// stay correct without changes. Engines that implement the
+    /// parallelizable modes override this.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnsupportedCipherMode`] if the engine does not
+    /// implement `mode`.
+    fn set_mode(&mut self, mode: PageCipherMode) -> Result<(), KernelError> {
+        if mode == PageCipherMode::Cbc {
+            Ok(())
+        } else {
+            Err(KernelError::UnsupportedCipherMode {
+                engine: self.name(),
+                mode: mode.name(),
+            })
+        }
+    }
+
+    /// The currently selected page cipher mode.
+    fn mode(&self) -> PageCipherMode {
+        PageCipherMode::Cbc
+    }
+
+    /// Encrypt `data` in place under the selected mode; `iv` is the CBC
+    /// IV, the XTS tweak, or the initial CTR counter block.
     ///
     /// # Errors
     ///
     /// Fails if no key is installed.
     fn encrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8])
         -> Result<(), KernelError>;
-    /// CBC-decrypt `data` in place.
+    /// Decrypt `data` in place under the selected mode.
     ///
     /// # Errors
     ///
@@ -61,8 +93,9 @@ pub trait CipherEngine {
     fn decrypt(&mut self, soc: &mut Soc, iv: &[u8; 16], data: &mut [u8])
         -> Result<(), KernelError>;
 
-    /// CBC-encrypt a run of `ivs.len()` consecutive equal-sized extents
-    /// laid out back-to-back in `data`, the `i`-th chained from `ivs[i]`.
+    /// Encrypt a run of `ivs.len()` consecutive equal-sized extents laid
+    /// out back-to-back in `data`, the `i`-th keyed from `ivs[i]` (its
+    /// CBC IV, XTS tweak, or CTR counter base, per the selected mode).
     ///
     /// This is how multi-sector dm-crypt requests and whole-pager sweeps
     /// reach an engine: one call per request instead of one per unit, so
@@ -100,7 +133,7 @@ pub trait CipherEngine {
         Ok(())
     }
 
-    /// CBC-decrypt a run of consecutive extents; the counterpart of
+    /// Decrypt a run of consecutive extents; the counterpart of
     /// [`Self::encrypt_extent`], with the same layout contract.
     ///
     /// # Errors
@@ -232,6 +265,8 @@ pub struct GenericAesEngine {
     /// and stays on the scalar implementation, while multi-extent
     /// encryption fills the lanes with independent per-extent chains.
     bits: Option<BitslicedAes>,
+    /// Selected page cipher mode; all three are implemented.
+    mode: PageCipherMode,
     /// DRAM slot index for this engine's key material.
     slot: u64,
 }
@@ -254,6 +289,7 @@ impl GenericAesEngine {
         GenericAesEngine {
             aes: None,
             bits: None,
+            mode: PageCipherMode::Cbc,
             slot,
         }
     }
@@ -315,14 +351,34 @@ impl CipherEngine for GenericAesEngine {
         Ok(())
     }
 
+    fn set_mode(&mut self, mode: PageCipherMode) -> Result<(), KernelError> {
+        self.mode = mode;
+        Ok(())
+    }
+
+    fn mode(&self) -> PageCipherMode {
+        self.mode
+    }
+
     fn encrypt(
         &mut self,
         soc: &mut Soc,
         iv: &[u8; 16],
         data: &mut [u8],
     ) -> Result<(), KernelError> {
-        let aes = self.ready()?;
-        cbc_encrypt(aes, iv, data);
+        self.ready()?;
+        match self.mode {
+            // CBC encryption is serially chained; the scalar path is the
+            // fastest single-chain implementation.
+            PageCipherMode::Cbc => cbc_encrypt(self.ready()?, iv, data),
+            // XTS/CTR are block-parallel in both directions: run the
+            // batched bitsliced kernel at full width.
+            PageCipherMode::Xts => {
+                let bits = self.ready_bits()?;
+                xts_encrypt(bits, bits, iv, data);
+            }
+            PageCipherMode::Ctr => ctr_crypt(self.ready_bits()?, iv, data),
+        }
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
         Ok(())
     }
@@ -334,7 +390,14 @@ impl CipherEngine for GenericAesEngine {
         data: &mut [u8],
     ) -> Result<(), KernelError> {
         self.ready()?;
-        cbc_decrypt(self.ready_bits()?, iv, data);
+        match self.mode {
+            PageCipherMode::Cbc => cbc_decrypt(self.ready_bits()?, iv, data),
+            PageCipherMode::Xts => {
+                let bits = self.ready_bits()?;
+                xts_decrypt(bits, bits, iv, data);
+            }
+            PageCipherMode::Ctr => ctr_crypt(self.ready_bits()?, iv, data),
+        }
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
         Ok(())
     }
@@ -354,14 +417,24 @@ impl CipherEngine for GenericAesEngine {
             "data does not divide into {} extents",
             ivs.len()
         );
-        // CBC encryption is serially chained *within* each extent but the
-        // extents are independent chains, so a multi-extent request fills
-        // the bitsliced lanes with one chain each. A single extent has
-        // nothing to batch against and stays on the scalar chain loop.
-        if ivs.len() == 1 {
-            cbc_encrypt(self.ready()?, &ivs[0], data);
-        } else {
-            cbc_encrypt_extents(self.ready_bits()?, ivs, data);
+        match self.mode {
+            // CBC encryption is serially chained *within* each extent but
+            // the extents are independent chains, so a multi-extent
+            // request fills the bitsliced lanes with one chain each. A
+            // single extent has nothing to batch against and stays on the
+            // scalar chain loop.
+            PageCipherMode::Cbc => {
+                if ivs.len() == 1 {
+                    cbc_encrypt(self.ready()?, &ivs[0], data);
+                } else {
+                    cbc_encrypt_extents(self.ready_bits()?, ivs, data);
+                }
+            }
+            PageCipherMode::Xts => {
+                let bits = self.ready_bits()?;
+                xts_crypt_extents(bits, bits, true, ivs, data);
+            }
+            PageCipherMode::Ctr => ctr_crypt_extents(self.ready_bits()?, ivs, data),
         }
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
         Ok(())
@@ -376,7 +449,14 @@ impl CipherEngine for GenericAesEngine {
         // One batched kernel stream across all extents: sub-batch units
         // (512-byte sectors are 32 blocks) no longer drain the 16-block
         // pipeline at every unit boundary.
-        cbc_decrypt_extents(self.ready_bits()?, ivs, data);
+        match self.mode {
+            PageCipherMode::Cbc => cbc_decrypt_extents(self.ready_bits()?, ivs, data),
+            PageCipherMode::Xts => {
+                let bits = self.ready_bits()?;
+                xts_crypt_extents(bits, bits, false, ivs, data);
+            }
+            PageCipherMode::Ctr => ctr_crypt_extents(self.ready_bits()?, ivs, data),
+        }
         soc.clock.advance(Self::cbc_cost_ns(soc, data.len()));
         Ok(())
     }
@@ -546,6 +626,54 @@ mod tests {
 
         // Degenerate case.
         generic.encrypt_extent(&mut soc, &[], &mut []).unwrap();
+    }
+
+    #[test]
+    fn generic_engine_supports_all_modes_accel_is_cbc_only() {
+        let mut soc = Soc::tegra3_small();
+        let mut eng = GenericAesEngine::new(0);
+        eng.set_key(&mut soc, &[0x31u8; 16]).unwrap();
+        let iv = [0x77u8; 16];
+        let pt: Vec<u8> = (0..4096).map(|i| (i * 3) as u8).collect();
+
+        let mut per_mode = Vec::new();
+        for mode in PageCipherMode::all() {
+            eng.set_mode(mode).unwrap();
+            assert_eq!(eng.mode(), mode);
+            let mut data = pt.clone();
+            eng.encrypt(&mut soc, &iv, &mut data).unwrap();
+            assert_ne!(data, pt, "{mode} encrypt is not a noop");
+            per_mode.push(data.clone());
+            eng.decrypt(&mut soc, &iv, &mut data).unwrap();
+            assert_eq!(data, pt, "{mode} round-trip");
+
+            // Extent paths agree with the single-buffer path per unit.
+            let ivs = [[1u8; 16], [2u8; 16]];
+            let mut ext: Vec<u8> = pt.iter().chain(pt.iter()).copied().collect();
+            eng.encrypt_extent(&mut soc, &ivs, &mut ext).unwrap();
+            let mut want = pt.clone();
+            eng.encrypt(&mut soc, &ivs[1], &mut want).unwrap();
+            assert_eq!(&ext[4096..], &want[..], "{mode} extent vs single");
+            eng.decrypt_extent(&mut soc, &ivs, &mut ext).unwrap();
+            assert!(
+                ext.chunks(4096).all(|c| c == &pt[..]),
+                "{mode} extent round-trip"
+            );
+        }
+        // The three modes produce three different ciphertexts.
+        assert_ne!(per_mode[0], per_mode[1]);
+        assert_ne!(per_mode[0], per_mode[2]);
+        assert_ne!(per_mode[1], per_mode[2]);
+
+        let mut hw = AccelAesEngine::new();
+        assert!(hw.set_mode(PageCipherMode::Cbc).is_ok());
+        assert!(matches!(
+            hw.set_mode(PageCipherMode::Xts),
+            Err(KernelError::UnsupportedCipherMode {
+                engine: "aes-cbc-hw",
+                mode: "xts"
+            })
+        ));
     }
 
     #[test]

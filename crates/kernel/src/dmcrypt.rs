@@ -315,6 +315,40 @@ mod tests {
     }
 
     #[test]
+    fn xts_mode_roundtrips_and_rejects_spliced_sectors() {
+        // Under the XTS page cipher the per-sector tweak is the same
+        // plain64 IV, so ciphertext moved between sectors decrypts under
+        // the wrong tweak — and the sector CMAC (which binds the IV)
+        // rejects it before decryption is even attempted.
+        let (mut api, mut soc, mut disk, dm) = setup();
+        api.preferred_mut()
+            .unwrap()
+            .set_mode(sentry_crypto::PageCipherMode::Xts)
+            .unwrap();
+        dm.set_key(&mut api, &mut soc, &[9u8; 16]).unwrap();
+
+        let data: Vec<u8> = (0..SECTOR_SIZE * 2).map(|i| (i * 13) as u8).collect();
+        dm.write(&mut api, &mut soc, &mut disk, 7, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        dm.read(&mut api, &mut soc, &mut disk, 7, &mut back)
+            .unwrap();
+        assert_eq!(back, data, "XTS roundtrip through dm-crypt");
+
+        // Swap the two valid ciphertext sectors behind dm-crypt's back.
+        let mut clock = sentry_soc::SimClock::new();
+        let (mut a, mut b) = (vec![0u8; SECTOR_SIZE], vec![0u8; SECTOR_SIZE]);
+        disk.read_sectors(7, &mut a, &mut clock).unwrap();
+        disk.read_sectors(8, &mut b, &mut clock).unwrap();
+        disk.write_sectors(7, &b, &mut clock).unwrap();
+        disk.write_sectors(8, &a, &mut clock).unwrap();
+
+        let err = dm
+            .read(&mut api, &mut soc, &mut disk, 7, &mut back)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::SectorTamper { sector: 7, .. }));
+    }
+
+    #[test]
     fn unwritten_sectors_pass_through_unverified() {
         // No tag was ever recorded for sector 99, so reading it (e.g. a
         // filesystem probing unformatted space) is not a tamper event.

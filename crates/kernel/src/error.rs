@@ -29,6 +29,14 @@ pub enum KernelError {
         /// Name of the engine that refused.
         engine: &'static str,
     },
+    /// A cipher engine was asked to switch to a page cipher mode it does
+    /// not implement.
+    UnsupportedCipherMode {
+        /// Name of the engine that refused.
+        engine: &'static str,
+        /// Name of the requested mode.
+        mode: &'static str,
+    },
     /// A block request fell outside the device.
     BlockOutOfRange {
         /// The offending sector.
@@ -70,6 +78,9 @@ impl fmt::Display for KernelError {
             KernelError::InvalidKey(_) => write!(f, "cipher engine rejected the key"),
             KernelError::NoKeyInstalled { engine } => {
                 write!(f, "cipher engine {engine:?} has no key installed")
+            }
+            KernelError::UnsupportedCipherMode { engine, mode } => {
+                write!(f, "cipher engine {engine:?} does not support mode {mode:?}")
             }
             KernelError::BlockOutOfRange { sector } => {
                 write!(f, "sector {sector} outside block device")

@@ -7,8 +7,12 @@ use proptest::prelude::*;
 use sentry::core::aes_onsoc::build_engine;
 use sentry::core::config::OnSocBackend;
 use sentry::core::onsoc::OnSocStore;
-use sentry::crypto::modes::{cbc_decrypt, cbc_encrypt, ctr_xor, ecb_encrypt};
-use sentry::crypto::{Aes, AesRef, AesStateLayout, KeySize, TrackedAes, VecStore};
+use sentry::crypto::modes::{
+    cbc_decrypt, cbc_encrypt, ctr_crypt, ctr_xor, ecb_encrypt, xts_decrypt, xts_encrypt,
+};
+use sentry::crypto::{
+    Aes, AesRef, AesStateLayout, BitslicedAes, KeySize, PageCipherMode, TrackedAes, VecStore,
+};
 use sentry::kernel::crypto_api::{CipherEngine, GenericAesEngine};
 use sentry::soc::Soc;
 
@@ -62,6 +66,129 @@ proptest! {
             onsoc.decrypt(&mut soc, &iv, &mut data2).unwrap();
             prop_assert_eq!(&data2, &data);
         }
+    }
+
+    #[test]
+    fn all_implementations_agree_on_xts(
+        key in vec(any::<u8>(), 16..=16),
+        tweak in vec(any::<u8>(), 16..=16),
+        blocks in 1usize..16,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..blocks * 16).map(|i| (i as u8).wrapping_mul(37) ^ seed).collect();
+        let tweak: [u8; 16] = tweak.try_into().unwrap();
+
+        // 1. Fast table-driven (single-key XEX discipline: the tweak
+        //    cipher is the data cipher, as the engines use it).
+        let fast_aes = Aes::new(&key).unwrap();
+        let mut fast = data.clone();
+        xts_encrypt(&fast_aes, &fast_aes, &tweak, &mut fast);
+
+        // 2. Reference spec implementation.
+        let ref_aes = AesRef::new(&key).unwrap();
+        let mut reference = data.clone();
+        xts_encrypt(&ref_aes, &ref_aes, &tweak, &mut reference);
+        prop_assert_eq!(&fast, &reference);
+
+        // 3. Bitsliced batch backend — the lock path's lanes.
+        let bits = BitslicedAes::from_schedule(fast_aes.schedule());
+        let mut bs = data.clone();
+        xts_encrypt(&bits, &bits, &tweak, &mut bs);
+        prop_assert_eq!(&fast, &bs);
+
+        // 4. Tracked through a plain store.
+        let layout = AesStateLayout::for_key_size(KeySize::Aes128);
+        let mut store = VecStore::new(layout.total_bytes());
+        let tracked = TrackedAes::init(&mut store, &key).unwrap();
+        let mut tr = data.clone();
+        tracked.xts_encrypt(&mut store, &tweak, &mut tr);
+        prop_assert_eq!(&fast, &tr);
+
+        // 5. The generic kernel engine, switched into XTS.
+        let mut soc = Soc::tegra3_small();
+        let mut engine = GenericAesEngine::new(0);
+        engine.set_mode(PageCipherMode::Xts).unwrap();
+        engine.set_key(&mut soc, &key).unwrap();
+        let mut eng = data.clone();
+        engine.encrypt(&mut soc, &tweak, &mut eng).unwrap();
+        prop_assert_eq!(&fast, &eng);
+
+        // 6. AES On SoC, both backends.
+        for backend in [OnSocBackend::Iram, OnSocBackend::LockedL2 { max_ways: 1 }] {
+            let mut soc = Soc::tegra3_small();
+            let mut os = OnSocStore::new(backend, &mut soc).unwrap();
+            let mut onsoc = build_engine(&mut os, &mut soc, &key).unwrap();
+            onsoc.set_mode(PageCipherMode::Xts).unwrap();
+            let mut data2 = data.clone();
+            onsoc.encrypt(&mut soc, &tweak, &mut data2).unwrap();
+            prop_assert_eq!(&fast, &data2);
+            onsoc.decrypt(&mut soc, &tweak, &mut data2).unwrap();
+            prop_assert_eq!(&data2, &data);
+        }
+
+        // And the mode inverts at the modes level too.
+        xts_decrypt(&fast_aes, &fast_aes, &tweak, &mut fast);
+        prop_assert_eq!(&fast, &data);
+    }
+
+    #[test]
+    fn all_implementations_agree_on_page_ctr(
+        key in vec(any::<u8>(), 16..=16),
+        iv in vec(any::<u8>(), 16..=16),
+        blocks in 1usize..16,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..blocks * 16).map(|i| (i as u8).wrapping_mul(41) ^ seed).collect();
+        let iv: [u8; 16] = iv.try_into().unwrap();
+
+        // 1. Fast table-driven.
+        let fast_aes = Aes::new(&key).unwrap();
+        let mut fast = data.clone();
+        ctr_crypt(&fast_aes, &iv, &mut fast);
+
+        // 2. Reference spec implementation.
+        let mut reference = data.clone();
+        ctr_crypt(&AesRef::new(&key).unwrap(), &iv, &mut reference);
+        prop_assert_eq!(&fast, &reference);
+
+        // 3. Bitsliced batch backend.
+        let bits = BitslicedAes::from_schedule(fast_aes.schedule());
+        let mut bs = data.clone();
+        ctr_crypt(&bits, &iv, &mut bs);
+        prop_assert_eq!(&fast, &bs);
+
+        // 4. Tracked through a plain store.
+        let layout = AesStateLayout::for_key_size(KeySize::Aes128);
+        let mut store = VecStore::new(layout.total_bytes());
+        let tracked = TrackedAes::init(&mut store, &key).unwrap();
+        let mut tr = data.clone();
+        tracked.ctr_crypt(&mut store, &iv, &mut tr);
+        prop_assert_eq!(&fast, &tr);
+
+        // 5. The generic kernel engine, switched into CTR.
+        let mut soc = Soc::tegra3_small();
+        let mut engine = GenericAesEngine::new(0);
+        engine.set_mode(PageCipherMode::Ctr).unwrap();
+        engine.set_key(&mut soc, &key).unwrap();
+        let mut eng = data.clone();
+        engine.encrypt(&mut soc, &iv, &mut eng).unwrap();
+        prop_assert_eq!(&fast, &eng);
+
+        // 6. AES On SoC, both backends; CTR is its own inverse.
+        for backend in [OnSocBackend::Iram, OnSocBackend::LockedL2 { max_ways: 1 }] {
+            let mut soc = Soc::tegra3_small();
+            let mut os = OnSocStore::new(backend, &mut soc).unwrap();
+            let mut onsoc = build_engine(&mut os, &mut soc, &key).unwrap();
+            onsoc.set_mode(PageCipherMode::Ctr).unwrap();
+            let mut data2 = data.clone();
+            onsoc.encrypt(&mut soc, &iv, &mut data2).unwrap();
+            prop_assert_eq!(&fast, &data2);
+            onsoc.decrypt(&mut soc, &iv, &mut data2).unwrap();
+            prop_assert_eq!(&data2, &data);
+        }
+
+        ctr_crypt(&fast_aes, &iv, &mut fast);
+        prop_assert_eq!(&fast, &data);
     }
 
     #[test]

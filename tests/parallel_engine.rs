@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use sentry::core::config::ParallelConfig;
 use sentry::core::{Sentry, SentryConfig};
 use sentry::crypto::parallel::{crypt_batch, Direction, PageJob};
-use sentry::crypto::Aes;
+use sentry::crypto::{Aes, PageCipherMode};
 use sentry::kernel::Kernel;
 use sentry::soc::Soc;
 
@@ -24,7 +24,13 @@ fn pages_from_seed(count: usize, seed: u64) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn run_batch(pages: &[Vec<u8>], key: &[u8], direction: Direction, workers: usize) -> Vec<Vec<u8>> {
+fn run_batch(
+    pages: &[Vec<u8>],
+    key: &[u8],
+    mode: PageCipherMode,
+    direction: Direction,
+    workers: usize,
+) -> Vec<Vec<u8>> {
     let aes = Aes::new(key).unwrap();
     let mut work = pages.to_vec();
     let mut jobs: Vec<PageJob<'_>> = work
@@ -35,7 +41,7 @@ fn run_batch(pages: &[Vec<u8>], key: &[u8], direction: Direction, workers: usize
             data: p.as_mut_slice(),
         })
         .collect();
-    crypt_batch(&aes, direction, &mut jobs, workers, 1).unwrap();
+    crypt_batch(&aes, mode, direction, &mut jobs, workers, 1).unwrap();
     work
 }
 
@@ -49,15 +55,17 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let plain = pages_from_seed(pages, seed);
-        let reference = run_batch(&plain, &key, Direction::Encrypt, 1);
-        for workers in [2usize, 4, 8] {
-            let got = run_batch(&plain, &key, Direction::Encrypt, workers);
-            prop_assert_eq!(&got, &reference, "{} workers diverged", workers);
+        for mode in PageCipherMode::all() {
+            let reference = run_batch(&plain, &key, mode, Direction::Encrypt, 1);
+            for workers in [2usize, 4, 8] {
+                let got = run_batch(&plain, &key, mode, Direction::Encrypt, workers);
+                prop_assert_eq!(&got, &reference, "{} workers diverged under {}", workers, mode);
+            }
+            // And the inverse direction agrees too, across a different
+            // worker count than the one that encrypted.
+            let back = run_batch(&reference, &key, mode, Direction::Decrypt, 4);
+            prop_assert_eq!(&back, &plain, "decrypt under {} lost bytes", mode);
         }
-        // And the inverse direction agrees too, across a different
-        // worker count than the one that encrypted.
-        let back = run_batch(&reference, &key, Direction::Decrypt, 4);
-        prop_assert_eq!(&back, &plain);
     }
 
     #[test]
@@ -76,7 +84,7 @@ proptest! {
             .enumerate()
             .map(|(i, p)| PageJob { iv: [i as u8; 16], data: p.as_mut_slice() })
             .collect();
-        let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, workers, 1).unwrap();
+        let rep = crypt_batch(&aes, PageCipherMode::Cbc, Direction::Encrypt, &mut jobs, workers, 1).unwrap();
         prop_assert_eq!(rep.pages, pages);
         prop_assert_eq!(rep.bytes, pages as u64 * 4096);
         prop_assert_eq!(rep.per_worker_bytes.iter().sum::<u64>(), rep.bytes);
@@ -87,7 +95,7 @@ proptest! {
             .enumerate()
             .map(|(i, p)| PageJob { iv: [i as u8; 16], data: p.as_mut_slice() })
             .collect();
-        crypt_batch(&aes, Direction::Decrypt, &mut jobs, workers, 1).unwrap();
+        crypt_batch(&aes, PageCipherMode::Cbc, Direction::Decrypt, &mut jobs, workers, 1).unwrap();
         prop_assert_eq!(work, plain);
     }
 }
@@ -105,7 +113,15 @@ fn below_floor_batches_take_the_sequential_fallback() {
             data: p.as_mut_slice(),
         })
         .collect();
-    let rep = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 8, 6).unwrap();
+    let rep = crypt_batch(
+        &aes,
+        PageCipherMode::Cbc,
+        Direction::Encrypt,
+        &mut jobs,
+        8,
+        6,
+    )
+    .unwrap();
     assert!(
         rep.sequential_fallback,
         "5 pages < floor of 6 must not fan out"
@@ -121,7 +137,15 @@ fn below_floor_batches_take_the_sequential_fallback() {
             data: p.as_mut_slice(),
         })
         .collect();
-    let rep2 = crypt_batch(&aes, Direction::Encrypt, &mut jobs, 5, 1).unwrap();
+    let rep2 = crypt_batch(
+        &aes,
+        PageCipherMode::Cbc,
+        Direction::Encrypt,
+        &mut jobs,
+        5,
+        1,
+    )
+    .unwrap();
     assert!(!rep2.sequential_fallback);
     assert_eq!(work, par, "fallback and fan-out bytes differ");
 }
@@ -131,13 +155,15 @@ fn full_lock_path_is_worker_invariant_end_to_end() {
     // Same app, same writes, different worker counts: every DRAM frame
     // must hold identical ciphertext after lock, and unlocked reads must
     // return the original data.
-    let image_with = |workers: usize| {
+    let image_with = |workers: usize, mode: PageCipherMode| {
         let mut s = Sentry::new(
             Kernel::new(Soc::tegra3_small()),
-            SentryConfig::tegra3_locked_l2(2).with_parallel(ParallelConfig {
-                workers,
-                min_batch_pages: 1,
-            }),
+            SentryConfig::tegra3_locked_l2(2)
+                .with_cipher_mode(mode)
+                .with_parallel(ParallelConfig {
+                    workers,
+                    min_batch_pages: 1,
+                }),
         )
         .unwrap();
         let pid = s.kernel.spawn("app");
@@ -159,8 +185,14 @@ fn full_lock_path_is_worker_invariant_end_to_end() {
         assert_eq!(back, data, "{workers} workers corrupted data");
         image
     };
-    let reference = image_with(1);
-    for workers in [2usize, 4, 8] {
-        assert_eq!(image_with(workers), reference, "{workers} workers diverged");
+    for mode in PageCipherMode::all() {
+        let reference = image_with(1, mode);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(
+                image_with(workers, mode),
+                reference,
+                "{workers} workers diverged under {mode}"
+            );
+        }
     }
 }
