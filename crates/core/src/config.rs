@@ -1,6 +1,6 @@
 //! Sentry configuration.
 
-pub use sentry_crypto::PageCipherMode;
+pub use sentry_crypto::{PageCipherMode, PipelineConfig};
 
 /// Which on-SoC storage backs Sentry's secrets (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +164,11 @@ pub struct SentryConfig {
     /// CBC is the paper's mode; XTS and CTR fill every bitsliced lane on
     /// encrypt as well as decrypt (see `sentry_crypto::modes`).
     pub cipher_mode: PageCipherMode,
+    /// Asynchronous crypt-pipeline tuning: keystream precompute for the
+    /// dm-crypt read path and accelerator-queue routing for lifecycle
+    /// decrypt batches (see `sentry_crypto::pipeline`). Disabled by
+    /// default — the paper's fully inline behaviour.
+    pub pipeline: PipelineConfig,
     /// Whether sensitive apps may run in the background while locked
     /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
     /// Without it, sensitive apps are parked unschedulable on lock (the
@@ -194,6 +199,7 @@ impl SentryConfig {
             readahead: ReadaheadConfig::default(),
             integrity: IntegrityConfig::default(),
             cipher_mode: PageCipherMode::Cbc,
+            pipeline: PipelineConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -208,6 +214,7 @@ impl SentryConfig {
             readahead: ReadaheadConfig::default(),
             integrity: IntegrityConfig::default(),
             cipher_mode: PageCipherMode::Cbc,
+            pipeline: PipelineConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -224,6 +231,7 @@ impl SentryConfig {
             readahead: ReadaheadConfig::default(),
             integrity: IntegrityConfig::default(),
             cipher_mode: PageCipherMode::Cbc,
+            pipeline: PipelineConfig::default(),
             background_support: false,
             slot_limit: None,
         }
@@ -269,6 +277,14 @@ impl SentryConfig {
     #[must_use]
     pub fn with_cipher_mode(mut self, mode: PageCipherMode) -> Self {
         self.cipher_mode = mode;
+        self
+    }
+
+    /// Set the asynchronous crypt-pipeline tuning (see
+    /// [`PipelineConfig`]).
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
         self
     }
 

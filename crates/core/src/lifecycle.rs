@@ -18,11 +18,13 @@ use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
 use crate::txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_crypto::parallel::{crypt_batch, BatchReport, Direction, PageJob};
-use sentry_crypto::{Aes, CryptoError};
+use sentry_crypto::{Aes, CryptoError, FallbackReason, PageCipherMode};
 use sentry_kernel::crypto_api::CipherEngine;
 use sentry_kernel::fault::{FaultResolution, PageFault};
+use sentry_kernel::layout::{ACCEL_DMA_BASE, ACCEL_DMA_CONTROLLER, ACCEL_DMA_SIZE};
 use sentry_kernel::pagetable::{Backing, Pte, Sharing};
 use sentry_kernel::{Kernel, KernelError, Pid};
+use sentry_soc::accel::AccelPowerState;
 use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, PAGE_SIZE};
 
 /// Whether the device screen is locked.
@@ -103,6 +105,23 @@ pub struct LifecycleStats {
     /// Retry budgets exhausted (each one surfaced a typed
     /// [`SentryError::RetriesExhausted`] to the caller).
     pub retries_exhausted: u64,
+    /// Decrypt batches routed through the accelerator queue (pipeline
+    /// routing enabled, accelerator Awake, non-chaining cipher mode).
+    pub routed_batches: u64,
+    /// Pages across all accelerator-routed decrypt batches.
+    pub routed_batch_pages: u64,
+    /// Time the CPU stalled waiting on routed batch completions.
+    pub routed_stall_ns: u64,
+    /// Batches that fell back inline because the accelerator clock was
+    /// down-scaled (device locked, §8.2).
+    pub batch_fallback_down_scaled: u64,
+    /// Batches that fell back inline because the configured cipher mode
+    /// is chaining (CBC) and the keystream/extent queue path needs a
+    /// counter-style mode.
+    pub batch_fallback_unsupported_mode: u64,
+    /// Batches below the routing threshold (a lone page keeps the exact
+    /// single-page dispatch).
+    pub batch_fallback_below_threshold: u64,
 }
 
 /// What one background sweeper step did.
@@ -500,6 +519,84 @@ impl Sentry {
         Ok((tags, report))
     }
 
+    /// Dispatch a decrypt batch either inline ([`Sentry::crypt_buffers`])
+    /// or through the accelerator queue, per
+    /// [`crate::config::SentryConfig::pipeline`].
+    ///
+    /// Routing keeps the *functional* transform on the host path — the
+    /// batched bitsliced kernel produces exactly the bytes the engine
+    /// model would — and substitutes the accelerator-queue completion
+    /// horizon for the CPU charge via `set_now_ns` (the sanctioned
+    /// cost-substitution convention; see `SimClock::set_now_ns`). The
+    /// ciphertext is staged through the DMA bounce window *before* the
+    /// `accel.dma` failpoint and the plaintext written back only after
+    /// the queue completes, so accelerator traffic stays visible to a
+    /// bus monitor and a power cut mid-operation leaves only ciphertext
+    /// in the window.
+    ///
+    /// Typed fallbacks (counted on [`LifecycleStats`]): a chaining
+    /// cipher mode ([`FallbackReason::UnsupportedCipherMode`]), a
+    /// down-scaled accelerator clock while the device is locked
+    /// ([`FallbackReason::AccelDownScaled`], §8.2), and batches too
+    /// small to amortise descriptor setup
+    /// ([`FallbackReason::BelowThreshold`]).
+    fn route_or_crypt_decrypt(
+        &mut self,
+        jobs: &[(u64, [u8; 16])],
+        buf: &mut [u8],
+    ) -> Result<(Vec<[u8; 16]>, BatchReport), SentryError> {
+        let p = self.config.pipeline;
+        if !(p.enabled && p.route_lifecycle_batches) || jobs.is_empty() {
+            return self.crypt_buffers(Direction::Decrypt, jobs, buf);
+        }
+        let reason = if self.config.cipher_mode == PageCipherMode::Cbc {
+            Some(FallbackReason::UnsupportedCipherMode)
+        } else if self.kernel.soc.accel.state != AccelPowerState::Awake {
+            Some(FallbackReason::AccelDownScaled)
+        } else if jobs.len() < 2 {
+            Some(FallbackReason::BelowThreshold)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            match reason {
+                FallbackReason::AccelDownScaled => self.stats.batch_fallback_down_scaled += 1,
+                FallbackReason::UnsupportedCipherMode => {
+                    self.stats.batch_fallback_unsupported_mode += 1;
+                }
+                _ => self.stats.batch_fallback_below_threshold += 1,
+            }
+            return self.crypt_buffers(Direction::Decrypt, jobs, buf);
+        }
+
+        // Stage the ciphertext and submit the descriptor. The queue
+        // captures the engine's clock state *now*, so a batch submitted
+        // while Awake keeps its throughput even if the device locks
+        // (and down-scales the accelerator) before it completes.
+        let soc = &mut self.kernel.soc;
+        let staged = buf.len().min(ACCEL_DMA_SIZE as usize);
+        soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &buf[..staged])?;
+        soc.failpoint("accel.dma")?;
+        let t0 = soc.clock.now_ns();
+        let id = soc.accel_queue.submit(&soc.accel, t0, buf.len() as u64);
+
+        // Functional transform on the host path (same bytes the engine
+        // would produce); its CPU charge — including any parallel-lane
+        // critical-section advance — is then replaced wholesale by the
+        // queue completion, because the lifecycle batch blocks on the
+        // result: elapsed time is exactly the engine's horizon.
+        let (tags, report) = self.crypt_buffers(Direction::Decrypt, jobs, buf)?;
+        let soc = &mut self.kernel.soc;
+        soc.clock.set_now_ns(t0);
+        let stall = soc.accel_queue.wait(id, &mut soc.clock);
+        // Plaintext lands in the bounce window only at completion.
+        soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &buf[..staged])?;
+        self.stats.routed_batches += 1;
+        self.stats.routed_batch_pages += jobs.len() as u64;
+        self.stats.routed_stall_ns += stall;
+        Ok((tags, report))
+    }
+
     /// The IV a frame's ciphertext was produced under: shared frames
     /// were encrypted under the *first* sharer's mapping identity, at
     /// the epoch stored in the IV owner's PTE; private frames under
@@ -601,7 +698,7 @@ impl Sentry {
                 }
             }
         }
-        let (tags, _report) = self.crypt_buffers(Direction::Decrypt, &jobs, &mut buf)?;
+        let (tags, _report) = self.route_or_crypt_decrypt(&jobs, &mut buf)?;
 
         // Publish in journaled chunks. Decrypt order is flip-first: the
         // PTE's encrypted bit clears *before* the plaintext lands in the
@@ -850,6 +947,13 @@ impl Sentry {
             });
         }
         self.kernel.soc.failpoint("lock.begin")?;
+        // Screen off ⇒ the power manager down-scales the accelerator
+        // clock (§8.2) *before* the encrypt sweep runs, so
+        // encrypt-on-lock models locked throughput — Figure 11's
+        // slow-when-locked band — instead of silently keeping Awake
+        // speed. Descriptors already in the queue keep the clock state
+        // they were submitted under.
+        self.kernel.soc.accel.state = AccelPowerState::DownScaled;
         let t0 = self.kernel.soc.clock.now_ns();
         // This cycle's epoch, computed locally and committed only in the
         // atomic tail: a transition killed mid-flight leaves lock_epoch
@@ -1104,6 +1208,9 @@ impl Sentry {
             });
         }
         self.kernel.soc.failpoint("unlock.begin")?;
+        // Screen on ⇒ clocks restored: the eager DMA-region decrypt and
+        // everything after it run at Awake accelerator throughput.
+        self.kernel.soc.accel.state = AccelPowerState::Awake;
         let t0 = self.kernel.soc.clock.now_ns();
         // DMA regions are decrypted eagerly and batched like the lock
         // path: collect every (frame, iv) job first, dispatch once.
@@ -1187,7 +1294,7 @@ impl Sentry {
                 },
             )
         } else {
-            self.crypt_buffers(Direction::Decrypt, &jobs, &mut buf)?
+            self.route_or_crypt_decrypt(&jobs, &mut buf)?
         };
 
         // Journaled publish, flip-first (see `decrypt_gathered`).
@@ -1961,6 +2068,121 @@ mod tests {
             .get(1)
             .unwrap()
             .traps());
+    }
+
+    #[test]
+    fn lock_downscales_accel_clock_figure_11() {
+        let mut s = tegra_sentry();
+        let pid = s.kernel.spawn("twitter");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[9u8; 2 * 4096]).unwrap();
+        s.kernel.soc.accel.state = AccelPowerState::Awake;
+        let awake_ns = s.kernel.soc.accel.op_duration_ns(PAGE_SIZE);
+
+        s.on_lock().unwrap();
+        assert_eq!(
+            s.kernel.soc.accel.state,
+            AccelPowerState::DownScaled,
+            "encrypt-on-lock must run under the down-scaled clock (§8.2)"
+        );
+        let locked_ns = s.kernel.soc.accel.op_duration_ns(PAGE_SIZE);
+        assert!(
+            locked_ns >= 3 * awake_ns,
+            "Figure 11: accelerator ops while locked must be several \
+             times slower ({locked_ns} ns locked vs {awake_ns} ns awake)"
+        );
+
+        s.on_unlock().unwrap();
+        assert_eq!(s.kernel.soc.accel.state, AccelPowerState::Awake);
+    }
+
+    #[test]
+    fn unlock_batches_route_through_accel_queue_when_enabled() {
+        use crate::config::PipelineConfig;
+        let config = SentryConfig::tegra3_locked_l2(2)
+            .with_cipher_mode(PageCipherMode::Ctr)
+            .with_pipeline(PipelineConfig::enabled());
+        let mut s = Sentry::new(Kernel::new(Soc::tegra3_small()), config).unwrap();
+        let pid = s.kernel.spawn("maps");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..255u8).cycle().take(3 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        for vpn in 0..3 {
+            s.kernel
+                .proc_mut(pid)
+                .unwrap()
+                .page_table
+                .get_mut(vpn)
+                .unwrap()
+                .dma_region = true;
+        }
+        s.on_lock().unwrap();
+        let report = s.on_unlock().unwrap();
+        assert_eq!(report.eager_bytes_decrypted, 3 * 4096);
+        assert_eq!(
+            s.stats.routed_batches, 1,
+            "the eager unlock batch must ride the accelerator queue"
+        );
+        assert_eq!(s.stats.routed_batch_pages, 3);
+        assert!(s.kernel.soc.accel_queue.stats.ops >= 1);
+        let mut back = vec![0u8; data.len()];
+        s.read(pid, 0, &mut back).unwrap();
+        assert_eq!(back, data, "routed decrypt must be byte-identical");
+    }
+
+    #[test]
+    fn locked_fault_clusters_fall_back_with_down_scaled_reason() {
+        use crate::config::{PipelineConfig, ReadaheadConfig};
+        let config = SentryConfig::tegra3_locked_l2(2)
+            .with_cipher_mode(PageCipherMode::Ctr)
+            .with_pipeline(PipelineConfig::enabled())
+            .with_readahead(ReadaheadConfig::with_cluster(4));
+        let mut s = Sentry::new(Kernel::new(Soc::tegra3_small()), config).unwrap();
+        let pid = s.kernel.spawn("mail");
+        s.mark_sensitive(pid).unwrap();
+        let data: Vec<u8> = (0..251u8).cycle().take(4 * 4096).collect();
+        s.write(pid, 0, &data).unwrap();
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+        // Unlock restored the Awake clock; model a thermal/PM down-scale
+        // before the lazy faults arrive. The fault cluster pulls a batch
+        // through `decrypt_gathered`, which must take the typed inline
+        // fallback, not the queue.
+        s.kernel.soc.accel.state = AccelPowerState::DownScaled;
+        let mut probe = vec![0u8; 4 * 4096];
+        s.read(pid, 0, &mut probe).unwrap();
+        assert_eq!(probe, data);
+        assert_eq!(s.stats.routed_batches, 0);
+        assert!(
+            s.stats.batch_fallback_down_scaled >= 1,
+            "locked-state batches must record the DownScaled fallback"
+        );
+    }
+
+    #[test]
+    fn cbc_batches_fall_back_with_unsupported_mode_reason() {
+        use crate::config::PipelineConfig;
+        let config = SentryConfig::tegra3_locked_l2(2).with_pipeline(PipelineConfig::enabled());
+        let mut s = Sentry::new(Kernel::new(Soc::tegra3_small()), config).unwrap();
+        let pid = s.kernel.spawn("maps");
+        s.mark_sensitive(pid).unwrap();
+        s.write(pid, 0, &[3u8; 2 * 4096]).unwrap();
+        for vpn in 0..2 {
+            s.kernel
+                .proc_mut(pid)
+                .unwrap()
+                .page_table
+                .get_mut(vpn)
+                .unwrap()
+                .dma_region = true;
+        }
+        s.on_lock().unwrap();
+        s.on_unlock().unwrap();
+        assert_eq!(s.stats.routed_batches, 0);
+        assert!(
+            s.stats.batch_fallback_unsupported_mode >= 1,
+            "CBC batches must record the UnsupportedCipherMode fallback"
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod key_schedule;
 pub mod mac;
 pub mod modes;
 pub mod parallel;
+pub mod pipeline;
 pub mod sbox;
 pub mod state;
 pub mod tables;
@@ -63,6 +64,7 @@ pub use block::{Aes, AesRef};
 pub use error::{CryptoError, KeyError};
 pub use mac::Cmac;
 pub use modes::PageCipherMode;
+pub use pipeline::{FallbackReason, KeystreamCache, KeystreamStats, PipelineConfig};
 pub use state::{AesStateLayout, Sensitivity, StateComponent};
 pub use tracked::{AccessEvent, StateStore, TableId, TrackedAes, TrackedBitslicedAes, VecStore};
 

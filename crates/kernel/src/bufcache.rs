@@ -111,6 +111,10 @@ impl BufferCache {
 }
 
 /// Crypto configuration of a volume.
+// One `Volume` holds exactly one `VolumeCrypto`, so the size gap
+// between the variants (the dm-crypt keystream cache is a few KiB)
+// never multiplies across a collection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum VolumeCrypto {
     /// Plain device, no encryption ("No Crypto" bars of Figure 9).
@@ -149,6 +153,16 @@ impl Volume {
         self.disk.num_sectors() * SECTOR_SIZE as u64
     }
 
+    /// Device-lock hook: zeroize any precomputed keystream held by the
+    /// dm-crypt layer (key-equivalent material must not survive a lock
+    /// transition) and drop the plaintext buffer cache.
+    pub fn on_lock(&mut self) {
+        if let VolumeCrypto::DmCrypt(dm) = &self.crypto {
+            dm.zeroize_keystream();
+        }
+        self.cache.clear();
+    }
+
     fn device_read(
         &mut self,
         api: &mut CryptoApi,
@@ -156,12 +170,13 @@ impl Volume {
         sector: u64,
         buf: &mut [u8],
     ) -> Result<(), KernelError> {
-        match &self.crypto {
-            VolumeCrypto::None => self.disk.read_sectors(sector, buf, &mut soc.clock),
-            VolumeCrypto::DmCrypt(dm) => {
-                let dm = dm.clone();
-                dm.read(api, soc, &mut self.disk, sector, buf)
-            }
+        // Split-borrow the disk and the crypto layer (dm-crypt keeps
+        // interior state — sector tags, the keystream cache — that must
+        // persist across calls, so no clone).
+        let Volume { disk, crypto, .. } = self;
+        match crypto {
+            VolumeCrypto::None => disk.read_sectors(sector, buf, &mut soc.clock),
+            VolumeCrypto::DmCrypt(dm) => dm.read(api, soc, disk, sector, buf),
         }
     }
 
@@ -172,12 +187,10 @@ impl Volume {
         sector: u64,
         data: &[u8],
     ) -> Result<(), KernelError> {
-        match &self.crypto {
-            VolumeCrypto::None => self.disk.write_sectors(sector, data, &mut soc.clock),
-            VolumeCrypto::DmCrypt(dm) => {
-                let dm = dm.clone();
-                dm.write(api, soc, &mut self.disk, sector, data)
-            }
+        let Volume { disk, crypto, .. } = self;
+        match crypto {
+            VolumeCrypto::None => disk.write_sectors(sector, data, &mut soc.clock),
+            VolumeCrypto::DmCrypt(dm) => dm.write(api, soc, disk, sector, data),
         }
     }
 

@@ -27,6 +27,22 @@ pub const KERNEL_STACKS_BASE: u64 = KERNEL_BASE + (1 << 20);
 /// Bytes of kernel stack per process.
 pub const KERNEL_STACK_SIZE: u64 = 16 * 1024;
 
+/// Base of the crypto-accelerator DMA bounce window. The engine is a
+/// bus master: descriptors point it at DRAM, so everything it touches
+/// is visible to a bus monitor. Staging accelerator I/O through this
+/// fixed window keeps that traffic honest — and means a power cut
+/// mid-transfer leaves only what the window held (ciphertext; plaintext
+/// results are written back only at operation completion).
+pub const ACCEL_DMA_BASE: u64 = KERNEL_BASE + (4 << 20);
+
+/// Size of the accelerator DMA bounce window.
+pub const ACCEL_DMA_SIZE: u64 = 1 << 20;
+
+/// DMA controller id the crypto accelerator masters the bus as.
+/// (Controller 0 is the id the DMA-attack experiments use for rogue
+/// peripherals; giving the accelerator its own id keeps traces legible.)
+pub const ACCEL_DMA_CONTROLLER: u8 = 1;
+
 /// Where the generic (unsafe) AES engine keeps its key schedule — kernel
 /// heap, in DRAM.
 pub const CRYPTO_KEYS_BASE: u64 = KERNEL_BASE + (8 << 20);
@@ -66,6 +82,10 @@ mod tests {
         assert_eq!(USER_POOL_BASE, LOCKED_WINDOW_BASE + LOCKED_WINDOW_SIZE);
         assert!(CRYPTO_KEYS_BASE < LOCKED_WINDOW_BASE);
         assert!(KERNEL_STACKS_BASE + 64 * KERNEL_STACK_SIZE < CRYPTO_KEYS_BASE);
+        // The accel DMA bounce window sits between the kernel stacks and
+        // the crypto-key heap, inside the kernel-reserved region.
+        assert!(KERNEL_STACKS_BASE + 64 * KERNEL_STACK_SIZE <= ACCEL_DMA_BASE);
+        assert!(ACCEL_DMA_BASE + ACCEL_DMA_SIZE <= CRYPTO_KEYS_BASE);
     }
 
     #[test]

@@ -11,6 +11,18 @@
 //!
 //! Because the engine DMAs its input from DRAM, its traffic is visible
 //! on the memory bus — unlike AES On SoC.
+//!
+//! [`AccelQueue`] models the engine's asynchronous side: descriptors are
+//! programmed and the operation completes *out of line* while the CPU
+//! runs ahead. The queue tracks a busy horizon against the simulation
+//! clock; a submit captures the engine's clock state (setup + DMA +
+//! streaming at the current power state) at that instant, and a wait
+//! only advances the clock if the CPU actually caught up with the
+//! engine. The difference — engine time that elapsed while the CPU was
+//! doing something else — is the overlap the read pipeline exists to
+//! harvest.
+
+use crate::clock::SimClock;
 
 /// Accelerator power states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,6 +106,145 @@ impl CryptoAccel {
     }
 }
 
+/// Handle to an operation submitted to an [`AccelQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccelOpId(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingOp {
+    id: u64,
+    start_ns: u64,
+    complete_at_ns: u64,
+}
+
+/// Cumulative statistics of an [`AccelQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccelQueueStats {
+    /// Descriptors submitted.
+    pub ops: u64,
+    /// Bytes across all descriptors.
+    pub bytes: u64,
+    /// Engine-busy time modeled across all descriptors, nanoseconds.
+    pub busy_ns: u64,
+    /// Time the CPU actually stalled waiting for completions.
+    pub stall_ns: u64,
+    /// Engine time hidden behind concurrent CPU progress (busy time the
+    /// CPU never had to wait for) — the harvested overlap.
+    pub overlap_ns: u64,
+    /// Deepest the queue has ever been (descriptors in flight).
+    pub max_depth: usize,
+}
+
+/// An asynchronous descriptor queue in front of the crypto accelerator.
+///
+/// The queue is a pure timing model: the *bytes* of an operation are
+/// transformed by the caller (the simulation computes ciphertext
+/// host-side either way); the queue decides *when* the result is
+/// architecturally visible. Descriptors serialize on the single engine:
+/// each starts at `max(busy_horizon, submit time)` and completes after
+/// [`CryptoAccel::op_duration_ns`] — captured per-op at submit, so a
+/// power-state change (lock-time down-scaling) affects operations
+/// submitted after it, not ones already in flight.
+#[derive(Debug, Clone, Default)]
+pub struct AccelQueue {
+    next_id: u64,
+    busy_until_ns: u64,
+    pending: Vec<PendingOp>,
+    /// Cumulative statistics.
+    pub stats: AccelQueueStats,
+}
+
+impl AccelQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        AccelQueue::default()
+    }
+
+    /// Submit an extent-sized descriptor of `bytes` at simulated time
+    /// `now_ns`, against the engine's *current* clock state.
+    pub fn submit(&mut self, accel: &CryptoAccel, now_ns: u64, bytes: u64) -> AccelOpId {
+        let start = self.busy_until_ns.max(now_ns);
+        let dur = accel.op_duration_ns(bytes);
+        let complete_at_ns = start + dur;
+        self.busy_until_ns = complete_at_ns;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(PendingOp {
+            id,
+            start_ns: start,
+            complete_at_ns,
+        });
+        self.stats.ops += 1;
+        self.stats.bytes += bytes;
+        self.stats.busy_ns += dur;
+        self.stats.max_depth = self.stats.max_depth.max(self.pending.len());
+        AccelOpId(id)
+    }
+
+    /// When the given in-flight operation will complete, if it is still
+    /// pending.
+    #[must_use]
+    pub fn completion_ns(&self, id: AccelOpId) -> Option<u64> {
+        self.pending
+            .iter()
+            .find(|op| op.id == id.0)
+            .map(|op| op.complete_at_ns)
+    }
+
+    /// Descriptors still in flight at `now_ns` (submitted and not yet
+    /// complete).
+    #[must_use]
+    pub fn depth_at(&self, now_ns: u64) -> usize {
+        self.pending
+            .iter()
+            .filter(|op| op.complete_at_ns > now_ns)
+            .count()
+    }
+
+    /// Descriptors not yet retired by [`AccelQueue::wait`].
+    #[must_use]
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Retire `id`: advance `clock` to the operation's completion if the
+    /// CPU got here first, and account the stalled/overlapped split.
+    /// Returns the nanoseconds the CPU stalled (zero when the engine
+    /// finished while the CPU was busy elsewhere — full overlap).
+    pub fn wait(&mut self, id: AccelOpId, clock: &mut SimClock) -> u64 {
+        let Some(pos) = self.pending.iter().position(|op| op.id == id.0) else {
+            return 0;
+        };
+        let op = self.pending.remove(pos);
+        let now = clock.now_ns();
+        let stall = op.complete_at_ns.saturating_sub(now);
+        clock.advance(stall);
+        self.stats.stall_ns += stall;
+        self.stats.overlap_ns += dur_of(&op).saturating_sub(stall);
+        stall
+    }
+
+    /// Retire every in-flight descriptor (advancing the clock past the
+    /// last completion). Returns total stalled nanoseconds.
+    pub fn drain(&mut self, clock: &mut SimClock) -> u64 {
+        let ids: Vec<AccelOpId> = self.pending.iter().map(|op| AccelOpId(op.id)).collect();
+        ids.into_iter().map(|id| self.wait(id, clock)).sum()
+    }
+
+    /// Whether the engine is idle at `now_ns`.
+    #[must_use]
+    pub fn is_idle(&self, now_ns: u64) -> bool {
+        self.busy_until_ns <= now_ns && self.pending.is_empty()
+    }
+}
+
+/// Engine-busy duration of one pending op (its start may have been
+/// pushed past the submit time by the busy horizon).
+fn dur_of(op: &PendingOp) -> u64 {
+    op.complete_at_ns - op.start_ns
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +285,72 @@ mod tests {
         let accel = CryptoAccel::nexus4();
         let one_mb = accel.energy_joules(1 << 20);
         assert!((one_mb - 0.115).abs() < 0.01, "got {one_mb} J");
+    }
+
+    #[test]
+    fn queued_op_overlaps_with_cpu_progress() {
+        let mut accel = CryptoAccel::nexus4();
+        accel.state = AccelPowerState::Awake;
+        let mut q = AccelQueue::new();
+        let mut clock = SimClock::new();
+        let dur = accel.op_duration_ns(8192);
+
+        let id = q.submit(&accel, clock.now_ns(), 8192);
+        assert_eq!(q.depth_at(clock.now_ns()), 1);
+        // CPU does other work that covers the whole engine op.
+        clock.advance(dur + 1_000);
+        let stalled = q.wait(id, &mut clock);
+        assert_eq!(stalled, 0, "engine finished under CPU work");
+        assert_eq!(q.stats.overlap_ns, dur);
+        assert!(q.is_idle(clock.now_ns()));
+    }
+
+    #[test]
+    fn wait_advances_clock_when_cpu_catches_up() {
+        let accel = CryptoAccel::nexus4();
+        let mut q = AccelQueue::new();
+        let mut clock = SimClock::new();
+        let dur = accel.op_duration_ns(4096);
+
+        let id = q.submit(&accel, clock.now_ns(), 4096);
+        let stalled = q.wait(id, &mut clock);
+        assert_eq!(stalled, dur, "no CPU progress, full stall");
+        assert_eq!(clock.now_ns(), dur);
+        assert_eq!(q.stats.overlap_ns, 0);
+    }
+
+    #[test]
+    fn ops_serialize_on_the_single_engine() {
+        let mut accel = CryptoAccel::nexus4();
+        accel.state = AccelPowerState::Awake;
+        let mut q = AccelQueue::new();
+        let mut clock = SimClock::new();
+        let dur = accel.op_duration_ns(4096);
+
+        let a = q.submit(&accel, clock.now_ns(), 4096);
+        let b = q.submit(&accel, clock.now_ns(), 4096);
+        assert_eq!(q.completion_ns(a), Some(dur));
+        assert_eq!(q.completion_ns(b), Some(2 * dur), "b starts after a");
+        assert_eq!(q.stats.max_depth, 2);
+        q.drain(&mut clock);
+        assert_eq!(clock.now_ns(), 2 * dur);
+        assert_eq!(q.pending_ops(), 0);
+    }
+
+    #[test]
+    fn submit_captures_clock_state_per_op() {
+        let mut accel = CryptoAccel::nexus4();
+        accel.state = AccelPowerState::Awake;
+        let mut q = AccelQueue::new();
+        let awake = q.submit(&accel, 0, 4096);
+        // Device locks: ops submitted after the state change run 4x
+        // slower, in-flight ones keep their captured duration.
+        let awake_done = q.completion_ns(awake).unwrap();
+        accel.state = AccelPowerState::DownScaled;
+        let locked = q.submit(&accel, 0, 4096);
+        let locked_dur = q.completion_ns(locked).unwrap() - awake_done;
+        assert_eq!(q.completion_ns(awake).unwrap(), awake_done);
+        assert_eq!(locked_dur, accel.op_duration_ns(4096));
+        assert!(locked_dur > 3 * awake_done);
     }
 }

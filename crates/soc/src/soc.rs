@@ -13,7 +13,7 @@
 //!   enables cache locking (the Tegra 3 but not the Nexus 4, §7);
 //! * power events decay DRAM/iRAM and re-run the signed boot ROM.
 
-use crate::accel::CryptoAccel;
+use crate::accel::{AccelQueue, CryptoAccel};
 use crate::addr::{self, Region};
 use crate::bus::Bus;
 use crate::cache::{MemPath, Pl310};
@@ -135,6 +135,10 @@ pub struct Soc {
     /// The crypto accelerator (Nexus 4 only; present but unused on
     /// Tegra in the paper's experiments).
     pub accel: CryptoAccel,
+    /// Asynchronous descriptor queue in front of the accelerator. Split
+    /// from [`Soc::accel`] so callers can submit against the engine's
+    /// current power state while mutating the queue.
+    pub accel_queue: AccelQueue,
     /// The UART loopback debug port.
     pub uart: UartDebugPort,
     /// The deterministic fault-injection plane (off by default).
@@ -160,6 +164,7 @@ impl Soc {
             cpu: Cpu::new(),
             trustzone: TrustZone::new(config.fuse),
             accel: CryptoAccel::nexus4(),
+            accel_queue: AccelQueue::new(),
             uart: UartDebugPort::new(),
             failpoints: Failpoints::default(),
             boot_rom: BootRom::new(key),

@@ -18,13 +18,15 @@
 //! roughly in half.
 
 use sentry_core::aes_onsoc::build_engine;
-use sentry_core::config::OnSocBackend;
+use sentry_core::config::{OnSocBackend, PageCipherMode, PipelineConfig};
 use sentry_core::onsoc::OnSocStore;
 use sentry_core::SentryError;
+use sentry_crypto::pipeline::KeystreamStats;
 use sentry_kernel::bufcache::{Volume, VolumeCrypto, CACHE_BLOCK};
-use sentry_kernel::dmcrypt::DmCrypt;
+use sentry_kernel::dmcrypt::{DmCrypt, ReadOverlapStats};
 use sentry_kernel::vfs::SimpleFs;
 use sentry_kernel::Kernel;
+use sentry_soc::accel::AccelPowerState;
 use sentry_soc::rng::DetRng;
 use sentry_soc::Soc;
 
@@ -249,6 +251,166 @@ pub fn run_filebench(
     })
 }
 
+/// One measured run of the read-latency experiment behind
+/// `exp_read_overlap`: a filebench read personality over dm-crypt in
+/// CTR mode, timed per operation, with an FNV-1a digest of every byte
+/// returned so an overlapped run can be checked byte-identical against
+/// an inline one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOverlapResult {
+    /// Mean per-operation read latency, nanoseconds.
+    pub mean_read_ns: f64,
+    /// Slowest single read, nanoseconds.
+    pub max_read_ns: u64,
+    /// Operations issued.
+    pub ops: u32,
+    /// Bytes read.
+    pub bytes: u64,
+    /// FNV-1a digest over every byte returned, in op order.
+    pub digest: u64,
+    /// Read-path and keystream counters (None on an inline run).
+    pub pipeline: Option<(ReadOverlapStats, KeystreamStats)>,
+    /// Keystream sectors resident in the on-SoC cache when the measured
+    /// phase ended.
+    pub keystream_resident: usize,
+    /// Keystream sectors resident after the device-lock hook ran — the
+    /// zeroize-on-lock discipline requires this to be 0.
+    pub keystream_resident_after_lock: usize,
+}
+
+/// FNV-1a 64-bit over a byte run.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed value for FNV-1a.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Run the read-latency workload once: CTR-mode dm-crypt, reads only,
+/// per-op latency on the simulated clock. `pipeline: None` is the
+/// inline baseline; `Some(config)` enables the overlapped read path
+/// (keystream precompute + accelerator queue) on the same workload, and
+/// the accelerator is brought Awake as it would be on an unlocked
+/// device.
+///
+/// # Errors
+///
+/// Propagates kernel/Sentry errors.
+pub fn run_read_overlap(
+    spec: &FilebenchSpec,
+    pipeline: Option<PipelineConfig>,
+) -> Result<ReadOverlapResult, SentryError> {
+    let mut kernel = Kernel::new(Soc::tegra3_small());
+    kernel
+        .crypto
+        .preferred_mut()
+        .map_err(SentryError::Kernel)?
+        .set_mode(PageCipherMode::Ctr)
+        .map_err(SentryError::Kernel)?;
+    // Unlocked device: the accelerator clock is awake (§8.2). The
+    // inline baseline never touches the accelerator, so this only
+    // matters to the overlapped run.
+    kernel.soc.accel.state = AccelPowerState::Awake;
+
+    let dm = DmCrypt::with_preferred_cipher();
+    if let Some(cfg) = pipeline {
+        dm.enable_pipeline(cfg);
+    }
+    dm.set_key(&mut kernel.crypto, &mut kernel.soc, &[0xD3u8; 16])?;
+
+    let dataset = u64::from(spec.files) * spec.file_size;
+    let sectors = (dataset * 2) / 512;
+    let cache_blocks = (dataset / CACHE_BLOCK as u64 + 16) as usize;
+    let mut vol = Volume::new(sectors, VolumeCrypto::DmCrypt(dm), cache_blocks);
+    let mut fs = SimpleFs::new();
+
+    // Warm-up: create and populate the dataset (writes stay inline —
+    // the pipeline is a read-path optimisation).
+    let mut rng = DetRng::new(spec.seed);
+    let mut chunk = vec![0u8; CACHE_BLOCK];
+    for i in 0..spec.files {
+        let name = format!("f{i:04}");
+        fs.create(&vol, &name, spec.file_size)?;
+        let mut off = 0u64;
+        while off < spec.file_size {
+            rng.fill(&mut chunk);
+            fs.write(
+                &mut vol,
+                &mut kernel.crypto,
+                &mut kernel.soc,
+                &name,
+                off,
+                &chunk,
+                false,
+            )?;
+            off += CACHE_BLOCK as u64;
+        }
+    }
+
+    // Measured phase: reads only, timed per op.
+    let mut buf = vec![0u8; spec.io_size];
+    let blocks_per_file = spec.file_size / spec.io_size as u64;
+    let mut digest = FNV_OFFSET;
+    let mut total_ns = 0u64;
+    let mut max_read_ns = 0u64;
+    let mut bytes = 0u64;
+    let mut seq_cursor = 0u64;
+    for _ in 0..spec.ops {
+        let file = format!("f{:04}", rng.next_below(u64::from(spec.files)));
+        let offset = match spec.workload {
+            Workload::SeqRead => {
+                let o = (seq_cursor % blocks_per_file) * spec.io_size as u64;
+                seq_cursor += 1;
+                o
+            }
+            _ => rng.next_below(blocks_per_file) * spec.io_size as u64,
+        };
+        let t0 = kernel.soc.clock.now_ns();
+        kernel.soc.clock.advance(spec.read_op_ns);
+        fs.read(
+            &mut vol,
+            &mut kernel.crypto,
+            &mut kernel.soc,
+            &file,
+            offset,
+            &mut buf,
+            spec.direct_io,
+        )?;
+        let dt = kernel.soc.clock.now_ns() - t0;
+        total_ns += dt;
+        max_read_ns = max_read_ns.max(dt);
+        digest = fnv1a(digest, &buf);
+        bytes += spec.io_size as u64;
+    }
+
+    let (stats, resident) = match &vol.crypto {
+        VolumeCrypto::DmCrypt(dm) => (dm.pipeline_stats(), dm.keystream_resident()),
+        VolumeCrypto::None => (None, 0),
+    };
+    // Device lock: the zeroize hook must leave no keystream resident.
+    vol.on_lock();
+    let resident_after_lock = match &vol.crypto {
+        VolumeCrypto::DmCrypt(dm) => dm.keystream_resident(),
+        VolumeCrypto::None => 0,
+    };
+
+    #[allow(clippy::cast_precision_loss)]
+    Ok(ReadOverlapResult {
+        mean_read_ns: total_ns as f64 / f64::from(spec.ops),
+        max_read_ns,
+        ops: spec.ops,
+        bytes,
+        digest,
+        pipeline: stats,
+        keystream_resident: resident,
+        keystream_resident_after_lock: resident_after_lock,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +472,29 @@ mod tests {
                 "direct={direct}: ratio {ratio:.3}"
             );
         }
+    }
+
+    #[test]
+    fn overlapped_read_is_byte_identical_and_faster() {
+        let spec = FilebenchSpec {
+            ops: 200,
+            ..FilebenchSpec::new(Workload::SeqRead, true)
+        };
+        let inline = run_read_overlap(&spec, None).unwrap();
+        let over = run_read_overlap(&spec, Some(PipelineConfig::enabled())).unwrap();
+        assert_eq!(inline.digest, over.digest, "overlap must not change bytes");
+        assert!(
+            over.mean_read_ns * 1.5 <= inline.mean_read_ns,
+            "overlapped {:.0} ns vs inline {:.0} ns",
+            over.mean_read_ns,
+            inline.mean_read_ns
+        );
+        let (stats, ks) = over.pipeline.unwrap();
+        assert!(stats.routed_extents > 0 && ks.hits > 0, "{stats:?} {ks:?}");
+        assert_eq!(
+            over.keystream_resident_after_lock, 0,
+            "device lock must zeroize all resident keystream"
+        );
     }
 
     #[test]
