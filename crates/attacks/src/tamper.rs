@@ -187,7 +187,16 @@ impl TamperOutcome {
 }
 
 /// The DRAM frame currently backing `(pid, vpn)`.
-fn frame_of(s: &Sentry, pid: Pid, vpn: u64) -> u64 {
+/// The DRAM frame currently backing `(pid, vpn)`.
+///
+/// Public so other harnesses (the fleet event stream) can aim the same
+/// tamper helpers at a specific victim page.
+///
+/// # Panics
+///
+/// Panics if the vpn is unmapped or currently resident on-SoC.
+#[must_use]
+pub fn frame_of(s: &Sentry, pid: Pid, vpn: u64) -> u64 {
     match s.kernel.procs[&pid]
         .page_table
         .get(vpn)

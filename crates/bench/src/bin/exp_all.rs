@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_sidechannel",
     "exp_related_work",
     "exp_daily_battery",
+    "exp_fleet",
 ];
 
 fn main() {

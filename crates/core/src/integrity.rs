@@ -143,8 +143,26 @@ impl IntegrityPlane {
         backend: OnSocBackend,
         root_key: &[u8],
     ) -> Result<Self, SentryError> {
+        let root = Aes::new(root_key).map_err(sentry_crypto::CryptoError::from)?;
+        IntegrityPlane::with_root(config, backend, &root)
+    }
+
+    /// Build the plane from an already-expanded root-key schedule.
+    ///
+    /// `Sentry::new` expands the volatile root key exactly once and
+    /// shares the schedule between the integrity plane and the commit
+    /// tagger; re-expanding it per consumer made per-device setup
+    /// measurably more expensive at fleet scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates AES key-schedule errors for the derived MAC key.
+    pub fn with_root(
+        config: IntegrityConfig,
+        backend: OnSocBackend,
+        root: &Aes,
+    ) -> Result<Self, SentryError> {
         let cmac = if config.enabled {
-            let root = Aes::new(root_key).map_err(sentry_crypto::CryptoError::from)?;
             let mut mk = *b"SENTRY-INTEGRITY";
             root.encrypt_block(&mut mk);
             Some(Cmac::new(

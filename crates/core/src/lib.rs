@@ -71,5 +71,7 @@ pub use config::{IntegrityConfig, OnSocBackend, PageCipherMode, ParallelConfig, 
 pub use device::{DeviceAgent, ScreenState, UnlockOutcome};
 pub use error::SentryError;
 pub use integrity::{IntegrityPlane, IntegrityStats, QuarantinedPage, VerifyOutcome};
-pub use lifecycle::{DeviceState, LifecycleStats, ParallelStats, RecoveryReport, Sentry};
+pub use lifecycle::{
+    DeviceState, DeviceStats, LifecycleStats, ParallelStats, RecoveryReport, Sentry,
+};
 pub use txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp};

@@ -203,6 +203,31 @@ impl ParallelStats {
     }
 }
 
+/// One-time device-construction statistics.
+///
+/// `Sentry::new` is on the fleet harness's critical path — constructing
+/// 10k devices means 10k key generations, key-schedule expansions, and
+/// on-SoC allocations — so its cost is measured, not guessed. The
+/// simulated cost covers everything `new` charges to the SoC clock
+/// (tracked key expansion in the IRQ-critical section, on-SoC stores);
+/// the host cost is the wall-clock price of one stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Simulated nanoseconds consumed building the device stack.
+    pub setup_sim_ns: u64,
+    /// Host nanoseconds spent in `Sentry::new`.
+    pub setup_host_ns: u64,
+    /// Expansions of the volatile *root* key schedule during setup.
+    /// One native expansion is shared by the engine, the integrity
+    /// plane, and the commit tagger; the tracked on-SoC expansion is
+    /// the simulated device's own and is counted separately by
+    /// `setup_sim_ns`.
+    pub root_key_schedules: u64,
+    /// Expansions of derived (domain-separated) key schedules: the
+    /// integrity MAC key and the commit-tag key.
+    pub derived_key_schedules: u64,
+}
+
 /// The Sentry system: the kernel plus Sentry's storage, pager, and keys.
 #[derive(Debug)]
 pub struct Sentry {
@@ -218,6 +243,9 @@ pub struct Sentry {
     pub stats: LifecycleStats,
     /// Cumulative parallel-engine statistics (per-lane byte loads).
     pub parallel: ParallelStats,
+    /// One-time construction cost of this device stack (see
+    /// [`DeviceStats`]).
+    pub device_stats: DeviceStats,
     /// The most recently resolved on-demand fault (telemetry; `pages >
     /// 1` means the readahead cluster pulled in encrypted neighbours).
     pub last_fault: Option<FaultResolution>,
@@ -255,6 +283,8 @@ impl Sentry {
     /// locked-L2 backend on a platform whose firmware disables cache
     /// locking).
     pub fn new(mut kernel: Kernel, config: SentryConfig) -> Result<Self, SentryError> {
+        let host_start = std::time::Instant::now();
+        let sim_start = kernel.soc.clock.now_ns();
         let mut store = OnSocStore::new(config.backend, &mut kernel.soc)?;
         let key_page = store.alloc_page(&mut kernel.soc)?;
         let volatile_key =
@@ -273,13 +303,26 @@ impl Sentry {
             OnSocBackend::Iram => store.alloc_page(&mut kernel.soc)?,
             OnSocBackend::LockedL2 { .. } => IRAM_BASE + IRAM_FIRMWARE_RESERVED,
         };
+        // The root-key schedule is expanded exactly once and shared by
+        // every derived-key consumer below; re-expanding it per consumer
+        // made per-device construction measurably more expensive at
+        // fleet scale (10k devices × 2 redundant expansions).
+        let root = Aes::new(&key).map_err(CryptoError::from)?;
         // The integrity plane's MAC key derives from the volatile root
         // key, and its tag store sits next to the journal on-SoC: both
         // die with power, exactly like the ciphertext they authenticate.
-        let integrity = IntegrityPlane::new(config.integrity, config.backend, &key)?;
+        let integrity = IntegrityPlane::with_root(config.integrity, config.backend, &root)?;
         // The journal commit-tag scheme follows the cipher mode: the
         // CMAC it may need is keyed once here, from the same root key.
-        let commit = CommitTagger::new(config.cipher_mode, &key)?;
+        let commit = CommitTagger::with_root(config.cipher_mode, &root)?;
+        let device_stats = DeviceStats {
+            setup_sim_ns: kernel.soc.clock.now_ns() - sim_start,
+            setup_host_ns: u64::try_from(host_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            // The engine's native schedule plus the single hoisted
+            // expansion shared by the integrity plane and commit tagger.
+            root_key_schedules: 2,
+            derived_key_schedules: u64::from(config.integrity.enabled) + 1,
+        };
         Ok(Sentry {
             kernel,
             store,
@@ -287,6 +330,7 @@ impl Sentry {
             config,
             stats: LifecycleStats::default(),
             parallel: ParallelStats::default(),
+            device_stats,
             last_fault: None,
             integrity,
             commit,

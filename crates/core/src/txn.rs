@@ -165,6 +165,17 @@ impl CommitTagger {
     /// Propagates AES key-schedule errors.
     pub fn new(mode: PageCipherMode, root_key: &[u8]) -> Result<Self, SentryError> {
         let root = Aes::new(root_key).map_err(sentry_crypto::CryptoError::from)?;
+        CommitTagger::with_root(mode, &root)
+    }
+
+    /// Build a tagger from an already-expanded root-key schedule (see
+    /// `IntegrityPlane::with_root` — `Sentry::new` expands the root key
+    /// once and shares it between both derived-key consumers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates AES key-schedule errors for the derived commit key.
+    pub fn with_root(mode: PageCipherMode, root: &Aes) -> Result<Self, SentryError> {
         let mut ck = *b"SENTRY-TXNCOMMIT";
         root.encrypt_block(&mut ck);
         Ok(CommitTagger {

@@ -55,6 +55,48 @@ impl DetRng {
     }
 }
 
+/// The seed bundle one fleet device derives from the fleet master seed.
+///
+/// A fleet run is reproducible from a single `master_seed`, but each
+/// device must draw its workload events, failpoint steps, tamper
+/// targets, and SoC decay from *independent* streams — otherwise
+/// replaying one failing device standalone would require replaying the
+/// whole fleet to reconstruct its RNG state. `DeviceSeeds::split`
+/// derives all four from `(master_seed, device_index)` alone, so any
+/// fleet cell replays standalone given just those two numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSeeds {
+    /// Seed for the device's [`crate::SocConfig`] (DRAM decay sampling).
+    pub soc: u64,
+    /// Seed for the workload event stream (event kinds, pages, fills).
+    pub workload: u64,
+    /// Seed for failpoint placement (`Failpoints::arm_seeded`).
+    pub failpoint: u64,
+    /// Seed for tamper placement (target page, bit offset).
+    pub tamper: u64,
+}
+
+impl DeviceSeeds {
+    /// Split `master_seed` into device `device_index`'s seed bundle.
+    ///
+    /// Jumps a SplitMix64 stream forward by `device_index` gamma steps
+    /// (the split operation the generator is named for), then draws the
+    /// four domain seeds in a fixed order. Different devices get
+    /// well-separated streams; the same `(master, index)` pair always
+    /// yields the same bundle.
+    #[must_use]
+    pub fn split(master_seed: u64, device_index: u64) -> Self {
+        let mut rng =
+            DetRng::new(master_seed.wrapping_add(device_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        DeviceSeeds {
+            soc: rng.next_u64(),
+            workload: rng.next_u64(),
+            failpoint: rng.next_u64(),
+            tamper: rng.next_u64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +139,26 @@ mod tests {
                 assert!(rng.next_below(bound) < bound);
             }
         }
+    }
+
+    #[test]
+    fn device_seeds_are_deterministic_and_distinct() {
+        let a = DeviceSeeds::split(42, 7);
+        assert_eq!(a, DeviceSeeds::split(42, 7));
+        let b = DeviceSeeds::split(42, 8);
+        assert_ne!(a, b);
+        // The four domains within one device are mutually distinct.
+        let all = [a.soc, a.workload, a.failpoint, a.tamper];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(all[i], all[j], "domains {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn device_seeds_vary_with_master() {
+        assert_ne!(DeviceSeeds::split(1, 0), DeviceSeeds::split(2, 0));
     }
 
     #[test]

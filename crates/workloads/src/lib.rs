@@ -13,7 +13,12 @@
 //! * [`filebench`] — the randread/randrw filebench workloads over
 //!   dm-crypt, producing Figure 9;
 //! * [`kernelbuild`] — the `make -j 5` Linux-kernel-compilation model
-//!   under reduced effective cache, producing Figure 10.
+//!   under reduced effective cache, producing Figure 10;
+//! * [`fleet`] — beyond the paper: N independent device stacks driven
+//!   by a seeded heavy-traffic event stream (lock/unlock churn,
+//!   background paging, dm-crypt bursts, power cuts, tampers), sharded
+//!   shared-nothing across worker threads with aggregated percentile
+//!   metrics.
 //!
 //! The footprint numbers (resident megabytes, DMA-region sizes, script
 //! durations) come from the paper's text where stated (e.g., DMA regions
@@ -28,10 +33,15 @@ pub mod ablation;
 pub mod apps;
 pub mod background;
 pub mod filebench;
+pub mod fleet;
 pub mod kernelbuild;
 
 pub use ablation::{aes_table_tradeoff, lazy_vs_eager, sweep_locked_ways};
 pub use apps::{app_catalog, run_app_cycle, AppCycleResult, AppSpec};
 pub use background::{background_catalog, run_background, BackgroundResult, BackgroundSpec};
 pub use filebench::{run_filebench, CryptoSetup, FilebenchResult, FilebenchSpec, Workload};
+pub use fleet::{
+    run_device, run_fleet, DeviceOutcome, EventMix, FleetConfig, FleetEvent, FleetReport,
+    LatencyHistogram,
+};
 pub use kernelbuild::compile_minutes;
