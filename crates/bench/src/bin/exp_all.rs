@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_related_work",
     "exp_daily_battery",
     "exp_fleet",
+    "exp_degraded",
 ];
 
 fn main() {

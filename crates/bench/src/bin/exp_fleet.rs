@@ -155,6 +155,43 @@ fn main() {
         &fault_rows,
     );
 
+    // Per-device degradation columns for the smallest 1-shard run: the
+    // devices the health governor actually pulled through hardware
+    // trouble (breaker trips, CPU-fallback bytes, time degraded).
+    if let Some(cell) = cells.iter().find(|c| c.shards == 1) {
+        let mut degraded: Vec<_> = cell
+            .report
+            .degradation
+            .iter()
+            .filter(|&&(_, trips, fallback, _)| trips > 0 || fallback > 0)
+            .collect();
+        degraded.sort_by_key(|&&(_, trips, fallback, _)| std::cmp::Reverse((trips, fallback)));
+        let degraded_rows: Vec<Vec<String>> = degraded
+            .iter()
+            .take(8)
+            .map(|&&(index, trips, fallback, degraded_ns)| {
+                vec![
+                    index.to_string(),
+                    trips.to_string(),
+                    format!("{:.1}", fallback as f64 / 1024.0),
+                    format!("{:.1}", degraded_ns as f64 / 1000.0),
+                ]
+            })
+            .collect();
+        if !degraded_rows.is_empty() {
+            print_table(
+                &format!(
+                    "Degraded devices ({} of {} — top 8 by trips, {} devices/1 shard)",
+                    degraded.len(),
+                    cell.report.devices,
+                    cell.devices
+                ),
+                &["Device", "Trips", "Fallback KiB", "Degraded (us)"],
+                &degraded_rows,
+            );
+        }
+    }
+
     // Scaling per fleet size: last shard count vs the 1-shard baseline.
     let mut scalings: Vec<(usize, f64, f64)> = Vec::new();
     for &devices in &sizes {
@@ -209,7 +246,11 @@ fn main() {
                  \"tampers_detected\": {}, \"quarantined_pages\": {}, \
                  \"silent_corruptions\": {}, \"device_errors\": {}, \
                  \"shard_panics\": {}, \"io_bytes\": {}, \"sim_makespan_ns\": {}, \
-                 \"sim_busy_ns\": {}, \"setup_sim_ns\": {}, \"host_elapsed_ns\": {}}}",
+                 \"sim_busy_ns\": {}, \"setup_sim_ns\": {}, \"host_elapsed_ns\": {}, \
+                 \"accel_storms\": {}, \"flaky_disk_intervals\": {}, \
+                 \"breaker_trips\": {}, \"watchdog_timeouts\": {}, \
+                 \"fallback_crypt_bytes\": {}, \"time_degraded_ns\": {}, \
+                 \"disk_retries_recovered\": {}}}",
                 c.devices,
                 c.shards,
                 r.events,
@@ -236,6 +277,13 @@ fn main() {
                 r.sim_busy_ns,
                 r.setup_sim_ns,
                 r.host_elapsed_ns,
+                r.accel_storms,
+                r.flaky_disk_intervals,
+                r.health.trips,
+                r.health.timeouts,
+                r.health.fallback_crypt_bytes,
+                r.health.time_degraded_ns,
+                r.health.disk.recovered,
             )
         })
         .collect();
@@ -302,6 +350,16 @@ fn main() {
                     eprintln!(
                         "FAIL [{devices} devices]: end-state digests differ between \
                          {} and {} shards — sharding changed device behaviour",
+                        pair[0].shards, pair[1].shards
+                    );
+                    failed = true;
+                }
+                if pair[0].report.degradation != pair[1].report.degradation
+                    || pair[0].report.health != pair[1].report.health
+                {
+                    eprintln!(
+                        "FAIL [{devices} devices]: degradation columns differ between \
+                         {} and {} shards — health accounting is shard-dependent",
                         pair[0].shards, pair[1].shards
                     );
                     failed = true;

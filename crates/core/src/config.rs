@@ -1,6 +1,6 @@
 //! Sentry configuration.
 
-pub use sentry_crypto::{PageCipherMode, PipelineConfig};
+pub use sentry_crypto::{HealthConfig, PageCipherMode, PipelineConfig};
 
 /// Which on-SoC storage backs Sentry's secrets (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +169,12 @@ pub struct SentryConfig {
     /// decrypt batches (see `sentry_crypto::pipeline`). Disabled by
     /// default — the paper's fully inline behaviour.
     pub pipeline: PipelineConfig,
+    /// Health-governor tuning: watchdog deadlines on accelerator waits,
+    /// the circuit breaker's trip/probe thresholds, and the storage
+    /// retry/backoff budget (see `sentry_core::health`). Enabled by
+    /// default — flaky hardware degrades to the CPU path instead of
+    /// hanging the device.
+    pub health: HealthConfig,
     /// Whether sensitive apps may run in the background while locked
     /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
     /// Without it, sensitive apps are parked unschedulable on lock (the
@@ -200,6 +206,7 @@ impl SentryConfig {
             integrity: IntegrityConfig::default(),
             cipher_mode: PageCipherMode::Cbc,
             pipeline: PipelineConfig::default(),
+            health: HealthConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -215,6 +222,7 @@ impl SentryConfig {
             integrity: IntegrityConfig::default(),
             cipher_mode: PageCipherMode::Cbc,
             pipeline: PipelineConfig::default(),
+            health: HealthConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -232,6 +240,7 @@ impl SentryConfig {
             integrity: IntegrityConfig::default(),
             cipher_mode: PageCipherMode::Cbc,
             pipeline: PipelineConfig::default(),
+            health: HealthConfig::default(),
             background_support: false,
             slot_limit: None,
         }
@@ -293,6 +302,21 @@ impl SentryConfig {
     #[must_use]
     pub fn without_integrity(mut self) -> Self {
         self.integrity = IntegrityConfig::disabled();
+        self
+    }
+
+    /// Set the health-governor tuning (see [`HealthConfig`]).
+    #[must_use]
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Shorthand: turn the health governor off — no watchdog deadlines,
+    /// no circuit breaker, no storage retries; faults surface raw.
+    #[must_use]
+    pub fn without_health(mut self) -> Self {
+        self.health = HealthConfig::disabled();
         self
     }
 }

@@ -35,7 +35,7 @@
 use crate::config::{IntegrityConfig, OnSocBackend};
 use crate::error::SentryError;
 use crate::onsoc::OnSocStore;
-use sentry_crypto::{Aes, Cmac};
+use sentry_crypto::{Aes, Cmac, RetryStats};
 use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, IRAM_SIZE, PAGE_SIZE};
 use sentry_soc::Soc;
 use std::collections::{BTreeMap, HashMap};
@@ -55,8 +55,10 @@ pub struct IntegrityStats {
     /// quarantined a page).
     pub violations: u64,
     /// Frame re-reads performed to disambiguate transient readout
-    /// glitches from tampering.
-    pub verify_retries: u64,
+    /// glitches from tampering, in the unified retry shape: `attempts`
+    /// counts re-reads, `recovered` pages healed by one, `exhausted`
+    /// pages that still mismatched when the budget ran out.
+    pub verify: RetryStats,
     /// Tags written into the on-SoC store.
     pub tags_stored: u64,
     /// Tags retired (zeroed and freed) after their page returned to
@@ -344,13 +346,17 @@ impl IntegrityPlane {
             let mut got = self.compute_tag(iv, chunk);
             if got != expected {
                 for _ in 0..self.config.max_verify_retries {
-                    self.stats.verify_retries += 1;
+                    self.stats.verify.attempts += 1;
                     soc.mem_read(*frame, chunk)?;
                     Self::charge_mac(soc, 1);
                     got = self.compute_tag(iv, chunk);
                     if got == expected {
+                        self.stats.verify.recovered += 1;
                         break;
                     }
+                }
+                if got != expected {
+                    self.stats.verify.exhausted += 1;
                 }
             }
             if got == expected {
@@ -543,7 +549,8 @@ mod tests {
         assert!(plane.is_quarantined(frame));
         assert_eq!(plane.quarantined_count(), 1);
         assert_eq!(plane.stats.violations, 1);
-        assert!(plane.stats.verify_retries >= 1);
+        assert!(plane.stats.verify.attempts >= 1);
+        assert_eq!(plane.stats.verify.exhausted, 1, "tamper never heals");
         assert!(plane.violation_for(frame).is_some());
     }
 

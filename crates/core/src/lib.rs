@@ -60,6 +60,7 @@ pub mod config;
 pub mod device;
 pub mod encdram;
 pub mod error;
+pub mod health;
 pub mod integrity;
 pub mod keys;
 pub mod lifecycle;
@@ -70,6 +71,7 @@ pub mod txn;
 pub use config::{IntegrityConfig, OnSocBackend, PageCipherMode, ParallelConfig, SentryConfig};
 pub use device::{DeviceAgent, ScreenState, UnlockOutcome};
 pub use error::SentryError;
+pub use health::{FailureKind, HealthConfig, HealthGovernor, HealthState, HealthStats, RetryStats};
 pub use integrity::{IntegrityPlane, IntegrityStats, QuarantinedPage, VerifyOutcome};
 pub use lifecycle::{
     DeviceState, DeviceStats, LifecycleStats, ParallelStats, RecoveryReport, Sentry,

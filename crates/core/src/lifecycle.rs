@@ -18,13 +18,16 @@ use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
 use crate::txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_crypto::parallel::{crypt_batch, BatchReport, Direction, PageJob};
-use sentry_crypto::{Aes, CryptoError, FallbackReason, PageCipherMode};
+use sentry_crypto::{
+    Aes, CryptoError, FailureKind, FallbackReason, HealthGovernor, HealthStats, PageCipherMode,
+    RetryStats,
+};
 use sentry_kernel::crypto_api::CipherEngine;
 use sentry_kernel::fault::{FaultResolution, PageFault};
 use sentry_kernel::layout::{ACCEL_DMA_BASE, ACCEL_DMA_CONTROLLER, ACCEL_DMA_SIZE};
 use sentry_kernel::pagetable::{Backing, Pte, Sharing};
 use sentry_kernel::{Kernel, KernelError, Pid};
-use sentry_soc::accel::AccelPowerState;
+use sentry_soc::accel::{AccelPowerState, WaitOutcome};
 use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, PAGE_SIZE};
 
 /// Whether the device screen is locked.
@@ -100,11 +103,11 @@ pub struct LifecycleStats {
     /// Simulated time spent in background sweeper steps.
     pub sweep_ns: u64,
     /// Transient crypt/dispatch faults absorbed by the bounded-retry
-    /// policy on the fault-readahead and sweeper paths.
-    pub crypt_retries: u64,
-    /// Retry budgets exhausted (each one surfaced a typed
-    /// [`SentryError::RetriesExhausted`] to the caller).
-    pub retries_exhausted: u64,
+    /// policy on the fault-readahead and sweeper paths, in the unified
+    /// retry shape: `attempts` counts transparent retries, `recovered`
+    /// batches that succeeded after one, `exhausted` budgets that ran
+    /// out (each surfacing a typed [`SentryError::RetriesExhausted`]).
+    pub crypt: RetryStats,
     /// Decrypt batches routed through the accelerator queue (pipeline
     /// routing enabled, accelerator Awake, non-chaining cipher mode).
     pub routed_batches: u64,
@@ -122,6 +125,13 @@ pub struct LifecycleStats {
     /// Batches below the routing threshold (a lone page keeps the exact
     /// single-page dispatch).
     pub batch_fallback_below_threshold: u64,
+    /// Batches routed to the CPU path because the health breaker was
+    /// open for the accelerator (see [`crate::health`]).
+    pub batch_fallback_breaker_open: u64,
+    /// Health-governor counters (breaker trips, probes, watchdog
+    /// timeouts, abandoned and CPU-fallback bytes), mirrored from
+    /// [`Sentry::health`] after every governed dispatch.
+    pub health: HealthStats,
 }
 
 /// What one background sweeper step did.
@@ -257,6 +267,11 @@ pub struct Sentry {
     /// final ciphertext block under CBC, a commit CMAC over
     /// IV ‖ ciphertext under XTS/CTR (see [`CommitTagger`]).
     pub commit: CommitTagger,
+    /// Health governor for the lifecycle's accelerator dispatch:
+    /// watchdog deadlines on routed batch waits, circuit breaker routing
+    /// dispatch back to the CPU path while the engine is distrusted, and
+    /// half-open probes to recover (see [`crate::health`]).
+    pub health: HealthGovernor,
     state: DeviceState,
     volatile_key: VolatileRootKey,
     /// The crash-consistency transition journal (one on-SoC page).
@@ -323,6 +338,7 @@ impl Sentry {
             root_key_schedules: 2,
             derived_key_schedules: u64::from(config.integrity.enabled) + 1,
         };
+        let governor = HealthGovernor::new(config.health);
         Ok(Sentry {
             kernel,
             store,
@@ -331,6 +347,7 @@ impl Sentry {
             stats: LifecycleStats::default(),
             parallel: ParallelStats::default(),
             device_stats,
+            health: governor,
             last_fault: None,
             integrity,
             commit,
@@ -358,6 +375,16 @@ impl Sentry {
     #[must_use]
     pub fn lock_epoch(&self) -> u64 {
         self.lock_epoch
+    }
+
+    /// Fold any still-open degraded interval up to the current sim time
+    /// and mirror the governor's counters onto
+    /// [`LifecycleStats::health`]. Call before reading
+    /// `stats.health.time_degraded_ns` at a report boundary.
+    pub fn sync_health(&mut self) {
+        let now = self.kernel.soc.clock.now_ns();
+        self.health.finalize(now);
+        self.stats.health = self.health.stats;
     }
 
     /// Mark a process sensitive — the settings-menu toggle of §7.
@@ -599,6 +626,10 @@ impl Sentry {
             Some(FallbackReason::AccelDownScaled)
         } else if jobs.len() < 2 {
             Some(FallbackReason::BelowThreshold)
+        } else if !self.health.allow_accel(self.kernel.soc.clock.now_ns()) {
+            // Breaker open, probe interval not yet elapsed: the engine is
+            // distrusted, the bitsliced CPU path carries the batch.
+            Some(FallbackReason::BreakerOpen)
         } else {
             None
         };
@@ -607,6 +638,11 @@ impl Sentry {
                 FallbackReason::AccelDownScaled => self.stats.batch_fallback_down_scaled += 1,
                 FallbackReason::UnsupportedCipherMode => {
                     self.stats.batch_fallback_unsupported_mode += 1;
+                }
+                FallbackReason::BreakerOpen => {
+                    self.stats.batch_fallback_breaker_open += 1;
+                    self.health.note_fallback_crypt(buf.len() as u64);
+                    self.stats.health = self.health.stats;
                 }
                 _ => self.stats.batch_fallback_below_threshold += 1,
             }
@@ -621,8 +657,17 @@ impl Sentry {
         let staged = buf.len().min(ACCEL_DMA_SIZE as usize);
         soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &buf[..staged])?;
         soc.failpoint("accel.dma")?;
+        // Sustained-fault site: an armed AccelWedge/Corrupt/Slow plan
+        // here stages the fault onto the descriptor submitted below.
+        soc.failpoint("accel.submit")?;
         let t0 = soc.clock.now_ns();
         let id = soc.accel_queue.submit(&soc.accel, t0, buf.len() as u64);
+        // Watchdog deadline: the op's own modeled duration times the
+        // configured margin, anchored at submit.
+        let deadline = t0.saturating_add(
+            self.health
+                .watchdog_ns(soc.accel.op_duration_ns(buf.len() as u64)),
+        );
 
         // Functional transform on the host path (same bytes the engine
         // would produce); its CPU charge — including any parallel-lane
@@ -631,13 +676,46 @@ impl Sentry {
         // result: elapsed time is exactly the engine's horizon.
         let (tags, report) = self.crypt_buffers(Direction::Decrypt, jobs, buf)?;
         let soc = &mut self.kernel.soc;
+        // Capture the host-path CPU charge before the substitution
+        // rewind: if the engine fails, the batch re-pays exactly this.
+        let cpu_cost = soc.clock.now_ns() - t0;
         soc.clock.set_now_ns(t0);
-        let stall = soc.accel_queue.wait(id, &mut soc.clock);
-        // Plaintext lands in the bounce window only at completion.
-        soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &buf[..staged])?;
-        self.stats.routed_batches += 1;
-        self.stats.routed_batch_pages += jobs.len() as u64;
-        self.stats.routed_stall_ns += stall;
+        match soc.accel_queue.wait_deadline(id, &mut soc.clock, deadline) {
+            WaitOutcome::Done { stall_ns } => {
+                // Plaintext lands in the bounce window only at
+                // completion.
+                soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &buf[..staged])?;
+                self.stats.routed_batches += 1;
+                self.stats.routed_batch_pages += jobs.len() as u64;
+                self.stats.routed_stall_ns += stall_ns;
+                let now = soc.clock.now_ns();
+                self.health.record_success(now);
+            }
+            outcome @ (WaitOutcome::TimedOut { .. } | WaitOutcome::Corrupt { .. }) => {
+                // Degraded mode. The clock sits at the watchdog deadline
+                // (timeout) or the corrupt completion; the correct bytes
+                // are already in `buf` — the host transform ran — so the
+                // batch re-pays the captured CPU charge and proceeds on
+                // the bitsliced path. The engine's output is discarded:
+                // zeroize the bounce window so the abandoned transfer
+                // leaves nothing for a bus monitor or cold-boot dump.
+                let now = soc.clock.now_ns();
+                match outcome {
+                    WaitOutcome::TimedOut { .. } => {
+                        self.health.record_failure(now, FailureKind::Timeout);
+                        self.health.note_abandoned(staged as u64);
+                    }
+                    WaitOutcome::Corrupt { .. } => {
+                        self.health.record_failure(now, FailureKind::Corrupt);
+                    }
+                    WaitOutcome::Done { .. } => unreachable!(),
+                }
+                soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &vec![0u8; staged])?;
+                soc.clock.advance(cpu_cost);
+                self.health.note_fallback_crypt(buf.len() as u64);
+            }
+        }
+        self.stats.health = self.health.stats;
         Ok((tags, report))
     }
 
@@ -831,13 +909,18 @@ impl Sentry {
             match self.decrypt_gathered(pages) {
                 Err(e) if e.is_injected_crypt_fault() => {
                     if attempts < cap {
-                        self.stats.crypt_retries += 1;
+                        self.stats.crypt.attempts += 1;
                     } else {
-                        self.stats.retries_exhausted += 1;
+                        self.stats.crypt.exhausted += 1;
                         return Err(SentryError::RetriesExhausted { op, attempts });
                     }
                 }
-                other => return other,
+                other => {
+                    if other.is_ok() && attempts > 1 {
+                        self.stats.crypt.recovered += 1;
+                    }
+                    return other;
+                }
             }
         }
     }

@@ -48,6 +48,7 @@ pub mod bitslice;
 pub mod block;
 pub mod error;
 pub mod gf;
+pub mod health;
 pub mod key_schedule;
 pub mod mac;
 pub mod modes;
@@ -62,6 +63,7 @@ pub use batch::BlockCipherBatch;
 pub use bitslice::BitslicedAes;
 pub use block::{Aes, AesRef};
 pub use error::{CryptoError, KeyError};
+pub use health::{FailureKind, HealthConfig, HealthGovernor, HealthState, HealthStats, RetryStats};
 pub use mac::Cmac;
 pub use modes::PageCipherMode;
 pub use pipeline::{FallbackReason, KeystreamCache, KeystreamStats, PipelineConfig};

@@ -113,6 +113,11 @@ pub enum FallbackReason {
     /// The miss run was shorter than `min_accel_sectors`; descriptor
     /// setup would dominate.
     BelowThreshold,
+    /// The health governor's circuit breaker is Open: the accelerator
+    /// recently wedged, corrupted output, or timed out, so dispatch is
+    /// routed straight to the CPU path until a half-open probe
+    /// succeeds.
+    BreakerOpen,
 }
 
 impl FallbackReason {
@@ -124,6 +129,7 @@ impl FallbackReason {
             FallbackReason::AccelDownScaled => "accel_down_scaled",
             FallbackReason::UnsupportedCipherMode => "unsupported_cipher_mode",
             FallbackReason::BelowThreshold => "below_threshold",
+            FallbackReason::BreakerOpen => "breaker_open",
         }
     }
 }

@@ -26,11 +26,11 @@ use crate::layout::{ACCEL_DMA_BASE, ACCEL_DMA_CONTROLLER, ACCEL_DMA_SIZE};
 use sentry_crypto::modes::ctr_crypt_extents;
 use sentry_crypto::pipeline::{ctr_keystream, xor_keystream};
 use sentry_crypto::{
-    Aes, BitslicedAes, Cmac, FallbackReason, KeystreamCache, KeystreamStats, PageCipherMode,
-    PipelineConfig,
+    Aes, BitslicedAes, Cmac, FailureKind, FallbackReason, HealthConfig, HealthGovernor,
+    HealthState, HealthStats, KeystreamCache, KeystreamStats, PageCipherMode, PipelineConfig,
 };
-use sentry_soc::accel::AccelPowerState;
-use sentry_soc::Soc;
+use sentry_soc::accel::{AccelPowerState, WaitOutcome};
+use sentry_soc::{Soc, SocError};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -60,6 +60,16 @@ pub struct ReadOverlapStats {
     pub fallback_unsupported_mode: u64,
     /// Fallbacks because the miss run was below `min_accel_sectors`.
     pub fallback_below_threshold: u64,
+    /// Fallbacks because the health breaker was open for the accel path.
+    pub fallback_breaker_open: u64,
+    /// Accelerator descriptors abandoned at the watchdog deadline.
+    pub accel_timeouts: u64,
+    /// Accelerator descriptors retired with a corrupt status word.
+    pub accel_corrupt: u64,
+    /// Health-governor counters for this mapping (breaker trips, probes,
+    /// abandoned and CPU-fallback bytes, disk retries), synced from the
+    /// governor at snapshot time.
+    pub health: HealthStats,
 }
 
 impl ReadOverlapStats {
@@ -69,6 +79,7 @@ impl ReadOverlapStats {
             FallbackReason::AccelDownScaled => self.fallback_down_scaled += 1,
             FallbackReason::UnsupportedCipherMode => self.fallback_unsupported_mode += 1,
             FallbackReason::BelowThreshold => self.fallback_below_threshold += 1,
+            FallbackReason::BreakerOpen => self.fallback_breaker_open += 1,
         }
     }
 
@@ -79,6 +90,7 @@ impl ReadOverlapStats {
             + self.fallback_down_scaled
             + self.fallback_unsupported_mode
             + self.fallback_below_threshold
+            + self.fallback_breaker_open
     }
 }
 
@@ -127,6 +139,10 @@ pub struct DmCrypt {
     /// Asynchronous read pipeline; `None` (the default) keeps the
     /// historical inline behaviour.
     pipeline: RefCell<Option<ReadPipeline>>,
+    /// Health governor for this mapping's accelerator dispatch and disk
+    /// retries. Enabled with default tuning from construction; flaky
+    /// hardware degrades to the CPU path instead of hanging the read.
+    health: RefCell<HealthGovernor>,
 }
 
 impl DmCrypt {
@@ -139,6 +155,7 @@ impl DmCrypt {
             mac: RefCell::new(None),
             tags: RefCell::new(HashMap::new()),
             pipeline: RefCell::new(None),
+            health: RefCell::new(HealthGovernor::new(HealthConfig::default())),
         }
     }
 
@@ -151,7 +168,29 @@ impl DmCrypt {
             mac: RefCell::new(None),
             tags: RefCell::new(HashMap::new()),
             pipeline: RefCell::new(None),
+            health: RefCell::new(HealthGovernor::new(HealthConfig::default())),
         }
+    }
+
+    /// Replace the health-governor tuning. Resets the breaker state and
+    /// counters — call at mapping setup, not mid-flight.
+    pub fn set_health(&self, config: HealthConfig) {
+        *self.health.borrow_mut() = HealthGovernor::new(config);
+    }
+
+    /// Snapshot of the governor's counters, folding any still-open
+    /// degraded interval up to `now_ns` into `time_degraded_ns`.
+    #[must_use]
+    pub fn health_stats(&self, now_ns: u64) -> HealthStats {
+        let mut h = self.health.borrow_mut();
+        h.finalize(now_ns);
+        h.stats
+    }
+
+    /// Current breaker state for this mapping's accelerator path.
+    #[must_use]
+    pub fn health_state(&self) -> HealthState {
+        self.health.borrow().state()
     }
 
     /// Enable the asynchronous read pipeline. Call before `set_key` so
@@ -174,10 +213,11 @@ impl DmCrypt {
     /// Snapshot of the pipeline counters, if the pipeline is enabled.
     #[must_use]
     pub fn pipeline_stats(&self) -> Option<(ReadOverlapStats, KeystreamStats)> {
-        self.pipeline
-            .borrow()
-            .as_ref()
-            .map(|p| (p.stats, p.cache.stats))
+        self.pipeline.borrow().as_ref().map(|p| {
+            let mut stats = p.stats;
+            stats.health = self.health.borrow().stats;
+            (stats, p.cache.stats)
+        })
     }
 
     /// Number of keystream sectors currently resident in the cache.
@@ -249,7 +289,35 @@ impl DmCrypt {
     ) -> Result<(), KernelError> {
         assert!(buf.len().is_multiple_of(SECTOR_SIZE), "whole sectors only");
         let t0 = soc.clock.now_ns();
-        dev.read_sectors(sector, buf, &mut soc.clock)?;
+        // Transient device faults (injected at the "disk.read" site) get
+        // a bounded retry budget with exponential sim-clock backoff; a
+        // stall at the same site just inflates the disk wait. With the
+        // governor disabled the budget is zero and faults surface raw.
+        let mut attempt: u32 = 0;
+        loop {
+            match soc.failpoint("disk.read") {
+                Ok(()) => {
+                    dev.read_sectors(sector, buf, &mut soc.clock)?;
+                    if attempt > 0 {
+                        self.health.borrow_mut().stats.disk.recovered += 1;
+                    }
+                    break;
+                }
+                Err(e @ SocError::DeviceFault { .. }) => {
+                    let mut h = self.health.borrow_mut();
+                    h.stats.disk.attempts += 1;
+                    attempt += 1;
+                    if attempt > h.disk_retry_budget() {
+                        h.stats.disk.exhausted += 1;
+                        return Err(e.into());
+                    }
+                    let backoff = h.disk_backoff_ns(attempt);
+                    drop(h);
+                    soc.clock.advance(backoff);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
         let disk_wait_ns = soc.clock.now_ns() - t0;
         // Authenticate the raw ciphertext before any of it is decrypted:
         // a spliced or bit-flipped sector must fail closed, not hand the
@@ -279,6 +347,7 @@ impl DmCrypt {
             let mut pl = self.pipeline.borrow_mut();
             if let Some(p) = pl.as_mut() {
                 if p.config.enabled {
+                    let mut health = self.health.borrow_mut();
                     return Self::read_overlapped(
                         p,
                         api,
@@ -289,6 +358,7 @@ impl DmCrypt {
                         mode,
                         disk_wait_ns,
                         &self.cipher,
+                        &mut health,
                     );
                 }
             }
@@ -314,6 +384,7 @@ impl DmCrypt {
         mode: PageCipherMode,
         disk_wait_ns: u64,
         cipher: &Option<String>,
+        health: &mut HealthGovernor,
     ) -> Result<(), KernelError> {
         fn engine<'a>(
             api: &'a mut CryptoApi,
@@ -373,6 +444,10 @@ impl DmCrypt {
             Some(FallbackReason::BelowThreshold)
         } else if p.bits.is_none() {
             Some(FallbackReason::Disabled)
+        } else if !health.allow_accel(soc.clock.now_ns()) {
+            // Breaker is open and the probe interval has not elapsed:
+            // the engine is distrusted, route everything to the CPU.
+            Some(FallbackReason::BreakerOpen)
         } else {
             None
         };
@@ -391,6 +466,9 @@ impl DmCrypt {
             // yet produced — a power cut here exposes no plaintext and
             // no keystream.
             soc.failpoint("accel.dma")?;
+            // Sustained-fault staging site: an armed wedge/corrupt/slow
+            // plan here lands on the descriptor submitted next.
+            soc.failpoint("accel.submit")?;
             let now = soc.clock.now_ns();
             let id = soc
                 .accel_queue
@@ -432,14 +510,54 @@ impl DmCrypt {
                 }
             }
             // Retire the descriptor (stalling only for whatever engine
-            // time the CPU failed to cover) and apply its result.
-            p.stats.accel_stall_ns += soc.accel_queue.wait(id, &mut soc.clock);
-            let bits = p.bits.as_ref().expect("routed with key");
+            // time the CPU failed to cover) under a watchdog deadline
+            // derived from the op's own modeled duration, and apply its
+            // result — or abandon it and re-run the work on the CPU.
             let miss_ivs: Vec<[u8; 16]> = misses.iter().map(|&i| ivs[i]).collect();
-            ctr_crypt_extents(bits, &miss_ivs, &mut gathered);
-            // Result write-back DMA happens at completion — before this
-            // point the bounce window held only ciphertext.
-            soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &gathered[..staged])?;
+            let deadline = now.saturating_add(
+                health.watchdog_ns(soc.accel.op_duration_ns(gathered.len() as u64)),
+            );
+            match soc.accel_queue.wait_deadline(id, &mut soc.clock, deadline) {
+                WaitOutcome::Done { stall_ns } => {
+                    p.stats.accel_stall_ns += stall_ns;
+                    health.record_success(soc.clock.now_ns());
+                    let bits = p.bits.as_ref().expect("routed with key");
+                    ctr_crypt_extents(bits, &miss_ivs, &mut gathered);
+                    // Result write-back DMA happens at completion —
+                    // before this point the bounce window held only
+                    // ciphertext.
+                    soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &gathered[..staged])?;
+                }
+                outcome @ (WaitOutcome::TimedOut { .. } | WaitOutcome::Corrupt { .. }) => {
+                    match outcome {
+                        WaitOutcome::TimedOut { waited_ns } => {
+                            p.stats.accel_stall_ns += waited_ns;
+                            p.stats.accel_timeouts += 1;
+                            health.record_failure(soc.clock.now_ns(), FailureKind::Timeout);
+                            health.note_abandoned(gathered.len() as u64);
+                        }
+                        WaitOutcome::Corrupt { stall_ns } => {
+                            p.stats.accel_stall_ns += stall_ns;
+                            p.stats.accel_corrupt += 1;
+                            health.record_failure(soc.clock.now_ns(), FailureKind::Corrupt);
+                        }
+                        WaitOutcome::Done { .. } => unreachable!(),
+                    }
+                    // The bounce window holds either our staged
+                    // ciphertext (timeout) or engine garbage (corrupt);
+                    // zeroize it before the CPU takes over so the
+                    // abandoned transfer leaves nothing for a bus
+                    // monitor or cold-boot dump.
+                    soc.dma_write(ACCEL_DMA_CONTROLLER, ACCEL_DMA_BASE, &vec![0u8; staged])?;
+                    // Degraded mode: decrypt the miss run on the CPU
+                    // engine. CTR under the same (key, sector IV) pairs
+                    // is byte-identical to what the engine would have
+                    // produced, so callers never see the fault.
+                    engine(api, cipher)?.decrypt_extent(soc, &miss_ivs, &mut gathered)?;
+                    health.note_fallback_crypt(gathered.len() as u64);
+                    p.stats.inline_sectors += misses.len() as u64;
+                }
+            }
             for (k, &i) in misses.iter().enumerate() {
                 buf[i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE]
                     .copy_from_slice(&gathered[k * SECTOR_SIZE..(k + 1) * SECTOR_SIZE]);

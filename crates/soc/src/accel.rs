@@ -110,11 +110,60 @@ impl CryptoAccel {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccelOpId(u64);
 
+/// A hardware misbehaviour staged against the *next* submitted
+/// descriptor (set by the fault plane via
+/// [`AccelQueue::inject_next_op_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpFault {
+    /// The descriptor wedges: completion is delayed by `wedge_ns` past
+    /// the modeled duration ([`u64::MAX`] = never completes).
+    Wedge {
+        /// Extra completion delay in nanoseconds.
+        wedge_ns: u64,
+    },
+    /// The descriptor completes on time but its status word reports
+    /// corrupt output; the bounce window contents must be discarded.
+    Corrupt,
+    /// The descriptor runs `factor`× slower than the calibrated engine
+    /// rate but otherwise completes normally.
+    Slow {
+        /// Duration multiplier.
+        factor: u32,
+    },
+}
+
+/// Outcome of a deadline-bounded [`AccelQueue::wait_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The descriptor completed cleanly; the CPU stalled `stall_ns`.
+    Done {
+        /// Nanoseconds the CPU stalled waiting (0 = full overlap).
+        stall_ns: u64,
+    },
+    /// The watchdog deadline expired first: the descriptor was
+    /// abandoned (removed from the queue, engine reset) after the CPU
+    /// burned `waited_ns` waiting. The bounce window must be zeroized
+    /// and the work re-dispatched to the CPU path.
+    TimedOut {
+        /// Nanoseconds the CPU waited before giving up.
+        waited_ns: u64,
+    },
+    /// The descriptor completed within the deadline but its status word
+    /// reports corrupt output; the result must be discarded and the
+    /// work re-dispatched.
+    Corrupt {
+        /// Nanoseconds the CPU stalled waiting.
+        stall_ns: u64,
+    },
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingOp {
     id: u64,
     start_ns: u64,
     complete_at_ns: u64,
+    bytes: u64,
+    corrupt: bool,
 }
 
 /// Cumulative statistics of an [`AccelQueue`].
@@ -133,6 +182,12 @@ pub struct AccelQueueStats {
     pub overlap_ns: u64,
     /// Deepest the queue has ever been (descriptors in flight).
     pub max_depth: usize,
+    /// Descriptors abandoned by a watchdog deadline expiring.
+    pub timeouts: u64,
+    /// Bytes across all abandoned descriptors.
+    pub abandoned_bytes: u64,
+    /// Descriptors whose status word reported corrupt output.
+    pub corrupt_ops: u64,
 }
 
 /// An asynchronous descriptor queue in front of the crypto accelerator.
@@ -150,6 +205,8 @@ pub struct AccelQueue {
     next_id: u64,
     busy_until_ns: u64,
     pending: Vec<PendingOp>,
+    /// Fault staged against the next submitted descriptor.
+    next_fault: Option<OpFault>,
     /// Cumulative statistics.
     pub stats: AccelQueueStats,
 }
@@ -161,12 +218,28 @@ impl AccelQueue {
         AccelQueue::default()
     }
 
+    /// Stage a hardware misbehaviour against the next submitted
+    /// descriptor. Called by the fault plane
+    /// ([`crate::Soc::failpoint`]) when an accel fault action fires;
+    /// only one fault is staged at a time (a second call overwrites).
+    pub fn inject_next_op_fault(&mut self, fault: OpFault) {
+        self.next_fault = Some(fault);
+    }
+
     /// Submit an extent-sized descriptor of `bytes` at simulated time
     /// `now_ns`, against the engine's *current* clock state.
     pub fn submit(&mut self, accel: &CryptoAccel, now_ns: u64, bytes: u64) -> AccelOpId {
         let start = self.busy_until_ns.max(now_ns);
-        let dur = accel.op_duration_ns(bytes);
-        let complete_at_ns = start + dur;
+        let mut dur = accel.op_duration_ns(bytes);
+        let mut wedge_ns = 0u64;
+        let mut corrupt = false;
+        match self.next_fault.take() {
+            Some(OpFault::Wedge { wedge_ns: w }) => wedge_ns = w,
+            Some(OpFault::Corrupt) => corrupt = true,
+            Some(OpFault::Slow { factor }) => dur = dur.saturating_mul(u64::from(factor)),
+            None => {}
+        }
+        let complete_at_ns = start.saturating_add(dur).saturating_add(wedge_ns);
         self.busy_until_ns = complete_at_ns;
         let id = self.next_id;
         self.next_id += 1;
@@ -174,6 +247,8 @@ impl AccelQueue {
             id,
             start_ns: start,
             complete_at_ns,
+            bytes,
+            corrupt,
         });
         self.stats.ops += 1;
         self.stats.bytes += bytes;
@@ -223,6 +298,53 @@ impl AccelQueue {
         self.stats.stall_ns += stall;
         self.stats.overlap_ns += dur_of(&op).saturating_sub(stall);
         stall
+    }
+
+    /// Retire `id` under a watchdog: wait at most until the absolute
+    /// simulated time `deadline_ns`.
+    ///
+    /// * Completion at or before the deadline retires the op exactly
+    ///   like [`AccelQueue::wait`] and returns [`WaitOutcome::Done`] —
+    ///   or [`WaitOutcome::Corrupt`] when the descriptor status word
+    ///   reports bad output (the op is retired either way; the caller
+    ///   must discard the bounce window).
+    /// * Otherwise the op is **abandoned**: it is removed from the
+    ///   queue, the engine is reset (the busy horizon collapses to the
+    ///   deadline, releasing descriptors queued behind the hung one
+    ///   from the wedge — their own completion times are unchanged),
+    ///   the clock advances to the deadline (the CPU really did burn
+    ///   the watchdog interval waiting), and the caller gets
+    ///   [`WaitOutcome::TimedOut`]. The caller owns the cleanup: zeroize
+    ///   the DMA bounce window, re-dispatch the work to the CPU path.
+    pub fn wait_deadline(
+        &mut self,
+        id: AccelOpId,
+        clock: &mut SimClock,
+        deadline_ns: u64,
+    ) -> WaitOutcome {
+        let Some(pos) = self.pending.iter().position(|op| op.id == id.0) else {
+            return WaitOutcome::Done { stall_ns: 0 };
+        };
+        let complete_at = self.pending[pos].complete_at_ns;
+        if complete_at <= deadline_ns {
+            let corrupt = self.pending[pos].corrupt;
+            let stall_ns = self.wait(id, clock);
+            if corrupt {
+                self.stats.corrupt_ops += 1;
+                return WaitOutcome::Corrupt { stall_ns };
+            }
+            return WaitOutcome::Done { stall_ns };
+        }
+        // Watchdog expired: abandon the descriptor and reset the engine.
+        let op = self.pending.remove(pos);
+        let now = clock.now_ns();
+        let waited_ns = deadline_ns.saturating_sub(now);
+        clock.advance(waited_ns);
+        self.stats.stall_ns += waited_ns;
+        self.stats.timeouts += 1;
+        self.stats.abandoned_bytes += op.bytes;
+        self.busy_until_ns = self.busy_until_ns.min(deadline_ns.max(now));
+        WaitOutcome::TimedOut { waited_ns }
     }
 
     /// Retire every in-flight descriptor (advancing the clock past the
@@ -335,6 +457,77 @@ mod tests {
         q.drain(&mut clock);
         assert_eq!(clock.now_ns(), 2 * dur);
         assert_eq!(q.pending_ops(), 0);
+    }
+
+    #[test]
+    fn wedged_op_times_out_at_the_watchdog_deadline() {
+        let mut accel = CryptoAccel::nexus4();
+        accel.state = AccelPowerState::Awake;
+        let mut q = AccelQueue::new();
+        let mut clock = SimClock::new();
+        q.inject_next_op_fault(OpFault::Wedge { wedge_ns: u64::MAX });
+        let id = q.submit(&accel, clock.now_ns(), 4096);
+        let deadline = 2 * accel.op_duration_ns(4096);
+        let out = q.wait_deadline(id, &mut clock, deadline);
+        assert_eq!(
+            out,
+            WaitOutcome::TimedOut {
+                waited_ns: deadline
+            }
+        );
+        assert_eq!(clock.now_ns(), deadline, "CPU burned the watchdog");
+        assert_eq!(q.stats.timeouts, 1);
+        assert_eq!(q.stats.abandoned_bytes, 4096);
+        assert_eq!(q.pending_ops(), 0, "abandoned op is gone");
+        // Engine was reset: a fresh op completes normally.
+        let id = q.submit(&accel, clock.now_ns(), 4096);
+        assert!(matches!(
+            q.wait_deadline(id, &mut clock, u64::MAX),
+            WaitOutcome::Done { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupt_op_completes_but_reports_bad_status() {
+        let mut accel = CryptoAccel::nexus4();
+        accel.state = AccelPowerState::Awake;
+        let mut q = AccelQueue::new();
+        let mut clock = SimClock::new();
+        q.inject_next_op_fault(OpFault::Corrupt);
+        let id = q.submit(&accel, clock.now_ns(), 4096);
+        let dur = accel.op_duration_ns(4096);
+        let out = q.wait_deadline(id, &mut clock, u64::MAX);
+        assert_eq!(out, WaitOutcome::Corrupt { stall_ns: dur });
+        assert_eq!(q.stats.corrupt_ops, 1);
+        assert_eq!(q.stats.timeouts, 0);
+    }
+
+    #[test]
+    fn slow_op_can_finish_within_a_generous_deadline() {
+        let mut accel = CryptoAccel::nexus4();
+        accel.state = AccelPowerState::Awake;
+        let mut q = AccelQueue::new();
+        let mut clock = SimClock::new();
+        let dur = accel.op_duration_ns(4096);
+        q.inject_next_op_fault(OpFault::Slow { factor: 10 });
+        let id = q.submit(&accel, clock.now_ns(), 4096);
+        assert_eq!(q.completion_ns(id), Some(10 * dur));
+        // A 2x-margin watchdog abandons it; a 20x one would not.
+        let out = q.wait_deadline(id, &mut clock, 2 * dur);
+        assert!(matches!(out, WaitOutcome::TimedOut { .. }));
+    }
+
+    #[test]
+    fn deadline_wait_on_healthy_op_matches_plain_wait() {
+        let accel = CryptoAccel::nexus4();
+        let mut q = AccelQueue::new();
+        let mut clock = SimClock::new();
+        let dur = accel.op_duration_ns(4096);
+        let id = q.submit(&accel, clock.now_ns(), 4096);
+        let out = q.wait_deadline(id, &mut clock, 4 * dur);
+        assert_eq!(out, WaitOutcome::Done { stall_ns: dur });
+        assert_eq!(q.stats.timeouts, 0);
+        assert_eq!(q.stats.abandoned_bytes, 0);
     }
 
     #[test]

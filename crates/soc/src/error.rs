@@ -64,6 +64,13 @@ pub enum SocError {
         /// The failpoint site that fired.
         site: &'static str,
     },
+    /// An armed failpoint injected a transient storage-device I/O
+    /// failure at the named site; a retry of the same request (after
+    /// backoff) may succeed.
+    DeviceFault {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
 }
 
 impl SocError {
@@ -116,6 +123,12 @@ impl fmt::Display for SocError {
             }
             SocError::BatchAborted { site } => {
                 write!(f, "batch aborted at failpoint {site:?}")
+            }
+            SocError::DeviceFault { site } => {
+                write!(
+                    f,
+                    "transient device I/O fault injected at failpoint {site:?}"
+                )
             }
         }
     }

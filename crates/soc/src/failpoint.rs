@@ -68,26 +68,83 @@ pub enum FaultAction {
         /// Bit index (0–7) within that byte.
         bit: u8,
     },
+    /// The next accelerator descriptor wedges: its completion interrupt
+    /// is delayed by `wedge_ns` simulated nanoseconds ([`u64::MAX`]
+    /// models "never completes"). Execution continues — the submit
+    /// succeeds — and the hang is only observable at the wait, which is
+    /// exactly why every wait needs a watchdog deadline.
+    AccelWedge {
+        /// Extra completion delay; `u64::MAX` = the descriptor never
+        /// completes.
+        wedge_ns: u64,
+    },
+    /// The next accelerator descriptor completes on time but with
+    /// corrupt output; the driver sees the failure in the descriptor
+    /// status word at the wait and must discard the bounce window.
+    AccelCorrupt,
+    /// The next accelerator descriptor runs `factor`× slower than the
+    /// engine's calibrated rate (thermal throttle, clock glitch). The
+    /// op still completes — but possibly past its watchdog deadline.
+    AccelSlow {
+        /// Duration multiplier applied to the next submitted op.
+        factor: u32,
+    },
+    /// The storage device fails this request transiently with
+    /// [`crate::SocError::DeviceFault`]; an immediate (or backed-off)
+    /// retry of the same request may succeed.
+    DiskError,
+    /// The storage device stalls for `stall_ns` before completing this
+    /// request successfully — a transient latency spike, not a failure.
+    DiskStall {
+        /// Extra request latency, nanoseconds.
+        stall_ns: u64,
+    },
+}
+
+/// How often an armed plan fires across the matching hits of its site.
+///
+/// One-shot kills ([`FireRegime::Once`]) model a single power cut or
+/// glitch; the sustained regimes model *misbehaving* hardware — an
+/// engine that stays broken ([`FireRegime::Persistent`]), fails one
+/// request in `period` ([`FireRegime::Rate`]), or fails a contiguous
+/// storm of requests and then heals ([`FireRegime::Burst`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FireRegime {
+    /// Fire exactly once, at matching hit `after`, then disarm.
+    Once,
+    /// Fire at every matching hit from `after` onwards.
+    Persistent,
+    /// Fire at matching hits `after`, `after + period`,
+    /// `after + 2·period`, … — a steady fault rate of one in `period`.
+    Rate {
+        /// Matching hits between consecutive firings (≥ 1).
+        period: u64,
+    },
+    /// Fire at every matching hit in `[after, after + len)` — a fault
+    /// storm of `len` consecutive requests — then disarm.
+    Burst {
+        /// Number of consecutive matching hits that fire.
+        len: u64,
+    },
 }
 
 /// One planned fault: fire `action` at the `after`-th (0-based) hit of
-/// `site` (or of any site when `site` is `None`).
+/// `site` (or of any site when `site` is `None`), repeating per the
+/// plan's [`FireRegime`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Only hits of this named site count toward `after`; `None`
     /// matches every site (the global step index, as enumerated by a
     /// record pass).
     pub site: Option<&'static str>,
-    /// 0-based index of the matching hit at which to fire.
+    /// 0-based index of the matching hit at which to fire (first).
     pub after: u64,
     /// What to inject when the plan fires.
     pub action: FaultAction,
-    /// When `false` (the default) the plane disarms itself after firing
-    /// so recovery and retry run fault-free. When `true` the plan stays
-    /// armed and fires at **every** matching hit from `after` onwards —
-    /// the model of a *persistent* fault (a broken engine, a pinned
-    /// attacker) used to exercise bounded-retry exhaustion.
-    pub persistent: bool,
+    /// How often the plan fires across matching hits. The default
+    /// ([`FireRegime::Once`]) disarms the plane after firing so
+    /// recovery and retry code runs fault-free.
+    pub regime: FireRegime,
 }
 
 impl FaultPlan {
@@ -99,7 +156,7 @@ impl FaultPlan {
             site: None,
             after: step,
             action,
-            persistent: false,
+            regime: FireRegime::Once,
         }
     }
 
@@ -110,15 +167,53 @@ impl FaultPlan {
             site: Some(site),
             after,
             action,
-            persistent: false,
+            regime: FireRegime::Once,
         }
+    }
+
+    /// Sustained-rate plan: fire at every `period`-th hit of `site`
+    /// starting from the first — hardware that fails one request in
+    /// `period` indefinitely. A `period` of 0 is clamped to 1 (every
+    /// hit, equivalent to a persistent plan with `after` 0).
+    #[must_use]
+    pub fn at_rate(site: &'static str, period: u64, action: FaultAction) -> Self {
+        FaultPlan {
+            site: Some(site),
+            after: 0,
+            action,
+            regime: FireRegime::Rate {
+                period: period.max(1),
+            },
+        }
+    }
+
+    /// Fault-storm plan: fire at `len` consecutive hits of `site`
+    /// starting at the `after`-th, then disarm — hardware that breaks,
+    /// stays broken for a storm, and heals.
+    #[must_use]
+    pub fn burst(site: &'static str, after: u64, len: u64, action: FaultAction) -> Self {
+        FaultPlan {
+            site: Some(site),
+            after,
+            action,
+            regime: FireRegime::Burst { len },
+        }
+    }
+
+    /// Wedge plan: at the `after`-th hit of `site`, the next submitted
+    /// accelerator descriptor's completion is delayed by `wedge_ns`
+    /// ([`u64::MAX`] = never completes). Shorthand for
+    /// [`FaultPlan::at_site`] with [`FaultAction::AccelWedge`].
+    #[must_use]
+    pub fn wedge_for_ns(site: &'static str, after: u64, wedge_ns: u64) -> Self {
+        FaultPlan::at_site(site, after, FaultAction::AccelWedge { wedge_ns })
     }
 
     /// Make this plan persistent: it keeps firing at every matching hit
     /// from `after` onwards instead of self-disarming.
     #[must_use]
     pub fn persistent(mut self) -> Self {
-        self.persistent = true;
+        self.regime = FireRegime::Persistent;
         self
     }
 }
@@ -245,10 +340,18 @@ impl Failpoints {
                 }
                 let matching = self.plan_hits;
                 self.plan_hits += 1;
-                let fires = if plan.persistent {
-                    matching >= plan.after
-                } else {
-                    matching == plan.after
+                let (fires, exhausted) = match plan.regime {
+                    FireRegime::Once => (matching == plan.after, matching >= plan.after),
+                    FireRegime::Persistent => (matching >= plan.after, false),
+                    FireRegime::Rate { period } => (
+                        matching >= plan.after
+                            && (matching - plan.after).is_multiple_of(period.max(1)),
+                        false,
+                    ),
+                    FireRegime::Burst { len } => (
+                        matching >= plan.after && matching - plan.after < len,
+                        matching + 1 >= plan.after.saturating_add(len),
+                    ),
                 };
                 if fires {
                     self.fired = Some(FiredFault {
@@ -256,11 +359,13 @@ impl Failpoints {
                         step,
                         action: plan.action,
                     });
-                    if !plan.persistent {
-                        // Disarm so recovery and retry run fault-free.
-                        self.mode = Mode::Off;
-                        self.plan = None;
-                    }
+                }
+                if exhausted {
+                    // Disarm so recovery and retry run fault-free.
+                    self.mode = Mode::Off;
+                    self.plan = None;
+                }
+                if fires {
                     Some(plan.action)
                 } else {
                     None
@@ -334,6 +439,48 @@ mod tests {
         assert_eq!(fp.hit("crypt"), Some(FaultAction::CryptError));
         fp.disarm();
         assert_eq!(fp.hit("crypt"), None);
+    }
+
+    #[test]
+    fn rate_plan_fires_every_period_th_hit_forever() {
+        let mut fp = Failpoints::default();
+        fp.arm(FaultPlan::at_rate("disk", 3, FaultAction::DiskError));
+        let fired: Vec<bool> = (0..9).map(|_| fp.hit("disk").is_some()).collect();
+        assert_eq!(
+            fired,
+            [true, false, false, true, false, false, true, false, false]
+        );
+        // Other sites never count toward the rate.
+        assert_eq!(fp.hit("crypt"), None);
+        assert!(fp.is_enabled(), "rate plans stay armed");
+    }
+
+    #[test]
+    fn burst_plan_fires_len_consecutive_hits_then_disarms() {
+        let mut fp = Failpoints::default();
+        fp.arm(FaultPlan::burst(
+            "accel.submit",
+            1,
+            2,
+            FaultAction::AccelCorrupt,
+        ));
+        assert_eq!(fp.hit("accel.submit"), None); // 0th: before the storm
+        assert_eq!(fp.hit("accel.submit"), Some(FaultAction::AccelCorrupt));
+        assert_eq!(fp.hit("accel.submit"), Some(FaultAction::AccelCorrupt));
+        // Storm over: the plane disarmed itself, the hardware healed.
+        assert!(!fp.is_enabled());
+        assert_eq!(fp.hit("accel.submit"), None);
+    }
+
+    #[test]
+    fn wedge_plan_carries_its_delay() {
+        let mut fp = Failpoints::default();
+        fp.arm(FaultPlan::wedge_for_ns("accel.submit", 0, u64::MAX));
+        assert_eq!(
+            fp.hit("accel.submit"),
+            Some(FaultAction::AccelWedge { wedge_ns: u64::MAX })
+        );
+        assert!(!fp.is_enabled(), "one-shot wedge disarms after firing");
     }
 
     #[test]

@@ -185,6 +185,15 @@ impl Soc {
     ///   [`SocError::CryptFault`].
     /// * [`FaultAction::AbortBatch`] — fails with
     ///   [`SocError::BatchAborted`].
+    /// * [`FaultAction::AccelWedge`] / [`FaultAction::AccelCorrupt`] /
+    ///   [`FaultAction::AccelSlow`] — stage the misbehaviour against
+    ///   the next descriptor submitted to [`Soc::accel_queue`] and
+    ///   return `Ok`: the submit succeeds, and the fault only becomes
+    ///   observable at the (watchdog-guarded) wait.
+    /// * [`FaultAction::DiskError`] — fails with
+    ///   [`SocError::DeviceFault`]; the caller may retry after backoff.
+    /// * [`FaultAction::DiskStall`] — advances the simulation clock by
+    ///   the stall and returns `Ok` (a latency spike, not a failure).
     ///
     /// # Errors
     ///
@@ -221,6 +230,26 @@ impl Soc {
                     self.dram.write(addr, &byte);
                     self.cache.invalidate_line(addr);
                 }
+                Ok(())
+            }
+            Some(FaultAction::AccelWedge { wedge_ns }) => {
+                self.accel_queue
+                    .inject_next_op_fault(crate::accel::OpFault::Wedge { wedge_ns });
+                Ok(())
+            }
+            Some(FaultAction::AccelCorrupt) => {
+                self.accel_queue
+                    .inject_next_op_fault(crate::accel::OpFault::Corrupt);
+                Ok(())
+            }
+            Some(FaultAction::AccelSlow { factor }) => {
+                self.accel_queue
+                    .inject_next_op_fault(crate::accel::OpFault::Slow { factor });
+                Ok(())
+            }
+            Some(FaultAction::DiskError) => Err(SocError::DeviceFault { site }),
+            Some(FaultAction::DiskStall { stall_ns }) => {
+                self.clock.advance(stall_ns);
                 Ok(())
             }
         }

@@ -38,15 +38,15 @@
 //! `exp_fleet --enforce` gates at zero.
 
 use sentry_attacks::tamper::flip_bit;
-use sentry_core::config::ReadaheadConfig;
-use sentry_core::{DeviceState, Sentry, SentryConfig, SentryError};
+use sentry_core::config::{PipelineConfig, ReadaheadConfig};
+use sentry_core::{DeviceState, HealthStats, PageCipherMode, Sentry, SentryConfig, SentryError};
 use sentry_kernel::block::{RamDisk, SECTOR_SIZE};
 use sentry_kernel::crypto_api::{CryptoApi, GenericAesEngine};
 use sentry_kernel::dmcrypt::DmCrypt;
 use sentry_kernel::pagetable::Backing;
 use sentry_kernel::{Kernel, Pid};
 use sentry_soc::addr::PAGE_SIZE;
-use sentry_soc::failpoint::FaultAction;
+use sentry_soc::failpoint::{FaultAction, FaultPlan};
 use sentry_soc::rng::{DetRng, DeviceSeeds};
 use sentry_soc::{Platform, Soc, SocConfig};
 
@@ -61,6 +61,11 @@ const DEVICE_DRAM: u64 = 48 << 20;
 
 /// Sectors on each device's dm-crypt volume (64 × 512 B = 32 KiB).
 const DISK_SECTORS: u64 = 64;
+
+/// Sectors in each accel-wedge-storm burst — large enough that the
+/// overlapped read path always clears `min_accel_sectors` and routes to
+/// the (wedged) engine.
+const STORM_SECTORS: u64 = 8;
 
 /// Reachable-step bound a seeded power cut is drawn over. A bare lock
 /// transition of the vault working set traverses ~15 failpoint steps
@@ -241,23 +246,40 @@ pub struct EventMix {
     /// An active DRAM tamper (bit flip) on an encrypted vault page,
     /// followed by a forced decrypt that must fail closed.
     pub tamper: u32,
+    /// A sustained accelerator-wedge storm over a dm-crypt burst: every
+    /// descriptor submitted during the storm wedges forever; the health
+    /// governor's watchdog must abandon each one and its breaker must
+    /// route the remainder to the CPU path, byte-identically.
+    pub accel_storm: u32,
+    /// A flaky-disk interval: transient `DiskError` faults at a steady
+    /// rate across a dm-crypt read-back, absorbed by the governor's
+    /// bounded retry/backoff.
+    pub flaky_disk: u32,
 }
 
 impl Default for EventMix {
     fn default() -> Self {
         EventMix {
-            churn: 46,
-            background: 30,
-            io_burst: 14,
+            churn: 42,
+            background: 28,
+            io_burst: 12,
             power_cut: 6,
             tamper: 4,
+            accel_storm: 4,
+            flaky_disk: 4,
         }
     }
 }
 
 impl EventMix {
     fn total(&self) -> u32 {
-        self.churn + self.background + self.io_burst + self.power_cut + self.tamper
+        self.churn
+            + self.background
+            + self.io_burst
+            + self.power_cut
+            + self.tamper
+            + self.accel_storm
+            + self.flaky_disk
     }
 }
 
@@ -299,6 +321,29 @@ pub enum FleetEvent {
         offset: u64,
         /// Bit within the byte.
         bit: u8,
+    },
+    /// Write a `STORM_SECTORS`-sector burst, then read it back `reads`
+    /// times with every submitted accelerator descriptor wedged
+    /// (`AccelWedge` with an infinite stall). Each read must still
+    /// return the written bytes via watchdog abandonment + CPU fallback
+    /// (and, once the breaker trips, the open-breaker inline route).
+    AccelWedgeStorm {
+        /// First sector of the storm burst.
+        sector: u64,
+        /// Read-backs performed under the storm.
+        reads: u64,
+    },
+    /// Write then read back `sectors` sectors with transient
+    /// `DiskError` faults firing every `period`-th disk read; the
+    /// governor's bounded retry must absorb them.
+    FlakyDiskInterval {
+        /// First sector of the burst.
+        sector: u64,
+        /// Sectors in the burst.
+        sectors: u64,
+        /// Matching disk reads between consecutive faults (≥ 2, so a
+        /// single retry of the faulted read always lands clean).
+        period: u64,
     },
 }
 
@@ -398,10 +443,29 @@ pub fn event_stream(config: &FleetConfig, index: u64) -> Vec<FleetEvent> {
                     seed: fail_rng.next_u64(),
                 };
             }
-            FleetEvent::Tamper {
-                vpn: tamper_rng.next_below(SECRET_PAGES),
-                offset: tamper_rng.next_below(PAGE_SIZE),
-                bit: u8::try_from(tamper_rng.next_below(8)).expect("bit < 8"),
+            draw -= u64::from(mix.power_cut);
+            if draw < u64::from(mix.tamper) {
+                return FleetEvent::Tamper {
+                    vpn: tamper_rng.next_below(SECRET_PAGES),
+                    offset: tamper_rng.next_below(PAGE_SIZE),
+                    bit: u8::try_from(tamper_rng.next_below(8)).expect("bit < 8"),
+                };
+            }
+            draw -= u64::from(mix.tamper);
+            if draw < u64::from(mix.accel_storm) {
+                // 3..=5 read-backs: enough wedged submits to trip the
+                // default breaker (3 failures) inside one storm, plus
+                // open-breaker reads after it.
+                return FleetEvent::AccelWedgeStorm {
+                    sector: rng.next_below(DISK_SECTORS - STORM_SECTORS),
+                    reads: 3 + fail_rng.next_below(3),
+                };
+            }
+            let sectors = 2 + rng.next_below(3);
+            FleetEvent::FlakyDiskInterval {
+                sector: rng.next_below(DISK_SECTORS - sectors),
+                sectors,
+                period: 2 + fail_rng.next_below(3),
             }
         })
         .collect()
@@ -444,6 +508,16 @@ pub struct DeviceOutcome {
     pub silent_corruptions: u64,
     /// Bytes moved through dm-crypt bursts.
     pub io_bytes: u64,
+    /// Accel-wedge storms driven (each one `STORM_SECTORS` sectors ×
+    /// several wedged read-backs).
+    pub accel_storms: u64,
+    /// Flaky-disk intervals driven.
+    pub flaky_disk_intervals: u64,
+    /// Merged health-governor statistics from the device's two
+    /// governors (the lifecycle engine's and dm-crypt's): breaker
+    /// trips, watchdog timeouts, fallback crypt bytes, time spent
+    /// degraded, and disk-retry accounting.
+    pub health: HealthStats,
     /// Total simulated ns the device consumed (construction included).
     pub sim_ns: u64,
     /// Simulated ns of `Sentry::new` alone (see
@@ -522,10 +596,19 @@ impl Device {
             sentry.write(vault, vpn * PAGE_SIZE, &page_image(index, vpn, 0))?;
         }
         // The dm-crypt volume gets its own engine registry so its
-        // volume key never disturbs the Sentry engine's root key.
+        // volume key never disturbs the Sentry engine's root key. It
+        // runs CTR with the async read pipeline so that I/O bursts and
+        // chaos storms exercise the accelerator-routed path — and with
+        // it the health governor's watchdog, breaker, and CPU fallback.
         let mut dm_api = CryptoApi::new();
         dm_api.register(Box::new(GenericAesEngine::new(0)));
+        dm_api
+            .preferred_mut()
+            .map_err(SentryError::Kernel)?
+            .set_mode(PageCipherMode::Ctr)
+            .map_err(SentryError::Kernel)?;
         let dm = DmCrypt::with_preferred_cipher();
+        dm.enable_pipeline(PipelineConfig::enabled());
         let mut volume_key = [0u8; 16];
         DetRng::new(seeds.soc ^ 0x0D15_C4E1).fill(&mut volume_key);
         dm.set_key(&mut dm_api, &mut sentry.kernel.soc, &volume_key)
@@ -750,6 +833,99 @@ impl Device {
                 // decrypt path; the MAC must fail closed.
                 self.checked_read(vpn)
             }
+            FleetEvent::AccelWedgeStorm { sector, reads } => {
+                // The accelerator is only clocked up while unlocked;
+                // wake it so the storm lands on the routed path rather
+                // than a cold engine that would fall back anyway.
+                if self.sentry.state() == DeviceState::Locked {
+                    self.unlock()?;
+                }
+                let data = burst_image(self.index, self.io_bursts, STORM_SECTORS);
+                self.io_bursts += 1;
+                self.dm
+                    .write(
+                        &mut self.dm_api,
+                        &mut self.sentry.kernel.soc,
+                        &mut self.disk,
+                        sector,
+                        &data,
+                    )
+                    .map_err(SentryError::Kernel)?;
+                // Every descriptor submitted while the plan is armed
+                // wedges forever; completion only ever comes from the
+                // watchdog + CPU fallback, and after enough abandons
+                // the breaker stops submitting at all.
+                self.sentry.kernel.soc.failpoints.arm(FaultPlan::at_rate(
+                    "accel.submit",
+                    1,
+                    FaultAction::AccelWedge { wedge_ns: u64::MAX },
+                ));
+                let mut result = Ok(());
+                for _ in 0..reads {
+                    let mut back = vec![0u8; data.len()];
+                    result = self
+                        .dm
+                        .read(
+                            &mut self.dm_api,
+                            &mut self.sentry.kernel.soc,
+                            &mut self.disk,
+                            sector,
+                            &mut back,
+                        )
+                        .map_err(SentryError::Kernel);
+                    if result.is_err() {
+                        break;
+                    }
+                    if back != data {
+                        self.outcome.silent_corruptions += 1;
+                    }
+                    self.outcome.io_bytes += data.len() as u64;
+                }
+                self.sentry.kernel.soc.failpoints.disarm();
+                self.outcome.accel_storms += 1;
+                result
+            }
+            FleetEvent::FlakyDiskInterval {
+                sector,
+                sectors,
+                period,
+            } => {
+                let data = burst_image(self.index, self.io_bursts, sectors);
+                self.io_bursts += 1;
+                self.dm
+                    .write(
+                        &mut self.dm_api,
+                        &mut self.sentry.kernel.soc,
+                        &mut self.disk,
+                        sector,
+                        &data,
+                    )
+                    .map_err(SentryError::Kernel)?;
+                self.sentry.kernel.soc.failpoints.arm(FaultPlan::at_rate(
+                    "disk.read",
+                    period,
+                    FaultAction::DiskError,
+                ));
+                let mut back = vec![0u8; data.len()];
+                let result = self
+                    .dm
+                    .read(
+                        &mut self.dm_api,
+                        &mut self.sentry.kernel.soc,
+                        &mut self.disk,
+                        sector,
+                        &mut back,
+                    )
+                    .map_err(SentryError::Kernel);
+                self.sentry.kernel.soc.failpoints.disarm();
+                result?;
+                if back != data {
+                    self.outcome.silent_corruptions += 1;
+                }
+                self.outcome.io_bytes += 2 * data.len() as u64;
+                self.outcome.flaky_disk_intervals += 1;
+                Ok(())
+            }
         }
     }
 
@@ -764,6 +940,13 @@ impl Device {
         if self.sentry.state() == DeviceState::Locked {
             self.unlock()?;
         }
+        // Fold both governors' views (lifecycle accel + dm-crypt
+        // accel/disk) into the outcome's degradation columns.
+        self.sentry.sync_health();
+        let now = self.sentry.kernel.soc.clock.now_ns();
+        let mut health = self.sentry.stats.health;
+        health.merge(&self.dm.health_stats(now));
+        self.outcome.health = health;
         let mut digest = 0xCBF2_9CE4_8422_2325u64;
         let page_len = usize::try_from(PAGE_SIZE).expect("page fits usize");
         for vpn in 0..SECRET_PAGES {
@@ -833,10 +1016,14 @@ struct ShardFold {
     quarantined_pages: u64,
     silent_corruptions: u64,
     io_bytes: u64,
+    accel_storms: u64,
+    flaky_disk_intervals: u64,
+    health: HealthStats,
     sim_ns: u64,
     setup_sim_ns: u64,
     device_errors: u64,
     digests: Vec<(u64, u64)>,
+    degradation: Vec<(u64, u64, u64, u64)>,
 }
 
 impl ShardFold {
@@ -854,9 +1041,18 @@ impl ShardFold {
         self.quarantined_pages += outcome.quarantined_pages;
         self.silent_corruptions += outcome.silent_corruptions;
         self.io_bytes += outcome.io_bytes;
+        self.accel_storms += outcome.accel_storms;
+        self.flaky_disk_intervals += outcome.flaky_disk_intervals;
+        self.health.merge(&outcome.health);
         self.sim_ns += outcome.sim_ns;
         self.setup_sim_ns += outcome.setup_sim_ns;
         self.digests.push((outcome.index, outcome.digest));
+        self.degradation.push((
+            outcome.index,
+            outcome.health.trips,
+            outcome.health.fallback_crypt_bytes,
+            outcome.health.time_degraded_ns,
+        ));
     }
 }
 
@@ -899,6 +1095,19 @@ pub struct FleetReport {
     pub silent_corruptions: u64,
     /// Bytes moved through dm-crypt bursts.
     pub io_bytes: u64,
+    /// Accel-wedge storms driven fleet-wide.
+    pub accel_storms: u64,
+    /// Flaky-disk intervals driven fleet-wide.
+    pub flaky_disk_intervals: u64,
+    /// Merged health-governor statistics across every device's two
+    /// governors (lifecycle and dm-crypt): trips, timeouts, fallback
+    /// crypt bytes, time degraded, disk retries.
+    pub health: HealthStats,
+    /// Per-device degradation columns, sorted by device index:
+    /// `(index, breaker trips, fallback crypt bytes, time degraded
+    /// ns)` — the fleet report's view of which devices rode out
+    /// hardware trouble and for how long.
+    pub degradation: Vec<(u64, u64, u64, u64)>,
     /// Devices whose run aborted with an unexpected error (gated at
     /// zero).
     pub device_errors: u64,
@@ -1001,13 +1210,18 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         report.quarantined_pages += fold.quarantined_pages;
         report.silent_corruptions += fold.silent_corruptions;
         report.io_bytes += fold.io_bytes;
+        report.accel_storms += fold.accel_storms;
+        report.flaky_disk_intervals += fold.flaky_disk_intervals;
+        report.health.merge(&fold.health);
         report.device_errors += fold.device_errors;
         report.sim_busy_ns += fold.sim_ns;
         report.sim_makespan_ns = report.sim_makespan_ns.max(fold.sim_ns);
         report.setup_sim_ns += fold.setup_sim_ns;
         report.digests.extend(fold.digests);
+        report.degradation.extend(fold.degradation);
     }
     report.digests.sort_unstable();
+    report.degradation.sort_unstable();
     report
 }
 
@@ -1030,6 +1244,11 @@ mod tests {
         assert_eq!(one.device_errors, 0);
         assert_eq!(one.shard_panics, 0);
         assert_eq!(one.sim_busy_ns, three.sim_busy_ns);
+        // Degradation accounting is part of the deterministic report:
+        // same trips, fallback bytes, and time-in-degraded per device
+        // regardless of shard count.
+        assert_eq!(one.health, three.health);
+        assert_eq!(one.degradation, three.degradation);
     }
 
     #[test]
@@ -1045,6 +1264,22 @@ mod tests {
         assert_eq!(report.tampers_detected, report.tampers_planted);
         assert_eq!(report.silent_corruptions, 0);
         assert_eq!(report.device_errors, 0);
+        // The sustained-fault chaos kinds must also have landed — and
+        // been ridden out by the health governor, not surfaced.
+        assert!(report.accel_storms > 0, "no accel storm drawn");
+        assert!(report.flaky_disk_intervals > 0, "no flaky-disk interval");
+        assert!(report.health.timeouts > 0, "no wedge hit the watchdog");
+        assert!(report.health.trips > 0, "no breaker trip");
+        assert!(
+            report.health.fallback_crypt_bytes > 0,
+            "no CPU fallback crypt"
+        );
+        assert!(report.health.disk.recovered > 0, "no disk retry recovered");
+        assert_eq!(report.health.disk.exhausted, 0, "a disk retry exhausted");
+        assert!(
+            report.degradation.iter().any(|&(_, trips, _, _)| trips > 0),
+            "per-device degradation columns show no trips"
+        );
     }
 
     #[test]

@@ -57,6 +57,9 @@ proptest! {
         prop_assert_eq!(fleet.silent_corruptions, 0);
         prop_assert_eq!(direct.silent_corruptions, 0);
         prop_assert_eq!(fleet.io_bytes, direct.io_bytes);
+        prop_assert_eq!(fleet.accel_storms, direct.accel_storms);
+        prop_assert_eq!(fleet.flaky_disk_intervals, direct.flaky_disk_intervals);
+        prop_assert_eq!(&fleet.health, &direct.health);
         prop_assert_eq!(fleet.sim_busy_ns, direct.sim_ns);
         prop_assert_eq!(fleet.setup_sim_ns, direct.setup_sim_ns);
 
@@ -85,6 +88,12 @@ proptest! {
         prop_assert_eq!(one.sim_busy_ns, many.sim_busy_ns);
         prop_assert_eq!(one.recoveries, many.recoveries);
         prop_assert_eq!(one.quarantined_pages, many.quarantined_pages);
+        // Degradation accounting (breaker trips, fallback bytes,
+        // time-in-degraded per device) is part of the invariant report.
+        prop_assert_eq!(&one.health, &many.health);
+        prop_assert_eq!(&one.degradation, &many.degradation);
+        prop_assert_eq!(one.accel_storms, many.accel_storms);
+        prop_assert_eq!(one.flaky_disk_intervals, many.flaky_disk_intervals);
     }
 
     /// Bucket round trip: every value maps to a bucket whose bounds

@@ -254,8 +254,8 @@ fn injected_crypt_error_on_readahead_is_retried_transparently() {
     ));
     s.touch_pages(actors.vault, &[0]).unwrap();
     assert!(!s.txn_in_flight());
-    assert_eq!(s.stats.crypt_retries, 1, "one transparent retry");
-    assert_eq!(s.stats.retries_exhausted, 0);
+    assert_eq!(s.stats.crypt.attempts, 1, "one transparent retry");
+    assert_eq!(s.stats.crypt.exhausted, 0);
     let mut buf = [0u8; 16];
     s.read(actors.vault, 0, &mut buf).unwrap();
     assert_eq!(&buf, SECRET);
@@ -287,8 +287,8 @@ fn persistent_crypt_fault_on_readahead_exhausts_retries_cleanly() {
         "got {err:?}"
     );
     assert!(!s.txn_in_flight());
-    assert_eq!(s.stats.crypt_retries, u64::from(cap) - 1);
-    assert_eq!(s.stats.retries_exhausted, 1);
+    assert_eq!(s.stats.crypt.attempts, u64::from(cap) - 1);
+    assert_eq!(s.stats.crypt.exhausted, 1);
     let pte = *s.kernel.procs[&actors.vault].page_table.get(0).unwrap();
     assert!(pte.encrypted, "PTE must be untouched after exhaustion");
 
@@ -319,7 +319,7 @@ fn injected_crypt_error_on_sweeper_is_retried_transparently() {
     let report = s.scheduler_tick().unwrap();
     assert!(report.pages > 0);
     assert!(!s.txn_in_flight());
-    assert_eq!(s.stats.crypt_retries, 1);
+    assert_eq!(s.stats.crypt.attempts, 1);
     assert!(s.residual_encrypted_pages() < residual_before);
     let mut buf = [0u8; 16];
     s.read(actors.vault, 0, &mut buf).unwrap();
@@ -344,7 +344,7 @@ fn persistent_crypt_fault_on_sweeper_exhausts_retries_cleanly() {
         "got {err:?}"
     );
     assert!(!s.txn_in_flight());
-    assert_eq!(s.stats.retries_exhausted, 1);
+    assert_eq!(s.stats.crypt.exhausted, 1);
     assert_eq!(
         s.residual_encrypted_pages(),
         residual_before,
@@ -375,7 +375,7 @@ fn injected_extent_error_in_sequential_engine_is_retried_transparently() {
     ));
     s.touch_pages(actors.vault, &[0]).unwrap();
     assert!(!s.txn_in_flight());
-    assert_eq!(s.stats.crypt_retries, 1);
+    assert_eq!(s.stats.crypt.attempts, 1);
     let mut buf = [0u8; 16];
     s.read(actors.vault, 0, &mut buf).unwrap();
     assert_eq!(&buf, SECRET);
