@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_daily_battery",
     "exp_fleet",
     "exp_degraded",
+    "exp_pressure",
 ];
 
 fn main() {

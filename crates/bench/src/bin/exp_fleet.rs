@@ -192,6 +192,44 @@ fn main() {
         }
     }
 
+    // Per-device pressure columns for the smallest 1-shard run: the
+    // devices the pressure governor actually squeezed (memory-pressure
+    // chaos events — sheds, encrypted spills, typed denials).
+    if let Some(cell) = cells.iter().find(|c| c.shards == 1) {
+        let mut pressured: Vec<_> = cell
+            .report
+            .pressure_columns
+            .iter()
+            .filter(|&&(_, sheds, spills, denied)| sheds > 0 || spills > 0 || denied > 0)
+            .collect();
+        pressured
+            .sort_by_key(|&&(_, sheds, spills, denied)| std::cmp::Reverse((spills, sheds, denied)));
+        let pressure_rows: Vec<Vec<String>> = pressured
+            .iter()
+            .take(8)
+            .map(|&&(index, sheds, spills, denied)| {
+                vec![
+                    index.to_string(),
+                    sheds.to_string(),
+                    spills.to_string(),
+                    denied.to_string(),
+                ]
+            })
+            .collect();
+        if !pressure_rows.is_empty() {
+            print_table(
+                &format!(
+                    "Pressured devices ({} of {} — top 8 by spills, {} devices/1 shard)",
+                    pressured.len(),
+                    cell.report.devices,
+                    cell.devices
+                ),
+                &["Device", "Sheds", "Spills", "Denied"],
+                &pressure_rows,
+            );
+        }
+    }
+
     // Scaling per fleet size: last shard count vs the 1-shard baseline.
     let mut scalings: Vec<(usize, f64, f64)> = Vec::new();
     for &devices in &sizes {
@@ -250,7 +288,10 @@ fn main() {
                  \"accel_storms\": {}, \"flaky_disk_intervals\": {}, \
                  \"breaker_trips\": {}, \"watchdog_timeouts\": {}, \
                  \"fallback_crypt_bytes\": {}, \"time_degraded_ns\": {}, \
-                 \"disk_retries_recovered\": {}}}",
+                 \"disk_retries_recovered\": {}, \"pressure_events\": {}, \
+                 \"exit_reclaimed_pages\": {}, \"pressure_sheds\": {}, \
+                 \"pressure_spills\": {}, \"pressure_restores\": {}, \
+                 \"pressure_denied\": {}, \"pressure_high_water_bytes\": {}}}",
                 c.devices,
                 c.shards,
                 r.events,
@@ -284,6 +325,13 @@ fn main() {
                 r.health.fallback_crypt_bytes,
                 r.health.time_degraded_ns,
                 r.health.disk.recovered,
+                r.pressure_events,
+                r.exit_reclaimed_pages,
+                r.pressure.sheds,
+                r.pressure.spills,
+                r.pressure.spill_restores,
+                r.pressure.denied,
+                r.pressure.high_water_bytes,
             )
         })
         .collect();
@@ -360,6 +408,16 @@ fn main() {
                     eprintln!(
                         "FAIL [{devices} devices]: degradation columns differ between \
                          {} and {} shards — health accounting is shard-dependent",
+                        pair[0].shards, pair[1].shards
+                    );
+                    failed = true;
+                }
+                if pair[0].report.pressure_columns != pair[1].report.pressure_columns
+                    || pair[0].report.pressure != pair[1].report.pressure
+                {
+                    eprintln!(
+                        "FAIL [{devices} devices]: pressure columns differ between \
+                         {} and {} shards — pressure accounting is shard-dependent",
                         pair[0].shards, pair[1].shards
                     );
                     failed = true;

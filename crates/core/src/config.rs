@@ -1,5 +1,6 @@
 //! Sentry configuration.
 
+pub use crate::pressure::PressureConfig;
 pub use sentry_crypto::{HealthConfig, PageCipherMode, PipelineConfig};
 
 /// Which on-SoC storage backs Sentry's secrets (§4).
@@ -175,6 +176,12 @@ pub struct SentryConfig {
     /// default — flaky hardware degrades to the CPU path instead of
     /// hanging the device.
     pub health: HealthConfig,
+    /// Pressure-governor tuning: occupancy watermarks over the on-SoC
+    /// store, elective-load shedding at High pressure, and the
+    /// encrypted spill path at Critical (see `sentry_core::pressure`).
+    /// Enabled by default — exhaustion degrades instead of failing
+    /// closed.
+    pub pressure: PressureConfig,
     /// Whether sensitive apps may run in the background while locked
     /// (requires the encrypted-DRAM pager; the paper's Tegra prototype).
     /// Without it, sensitive apps are parked unschedulable on lock (the
@@ -207,6 +214,7 @@ impl SentryConfig {
             cipher_mode: PageCipherMode::Cbc,
             pipeline: PipelineConfig::default(),
             health: HealthConfig::default(),
+            pressure: PressureConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -223,6 +231,7 @@ impl SentryConfig {
             cipher_mode: PageCipherMode::Cbc,
             pipeline: PipelineConfig::default(),
             health: HealthConfig::default(),
+            pressure: PressureConfig::default(),
             background_support: true,
             slot_limit: None,
         }
@@ -241,6 +250,7 @@ impl SentryConfig {
             cipher_mode: PageCipherMode::Cbc,
             pipeline: PipelineConfig::default(),
             health: HealthConfig::default(),
+            pressure: PressureConfig::default(),
             background_support: false,
             slot_limit: None,
         }
@@ -317,6 +327,21 @@ impl SentryConfig {
     #[must_use]
     pub fn without_health(mut self) -> Self {
         self.health = HealthConfig::disabled();
+        self
+    }
+
+    /// Set the pressure-governor tuning (see [`PressureConfig`]).
+    #[must_use]
+    pub fn with_pressure(mut self, pressure: PressureConfig) -> Self {
+        self.pressure = pressure;
+        self
+    }
+
+    /// Shorthand: turn the pressure governor off — no watermarks, no
+    /// shedding, no spill; on-SoC exhaustion fails closed as before.
+    #[must_use]
+    pub fn without_pressure(mut self) -> Self {
+        self.pressure = PressureConfig::disabled();
         self
     }
 }

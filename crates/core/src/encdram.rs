@@ -154,7 +154,9 @@ impl Pager {
                     return Err(err);
                 }
                 let slot_idx = self.acquire_slot(store, kernel, txn, integrity, commit, epoch)?;
-                self.page_in(kernel, integrity, slot_idx, fault.pid, fault.vpn, frame)
+                self.page_in(
+                    store, kernel, integrity, slot_idx, fault.pid, fault.vpn, frame,
+                )
             }
             Backing::Dram(_) => {
                 // Unencrypted page (e.g. shared with a non-sensitive
@@ -295,7 +297,7 @@ impl Pager {
             let mut readback = vec![0u8; PAGE_SIZE as usize];
             kernel.soc.mem_read(home, &mut readback)?;
             if let VerifyOutcome::Mismatch { expected, got } =
-                integrity.verify_one(&mut kernel.soc, home, &iv, &mut readback)?
+                integrity.verify_one(&mut kernel.soc, store, home, &iv, &mut readback)?
             {
                 self.stats.quarantine_rejects += 1;
                 return Err(integrity.quarantine(QuarantinedPage {
@@ -334,8 +336,10 @@ impl Pager {
 
     /// Figure 1 forward: copy the encrypted page on-SoC and decrypt it
     /// in place.
+    #[allow(clippy::too_many_arguments)] // same plumbing as `handle_fault`
     fn page_in(
         &mut self,
+        store: &mut OnSocStore,
         kernel: &mut Kernel,
         integrity: &mut IntegrityPlane,
         slot_idx: usize,
@@ -370,7 +374,7 @@ impl Pager {
         // the freshly acquired slot goes back to the free list, and the
         // fault reports the violation.
         if let VerifyOutcome::Mismatch { expected, got } =
-            integrity.verify_one(&mut kernel.soc, frame, &iv, page.as_mut_slice())?
+            integrity.verify_one(&mut kernel.soc, store, frame, &iv, page.as_mut_slice())?
         {
             self.free.push(slot_idx);
             self.stats.quarantine_rejects += 1;
@@ -564,6 +568,65 @@ impl Pager {
                 self.free.push(slot_idx);
             }
         }
+    }
+
+    /// Drop every resident slot owned by a dying process without
+    /// writing it back: the plaintext is wiped in place and the slot
+    /// returns to the free list. Called on process teardown so the
+    /// pager never pins on-SoC pages for pids that no longer exist.
+    ///
+    /// Returns the number of slots released.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wipe errors.
+    pub fn drop_pid(&mut self, kernel: &mut Kernel, pid: u32) -> Result<u64, SentryError> {
+        let mut dropped = 0u64;
+        let resident: Vec<usize> = self.resident.drain(..).collect();
+        let zero = vec![0u8; PAGE_SIZE as usize];
+        for slot_idx in resident {
+            if self.slots[slot_idx].occupant.is_some_and(|(p, _)| p == pid) {
+                kernel.soc.mem_write(self.slots[slot_idx].addr, &zero)?;
+                self.slots[slot_idx].occupant = None;
+                self.free.push(slot_idx);
+                dropped += 1;
+            } else {
+                self.resident.push_back(slot_idx);
+            }
+        }
+        Ok(dropped)
+    }
+
+    /// Return free slots at the tail of the slot table to the on-SoC
+    /// store. Slot indices are load-bearing (the FIFO and free list
+    /// hold them), so only a free suffix can be shrunk — enough to
+    /// relieve pressure after teardown or under a tightened budget.
+    ///
+    /// Returns the number of pages returned to the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wipe errors from the store's free path.
+    pub fn shrink_free_slots(
+        &mut self,
+        store: &mut OnSocStore,
+        kernel: &mut Kernel,
+    ) -> Result<u64, SentryError> {
+        let mut freed = 0u64;
+        while let Some(slot) = self.slots.last() {
+            if slot.occupant.is_some() {
+                break;
+            }
+            let idx = self.slots.len() - 1;
+            if self.resident.contains(&idx) {
+                break;
+            }
+            let slot = self.slots.pop().expect("checked non-empty");
+            self.free.retain(|&i| i != idx);
+            store.free_page(&mut kernel.soc, slot.addr)?;
+            freed += 1;
+        }
+        Ok(freed)
     }
 
     /// Release all on-SoC slots back to the store (after

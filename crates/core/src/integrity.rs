@@ -35,6 +35,7 @@
 use crate::config::{IntegrityConfig, OnSocBackend};
 use crate::error::SentryError;
 use crate::onsoc::OnSocStore;
+use crate::pressure::{SpillRegion, SPILL_SLOTS};
 use sentry_crypto::{Aes, Cmac, RetryStats};
 use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, IRAM_SIZE, PAGE_SIZE};
 use sentry_soc::Soc;
@@ -105,6 +106,42 @@ pub enum VerifyOutcome {
     },
 }
 
+/// The on-SoC anchor a spilled tag page leaves behind: the lock epoch
+/// it was spilled under and a CMAC over `(epoch, plaintext page)`.
+/// Restoration re-derives the tag and refuses a mismatch, so a replayed
+/// or cross-slot-spliced spill blob can never re-enter the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillAnchor {
+    /// Lock epoch the page was spilled under.
+    pub epoch: u64,
+    /// CMAC-trunc8 over the epoch tweak block plus the plaintext page.
+    pub tag: [u8; TAG_BYTES],
+}
+
+/// Where one tag-store page's 512 slots currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagPageState {
+    /// On-SoC at this address.
+    Resident(u64),
+    /// Encrypted in the spill region; only the anchor remains on-SoC.
+    Spilled(SpillAnchor),
+    /// Returned to the store (no live slots); re-allocated zeroed on
+    /// the next slot access.
+    Released,
+}
+
+/// One tag-store page: its residency state, live-slot count, and a
+/// last-touch ordinal for cold-page selection.
+#[derive(Debug)]
+struct TagPage {
+    state: TagPageState,
+    /// Slots on this page currently mapped to a frame.
+    live: u32,
+    /// Monotonic last-access ordinal; the spill path evicts the
+    /// smallest.
+    touch: u64,
+}
+
 /// The integrity plane: a CMAC context keyed off the volatile root key,
 /// the on-SoC tag store, and the quarantine set.
 #[derive(Debug)]
@@ -114,8 +151,10 @@ pub struct IntegrityPlane {
     /// CMAC under a domain-separated key derived from the volatile root
     /// key (`E_rootkey("SENTRY-INTEGRITY")`); `None` when disabled.
     cmac: Option<Cmac<Aes>>,
-    /// On-SoC pages holding tag slots, in slot order.
-    tag_pages: Vec<u64>,
+    /// Tag-store pages in slot order. The vector never shrinks, so a
+    /// slot's page index (`slot / TAGS_PER_PAGE`) is stable across
+    /// spill, release, and re-residency.
+    tag_pages: Vec<TagPage>,
     /// DRAM frame → tag slot index.
     slots: HashMap<u64, u32>,
     /// Retired slot indices available for reuse.
@@ -125,6 +164,21 @@ pub struct IntegrityPlane {
     /// Locked-L2 backend only: next raw iRAM page to claim for tags
     /// (iRAM is otherwise unused there except for the journal page).
     fixed_next: u64,
+    /// Locked-L2 backend only: fixed iRAM tag pages returned by spill
+    /// or reap, available for re-claim.
+    fixed_free: Vec<u64>,
+    /// Spill key derived from the volatile root key
+    /// (`E_rootkey("SENTRY-SPILL-KEY")`); `None` when disabled.
+    spill_key: Option<[u8; 16]>,
+    /// The dm-crypt-backed spill region, created on first spill.
+    spill: Option<SpillRegion>,
+    /// Whether Critical pressure may spill (the pressure config's
+    /// `spill` switch, pushed down by `Sentry::new`).
+    spill_allowed: bool,
+    /// Current lock epoch, bound into every spill anchor.
+    spill_epoch: u64,
+    /// Monotonic access clock feeding each page's `touch` ordinal.
+    touch_clock: u64,
     /// Poisoned frames, keyed by frame address.
     quarantine: BTreeMap<u64, QuarantinedPage>,
     /// Statistics.
@@ -164,14 +218,19 @@ impl IntegrityPlane {
         backend: OnSocBackend,
         root: &Aes,
     ) -> Result<Self, SentryError> {
-        let cmac = if config.enabled {
+        let (cmac, spill_key) = if config.enabled {
             let mut mk = *b"SENTRY-INTEGRITY";
             root.encrypt_block(&mut mk);
-            Some(Cmac::new(
-                Aes::new(&mk).map_err(sentry_crypto::CryptoError::from)?,
-            ))
+            let mut sk = *b"SENTRY-SPILL-KEY";
+            root.encrypt_block(&mut sk);
+            (
+                Some(Cmac::new(
+                    Aes::new(&mk).map_err(sentry_crypto::CryptoError::from)?,
+                )),
+                Some(sk),
+            )
         } else {
-            None
+            (None, None)
         };
         Ok(IntegrityPlane {
             config,
@@ -184,6 +243,12 @@ impl IntegrityPlane {
             // The journal occupies the first post-firmware iRAM page in
             // locked-L2 mode; tag pages grow from the next one.
             fixed_next: IRAM_BASE + IRAM_FIRMWARE_RESERVED + PAGE_SIZE,
+            fixed_free: Vec::new(),
+            spill_key,
+            spill: None,
+            spill_allowed: true,
+            spill_epoch: 0,
+            touch_clock: 0,
             quarantine: BTreeMap::new(),
             stats: IntegrityStats::default(),
         })
@@ -236,14 +301,101 @@ impl IntegrityPlane {
         soc.cpu.end_critical(was_enabled, ns);
     }
 
-    /// The on-SoC address of `slot`'s 8 tag bytes.
+    /// `slot`'s page index into `tag_pages`.
+    fn page_index(slot: u32) -> usize {
+        (u64::from(slot) / TAGS_PER_PAGE) as usize
+    }
+
+    /// The on-SoC address of a currently resident tag page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is spilled or released — callers must run
+    /// `ensure_resident` first.
+    fn page_addr(&self, idx: usize) -> u64 {
+        match self.tag_pages[idx].state {
+            TagPageState::Resident(addr) => addr,
+            ref other => unreachable!("slot access on non-resident tag page: {other:?}"),
+        }
+    }
+
+    /// The on-SoC address of `slot`'s 8 tag bytes (page must be
+    /// resident).
     fn slot_addr(&self, slot: u32) -> u64 {
-        let page = self.tag_pages[(u64::from(slot) / TAGS_PER_PAGE) as usize];
-        page + (u64::from(slot) % TAGS_PER_PAGE) * TAG_BYTES as u64
+        self.page_addr(Self::page_index(slot))
+            + (u64::from(slot) % TAGS_PER_PAGE) * TAG_BYTES as u64
+    }
+
+    /// Allocate one backing page for the tag store: from the shared
+    /// store in iRAM mode, or from the fixed iRAM range (re-claiming
+    /// spilled/reaped pages first) in locked-L2 mode, where the charge
+    /// still counts against the pressure budget.
+    fn alloc_backing(&mut self, soc: &mut Soc, store: &mut OnSocStore) -> Result<u64, SentryError> {
+        match self.backend {
+            OnSocBackend::Iram => store.alloc_page(soc),
+            OnSocBackend::LockedL2 { .. } => {
+                if let Some(addr) = self.fixed_free.pop() {
+                    if let Err(e) = store.charge_external(PAGE_SIZE) {
+                        self.fixed_free.push(addr);
+                        return Err(e);
+                    }
+                    soc.mem_write(addr, &[0u8; PAGE_SIZE as usize])?;
+                    return Ok(addr);
+                }
+                if self.fixed_next + PAGE_SIZE > IRAM_BASE + IRAM_SIZE {
+                    return Err(SentryError::OnSocExhausted);
+                }
+                store.charge_external(PAGE_SIZE)?;
+                let addr = self.fixed_next;
+                self.fixed_next += PAGE_SIZE;
+                soc.mem_write(addr, &[0u8; PAGE_SIZE as usize])?;
+                Ok(addr)
+            }
+        }
+    }
+
+    /// Return one tag-store backing page, zeroed, to wherever it came
+    /// from.
+    fn free_backing(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+        addr: u64,
+    ) -> Result<(), SentryError> {
+        match self.backend {
+            OnSocBackend::Iram => store.free_page(soc, addr),
+            OnSocBackend::LockedL2 { .. } => {
+                soc.mem_write(addr, &[0u8; PAGE_SIZE as usize])?;
+                self.fixed_free.push(addr);
+                store.release_external(PAGE_SIZE);
+                Ok(())
+            }
+        }
+    }
+
+    /// Allocate a backing page, reclaiming one (reap an empty page, or
+    /// spill the coldest live one) and retrying once when the store is
+    /// exhausted — the fail-degraded path at the deepest alloc site.
+    fn alloc_backing_or_reclaim(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+    ) -> Result<u64, SentryError> {
+        match self.alloc_backing(soc, store) {
+            Err(SentryError::OnSocExhausted) => {
+                if !self.shed_cold_page(soc, store)? {
+                    return Err(SentryError::OnSocExhausted);
+                }
+                self.alloc_backing(soc, store)
+            }
+            r => r,
+        }
     }
 
     /// Get the frame's tag slot, allocating one (and growing the tag
-    /// store by an on-SoC page when full) if it has none.
+    /// store by an on-SoC page — reclaiming a cold one under pressure —
+    /// when full) if it has none. The slot's page is resident on
+    /// return.
     fn slot_for(
         &mut self,
         soc: &mut Soc,
@@ -251,32 +403,319 @@ impl IntegrityPlane {
         frame: u64,
     ) -> Result<u32, SentryError> {
         if let Some(&slot) = self.slots.get(&frame) {
+            self.ensure_resident(soc, store, Self::page_index(slot))?;
             return Ok(slot);
         }
         let slot = if let Some(slot) = self.free_slots.pop() {
             slot
         } else {
             if u64::from(self.next_slot) == self.tag_pages.len() as u64 * TAGS_PER_PAGE {
-                let page = match self.backend {
-                    OnSocBackend::Iram => store.alloc_page(soc)?,
-                    OnSocBackend::LockedL2 { .. } => {
-                        if self.fixed_next + PAGE_SIZE > IRAM_BASE + IRAM_SIZE {
-                            return Err(SentryError::OnSocExhausted);
-                        }
-                        let page = self.fixed_next;
-                        self.fixed_next += PAGE_SIZE;
-                        soc.mem_write(page, &[0u8; PAGE_SIZE as usize])?;
-                        page
-                    }
-                };
-                self.tag_pages.push(page);
+                let addr = self.alloc_backing_or_reclaim(soc, store)?;
+                self.touch_clock += 1;
+                self.tag_pages.push(TagPage {
+                    state: TagPageState::Resident(addr),
+                    live: 0,
+                    touch: self.touch_clock,
+                });
             }
             let slot = self.next_slot;
             self.next_slot += 1;
             slot
         };
+        let idx = Self::page_index(slot);
+        if let Err(e) = self.ensure_resident(soc, store, idx) {
+            // Hand the slot back so a denied residency never leaks it.
+            self.free_slots.push(slot);
+            return Err(e);
+        }
         self.slots.insert(frame, slot);
+        self.tag_pages[idx].live += 1;
         Ok(slot)
+    }
+
+    /// The 16-byte tweak block bound into a spill anchor's CMAC: a
+    /// domain-separation constant with the lock epoch folded in, so a
+    /// spill blob replayed across epochs fails restoration.
+    fn spill_tweak(epoch: u64) -> [u8; 16] {
+        let mut t = *b"SENTRY-SPILL-PG\0";
+        for (i, b) in epoch.to_le_bytes().iter().enumerate() {
+            t[8 + i] ^= b;
+        }
+        t
+    }
+
+    /// The spill region, created lazily on first use (its own dm-crypt
+    /// stack under the derived spill key).
+    fn spill_region(&mut self, soc: &mut Soc) -> Result<&mut SpillRegion, SentryError> {
+        if self.spill.is_none() {
+            let key = self.spill_key.ok_or(SentryError::OnSocExhausted)?;
+            self.spill = Some(SpillRegion::new(soc, &key)?);
+        }
+        Ok(self.spill.as_mut().expect("just created"))
+    }
+
+    /// Whether the encrypted spill path may run.
+    fn spill_active(&self) -> bool {
+        self.spill_allowed && self.spill_key.is_some()
+    }
+
+    /// Allow or forbid spilling (pushed down from the pressure config).
+    pub fn set_spill_allowed(&mut self, allowed: bool) {
+        self.spill_allowed = allowed;
+    }
+
+    /// Record the current lock epoch for spill-anchor binding.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.spill_epoch = epoch;
+    }
+
+    /// Tag pages currently spilled to the encrypted region.
+    #[must_use]
+    pub fn spilled_pages(&self) -> usize {
+        self.tag_pages
+            .iter()
+            .filter(|p| matches!(p.state, TagPageState::Spilled(_)))
+            .count()
+    }
+
+    /// Tag pages currently resident on-SoC.
+    #[must_use]
+    pub fn resident_tag_pages(&self) -> usize {
+        self.tag_pages
+            .iter()
+            .filter(|p| matches!(p.state, TagPageState::Resident(_)))
+            .count()
+    }
+
+    /// Raw spill-region device bytes for cold-boot hygiene scans, if a
+    /// spill has ever happened.
+    pub fn spill_region_raw(&mut self) -> Option<Vec<u8>> {
+        self.spill.as_mut().map(SpillRegion::raw_bytes)
+    }
+
+    /// Flip one raw byte of the spill device — the tamper-matrix hook
+    /// proving a corrupted blob surfaces a typed violation on restore.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-device errors; `OnSocExhausted` when no spill
+    /// region exists yet.
+    pub fn corrupt_spill_byte(&mut self, offset: u64) -> Result<(), SentryError> {
+        self.spill
+            .as_mut()
+            .ok_or(SentryError::OnSocExhausted)?
+            .corrupt_byte(offset)
+    }
+
+    /// Make tag page `idx` resident, re-allocating a released page or
+    /// restoring (and MAC-verifying) a spilled one, and bump its touch
+    /// ordinal.
+    fn ensure_resident(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+        idx: usize,
+    ) -> Result<u64, SentryError> {
+        self.touch_clock += 1;
+        self.tag_pages[idx].touch = self.touch_clock;
+        match self.tag_pages[idx].state {
+            TagPageState::Resident(addr) => Ok(addr),
+            TagPageState::Released => {
+                let addr = self.alloc_backing_or_reclaim(soc, store)?;
+                self.tag_pages[idx].state = TagPageState::Resident(addr);
+                Ok(addr)
+            }
+            TagPageState::Spilled(anchor) => {
+                let addr = self.alloc_backing_or_reclaim(soc, store)?;
+                match self.restore_into(soc, idx, anchor, addr) {
+                    Ok(()) => {
+                        self.tag_pages[idx].state = TagPageState::Resident(addr);
+                        store.pressure_mut().note_restore();
+                        Ok(addr)
+                    }
+                    Err(e) => {
+                        // Unwind: the page stays spilled (the anchor and
+                        // ciphertext are untouched) and the fresh page
+                        // goes straight back, so a cut mid-restore
+                        // neither tears state nor leaks on-SoC space.
+                        let _ = self.free_backing(soc, store, addr);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read one spilled page back through dm-crypt into `addr`,
+    /// verifying the anchor CMAC over the recovered plaintext.
+    fn restore_into(
+        &mut self,
+        soc: &mut Soc,
+        idx: usize,
+        anchor: SpillAnchor,
+        addr: u64,
+    ) -> Result<(), SentryError> {
+        soc.failpoint("spill.restore")?;
+        let mut plain = vec![0u8; PAGE_SIZE as usize];
+        self.spill_region(soc)?
+            .restore(soc, idx as u64, &mut plain)?;
+        let tweak = Self::spill_tweak(anchor.epoch);
+        Self::charge_mac(soc, 1);
+        let got = self
+            .cmac
+            .as_ref()
+            .expect("restore on a disabled plane")
+            .mac_parts_trunc8(&[&tweak, &plain]);
+        if got != anchor.tag {
+            return Err(SentryError::IntegrityViolation {
+                pid: 0,
+                vpn: idx as u64,
+                tag_expected: anchor.tag,
+                tag_got: got,
+            });
+        }
+        soc.mem_write(addr, &plain)?;
+        for b in plain.iter_mut() {
+            *b = 0;
+        }
+        Ok(())
+    }
+
+    /// Encrypt-and-spill tag page `idx`: CMAC the plaintext under the
+    /// epoch tweak, stage the dm-crypt ciphertext, then atomically swap
+    /// the on-SoC page for the anchor. A power cut at either failpoint
+    /// leaves the page resident and the store consistent.
+    fn spill_page(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+        idx: usize,
+    ) -> Result<(), SentryError> {
+        let addr = self.page_addr(idx);
+        let mut plain = vec![0u8; PAGE_SIZE as usize];
+        soc.mem_read(addr, &mut plain)?;
+        let tweak = Self::spill_tweak(self.spill_epoch);
+        Self::charge_mac(soc, 1);
+        let tag = self
+            .cmac
+            .as_ref()
+            .expect("spill on a disabled plane")
+            .mac_parts_trunc8(&[&tweak, &plain]);
+        // Kill point before any byte moves: nothing has changed yet.
+        soc.failpoint("spill.stage")?;
+        self.spill_region(soc)?.stage(soc, idx as u64, &plain)?;
+        // Kill point after staging: the region holds ciphertext nobody
+        // references yet; the page is still resident — a retry simply
+        // overwrites the orphan blob.
+        soc.failpoint("spill.anchor")?;
+        // Commit: anchor first, then free. A failure freeing leaks the
+        // page (counted) but never tears state.
+        let epoch = self.spill_epoch;
+        self.tag_pages[idx].state = TagPageState::Spilled(SpillAnchor { epoch, tag });
+        for b in plain.iter_mut() {
+            *b = 0;
+        }
+        self.free_backing(soc, store, addr)?;
+        store.pressure_mut().note_spill();
+        Ok(())
+    }
+
+    /// Reclaim one on-SoC tag page if possible: reap an empty resident
+    /// page (free), else spill the coldest live one (encrypted).
+    /// Returns whether a page was reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill I/O and SoC errors.
+    pub fn shed_cold_page(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+    ) -> Result<bool, SentryError> {
+        if self.reap_one(soc, store)? {
+            return Ok(true);
+        }
+        if !self.spill_active() {
+            return Ok(false);
+        }
+        let coldest = self
+            .tag_pages
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                matches!(p.state, TagPageState::Resident(_)) && (*i as u64) < SPILL_SLOTS
+            })
+            .min_by_key(|(_, p)| p.touch)
+            .map(|(i, _)| i);
+        match coldest {
+            Some(idx) => {
+                self.spill_page(soc, store, idx)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Reap one empty (no live slots) resident page back to the store.
+    fn reap_one(&mut self, soc: &mut Soc, store: &mut OnSocStore) -> Result<bool, SentryError> {
+        let Some(idx) = self
+            .tag_pages
+            .iter()
+            .position(|p| p.live == 0 && matches!(p.state, TagPageState::Resident(_)))
+        else {
+            return Ok(false);
+        };
+        let addr = self.page_addr(idx);
+        self.tag_pages[idx].state = TagPageState::Released;
+        self.free_backing(soc, store, addr)?;
+        store.pressure_mut().note_reclaimed(1);
+        Ok(true)
+    }
+
+    /// Reap every empty tag page: resident ones go back to the store,
+    /// spilled ones just drop their anchor (the orphan ciphertext is
+    /// unreachable and key-bound). Returns on-SoC pages reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC errors from the page wipes.
+    pub fn reap_empty(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+    ) -> Result<u64, SentryError> {
+        let mut reclaimed = 0;
+        while self.reap_one(soc, store)? {
+            reclaimed += 1;
+        }
+        for p in &mut self.tag_pages {
+            if p.live == 0 && matches!(p.state, TagPageState::Spilled(_)) {
+                p.state = TagPageState::Released;
+            }
+        }
+        Ok(reclaimed)
+    }
+
+    /// Release everything the plane holds for a set of frames (process
+    /// teardown): retire their tags, drop their quarantine entries, and
+    /// reap any tag pages that emptied out. Returns on-SoC pages
+    /// reclaimed — the leak this closes used to grow every long soak
+    /// into `OnSocExhausted`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC errors.
+    pub fn release_frames(
+        &mut self,
+        soc: &mut Soc,
+        store: &mut OnSocStore,
+        frames: &[u64],
+    ) -> Result<u64, SentryError> {
+        for &frame in frames {
+            self.retire_tag(soc, frame)?;
+            self.quarantine.remove(&frame);
+        }
+        self.reap_empty(soc, store)
     }
 
     /// Compute and store tags for a batch of freshly encrypted pages.
@@ -326,6 +765,7 @@ impl IntegrityPlane {
     pub fn verify_frames(
         &mut self,
         soc: &mut Soc,
+        store: &mut OnSocStore,
         jobs: &[(u64, [u8; 16])],
         buf: &mut [u8],
     ) -> Result<Vec<VerifyOutcome>, SentryError> {
@@ -341,6 +781,7 @@ impl IntegrityPlane {
                 outcomes.push(VerifyOutcome::Untagged);
                 continue;
             };
+            self.ensure_resident(soc, store, Self::page_index(slot))?;
             let mut expected = [0u8; TAG_BYTES];
             soc.mem_read(self.slot_addr(slot), &mut expected)?;
             let mut got = self.compute_tag(iv, chunk);
@@ -377,6 +818,7 @@ impl IntegrityPlane {
     pub fn verify_one(
         &mut self,
         soc: &mut Soc,
+        store: &mut OnSocStore,
         frame: u64,
         iv: &[u8; 16],
         chunk: &mut [u8],
@@ -385,7 +827,7 @@ impl IntegrityPlane {
             return Ok(VerifyOutcome::Ok);
         }
         let jobs = [(frame, *iv)];
-        Ok(self.verify_frames(soc, &jobs, chunk)?[0])
+        Ok(self.verify_frames(soc, store, &jobs, chunk)?[0])
     }
 
     /// Quarantine a poisoned page and return the typed violation error
@@ -448,14 +890,20 @@ impl IntegrityPlane {
     }
 
     /// Retire a frame's tag after its page returned to plaintext: the
-    /// slot is zeroed on-SoC and recycled. No-op for untagged frames.
+    /// slot is zeroed on-SoC (when its page is resident — a spilled
+    /// page's slot is simply unmapped, since any reuse overwrites it
+    /// before any read) and recycled. No-op for untagged frames.
     ///
     /// # Errors
     ///
     /// Propagates SoC write errors.
     pub fn retire_tag(&mut self, soc: &mut Soc, frame: u64) -> Result<(), SentryError> {
         if let Some(slot) = self.slots.remove(&frame) {
-            soc.mem_write(self.slot_addr(slot), &[0u8; TAG_BYTES])?;
+            let idx = Self::page_index(slot);
+            if matches!(self.tag_pages[idx].state, TagPageState::Resident(_)) {
+                soc.mem_write(self.slot_addr(slot), &[0u8; TAG_BYTES])?;
+            }
+            self.tag_pages[idx].live = self.tag_pages[idx].live.saturating_sub(1);
             self.free_slots.push(slot);
             self.stats.tags_retired += 1;
         }
@@ -468,12 +916,18 @@ impl IntegrityPlane {
         self.slots.contains_key(&frame)
     }
 
-    /// The on-SoC address of `frame`'s stored tag, if one exists.
-    /// Exposed so the tamper tests can flip bits *inside the tag store
-    /// itself* and prove the mismatch is caught from either side.
+    /// The on-SoC address of `frame`'s stored tag, if one exists and
+    /// its page is currently resident. Exposed so the tamper tests can
+    /// flip bits *inside the tag store itself* and prove the mismatch
+    /// is caught from either side.
     #[must_use]
     pub fn tag_slot_addr(&self, frame: u64) -> Option<u64> {
-        self.slots.get(&frame).map(|&slot| self.slot_addr(slot))
+        self.slots.get(&frame).and_then(|&slot| {
+            match self.tag_pages[Self::page_index(slot)].state {
+                TagPageState::Resident(_) => Some(self.slot_addr(slot)),
+                _ => None,
+            }
+        })
     }
 }
 
@@ -510,7 +964,9 @@ mod tests {
             .unwrap();
         assert!(plane.has_tag(frame));
         assert_eq!(
-            plane.verify_one(&mut soc, frame, &iv, &mut page).unwrap(),
+            plane
+                .verify_one(&mut soc, &mut store, frame, &iv, &mut page)
+                .unwrap(),
             VerifyOutcome::Ok
         );
         plane.retire_tag(&mut soc, frame).unwrap();
@@ -533,7 +989,9 @@ mod tests {
         // byte, so the bounded retries cannot heal it.
         page[100] ^= 0x04;
         soc.mem_write(frame, &page).unwrap();
-        let outcome = plane.verify_one(&mut soc, frame, &iv, &mut page).unwrap();
+        let outcome = plane
+            .verify_one(&mut soc, &mut store, frame, &iv, &mut page)
+            .unwrap();
         let VerifyOutcome::Mismatch { expected, got } = outcome else {
             panic!("tamper not detected: {outcome:?}");
         };
@@ -568,7 +1026,7 @@ mod tests {
         // Same bytes, stale epoch in the tweak: the tag cannot match.
         assert!(matches!(
             plane
-                .verify_one(&mut soc, frame, &old_iv, &mut page)
+                .verify_one(&mut soc, &mut store, frame, &old_iv, &mut page)
                 .unwrap(),
             VerifyOutcome::Mismatch { .. }
         ));
@@ -612,6 +1070,66 @@ mod tests {
     }
 
     #[test]
+    fn cold_tag_pages_spill_and_restore_byte_identically() {
+        let (mut plane, mut store, mut soc) = plane_and_store(OnSocBackend::Iram);
+        let page = vec![1u8; PAGE_SIZE as usize];
+        let mut frames = Vec::new();
+        for i in 0..(TAGS_PER_PAGE + 2) {
+            let frame = dram_frame(&soc, i);
+            soc.mem_write(frame, &page).unwrap();
+            plane
+                .store_tags(&mut soc, &mut store, &[(frame, [0u8; 16])], &page)
+                .unwrap();
+            frames.push(frame);
+        }
+        assert_eq!(plane.resident_tag_pages(), 2);
+        let before = store.in_use_bytes();
+        assert!(plane.shed_cold_page(&mut soc, &mut store).unwrap());
+        assert_eq!(plane.spilled_pages(), 1);
+        assert_eq!(store.in_use_bytes(), before - PAGE_SIZE, "page returned");
+        // Touching a tag on the spilled page restores and verifies it.
+        let mut buf = page.clone();
+        assert_eq!(
+            plane
+                .verify_one(&mut soc, &mut store, frames[0], &[0u8; 16], &mut buf)
+                .unwrap(),
+            VerifyOutcome::Ok
+        );
+        assert_eq!(plane.spilled_pages(), 0);
+        assert_eq!(store.pressure().stats.spills, 1);
+        assert_eq!(store.pressure().stats.spill_restores, 1);
+    }
+
+    #[test]
+    fn release_frames_reaps_emptied_tag_pages() {
+        let (mut plane, mut store, mut soc) = plane_and_store(OnSocBackend::Iram);
+        let page = vec![3u8; PAGE_SIZE as usize];
+        let mut frames = Vec::new();
+        for i in 0..(TAGS_PER_PAGE + 2) {
+            let frame = dram_frame(&soc, i);
+            soc.mem_write(frame, &page).unwrap();
+            plane
+                .store_tags(&mut soc, &mut store, &[(frame, [0u8; 16])], &page)
+                .unwrap();
+            frames.push(frame);
+        }
+        let held = store.in_use_bytes();
+        assert_eq!(plane.resident_tag_pages(), 2);
+        let reclaimed = plane.release_frames(&mut soc, &mut store, &frames).unwrap();
+        assert_eq!(reclaimed, 2, "both emptied pages return to the store");
+        assert_eq!(plane.resident_tag_pages(), 0);
+        assert_eq!(store.in_use_bytes(), held - 2 * PAGE_SIZE);
+        assert_eq!(store.pressure().stats.reclaimed_pages, 2);
+        // The store keeps working after the reap.
+        let fresh = dram_frame(&soc, 500);
+        soc.mem_write(fresh, &page).unwrap();
+        plane
+            .store_tags(&mut soc, &mut store, &[(fresh, [0u8; 16])], &page)
+            .unwrap();
+        assert!(plane.has_tag(fresh));
+    }
+
+    #[test]
     fn disabled_plane_is_inert() {
         let mut soc = soc();
         let mut store = OnSocStore::new(OnSocBackend::Iram, &mut soc).unwrap();
@@ -627,7 +1145,7 @@ mod tests {
         assert!(!plane.has_tag(frame));
         assert_eq!(
             plane
-                .verify_one(&mut soc, frame, &[0u8; 16], &mut page)
+                .verify_one(&mut soc, &mut store, frame, &[0u8; 16], &mut page)
                 .unwrap(),
             VerifyOutcome::Ok
         );

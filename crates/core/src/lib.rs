@@ -65,6 +65,7 @@ pub mod integrity;
 pub mod keys;
 pub mod lifecycle;
 pub mod onsoc;
+pub mod pressure;
 pub mod store;
 pub mod txn;
 
@@ -72,8 +73,11 @@ pub use config::{IntegrityConfig, OnSocBackend, PageCipherMode, ParallelConfig, 
 pub use device::{DeviceAgent, ScreenState, UnlockOutcome};
 pub use error::SentryError;
 pub use health::{FailureKind, HealthConfig, HealthGovernor, HealthState, HealthStats, RetryStats};
-pub use integrity::{IntegrityPlane, IntegrityStats, QuarantinedPage, VerifyOutcome};
+pub use integrity::{
+    IntegrityPlane, IntegrityStats, QuarantinedPage, SpillAnchor, TagPageState, VerifyOutcome,
+};
 pub use lifecycle::{
     DeviceState, DeviceStats, LifecycleStats, ParallelStats, RecoveryReport, Sentry,
 };
+pub use pressure::{PressureConfig, PressureLevel, PressureStats, PressureTracker, SpillRegion};
 pub use txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp};

@@ -16,6 +16,7 @@ use crate::error::SentryError;
 use crate::integrity::{IntegrityPlane, QuarantinedPage, VerifyOutcome};
 use crate::keys::VolatileRootKey;
 use crate::onsoc::OnSocStore;
+use crate::pressure::{PressureLevel, PressureStats};
 use crate::txn::{CommitTagger, JournalEntry, TxnJournal, TxnOp, MAX_ENTRIES};
 use sentry_crypto::parallel::{crypt_batch, BatchReport, Direction, PageJob};
 use sentry_crypto::{
@@ -132,6 +133,10 @@ pub struct LifecycleStats {
     /// timeouts, abandoned and CPU-fallback bytes), mirrored from
     /// [`Sentry::health`] after every governed dispatch.
     pub health: HealthStats,
+    /// On-SoC pressure telemetry (occupancy, high-water mark, watermark
+    /// transitions, shed/spill/reclaim counters), mirrored from the
+    /// store's tracker by [`Sentry::sync_pressure`].
+    pub pressure: PressureStats,
 }
 
 /// What one background sweeper step did.
@@ -300,7 +305,8 @@ impl Sentry {
     pub fn new(mut kernel: Kernel, config: SentryConfig) -> Result<Self, SentryError> {
         let host_start = std::time::Instant::now();
         let sim_start = kernel.soc.clock.now_ns();
-        let mut store = OnSocStore::new(config.backend, &mut kernel.soc)?;
+        let mut store =
+            OnSocStore::with_pressure(config.backend, config.pressure, &mut kernel.soc)?;
         let key_page = store.alloc_page(&mut kernel.soc)?;
         let volatile_key =
             VolatileRootKey::generate(&mut kernel.soc, key_page, 0xB007_0000 ^ key_page)?;
@@ -326,7 +332,8 @@ impl Sentry {
         // The integrity plane's MAC key derives from the volatile root
         // key, and its tag store sits next to the journal on-SoC: both
         // die with power, exactly like the ciphertext they authenticate.
-        let integrity = IntegrityPlane::with_root(config.integrity, config.backend, &root)?;
+        let mut integrity = IntegrityPlane::with_root(config.integrity, config.backend, &root)?;
+        integrity.set_spill_allowed(config.pressure.spill);
         // The journal commit-tag scheme follows the cipher mode: the
         // CMAC it may need is keyed once here, from the same root key.
         let commit = CommitTagger::with_root(config.cipher_mode, &root)?;
@@ -385,6 +392,122 @@ impl Sentry {
         let now = self.kernel.soc.clock.now_ns();
         self.health.finalize(now);
         self.stats.health = self.health.stats;
+    }
+
+    /// Re-derive on-SoC occupancy and mirror the pressure tracker's
+    /// counters onto [`LifecycleStats::pressure`]. Call before reading
+    /// pressure telemetry at a report boundary.
+    pub fn sync_pressure(&mut self) {
+        self.store.refresh_pressure();
+        self.stats.pressure = self.store.pressure().stats;
+    }
+
+    /// The store's current watermark level.
+    #[must_use]
+    pub fn pressure_level(&self) -> PressureLevel {
+        self.store.pressure_level()
+    }
+
+    /// Install (or clear, with `None`) an on-SoC budget tighter than the
+    /// physical capacity — the fleet's memory-pressure chaos knob — then
+    /// immediately run the governor so reclaim starts before the next
+    /// allocation hits the shrunken budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill I/O errors from the reclaim pass.
+    pub fn set_onsoc_budget(&mut self, budget: Option<u64>) -> Result<(), SentryError> {
+        self.store.pressure_mut().set_budget_override(budget);
+        self.store.refresh_pressure();
+        self.govern_pressure()?;
+        self.sync_pressure();
+        Ok(())
+    }
+
+    /// The reclaim loop: while the store sits at Critical, shed cold
+    /// tag-store pages (reap empties, spill cold ones to the encrypted
+    /// region) and return free pager slots, until the level drops or no
+    /// lever makes progress. Runs at every lifecycle entry point, so
+    /// relief happens *before* work that needs on-SoC space — an
+    /// allocation is refused only when everything reclaimable is gone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill I/O and SoC errors.
+    fn govern_pressure(&mut self) -> Result<(), SentryError> {
+        if !self.config.pressure.enabled {
+            return Ok(());
+        }
+        while self.store.pressure_level() == PressureLevel::Critical {
+            let shed = self
+                .integrity
+                .shed_cold_page(&mut self.kernel.soc, &mut self.store)?;
+            let shrunk = self
+                .pager
+                .shrink_free_slots(&mut self.store, &mut self.kernel)?;
+            if !shed && shrunk == 0 {
+                break;
+            }
+            self.store.pressure_mut().note_shed();
+            self.store.refresh_pressure();
+        }
+        Ok(())
+    }
+
+    /// Process teardown: release every on-SoC and DRAM resource the
+    /// dying process pins, so long spawn/exit churn never leaks the
+    /// store into [`SentryError::OnSocExhausted`]. In order: the pager
+    /// drops (and wipes) the pid's resident slots, the kernel unmaps the
+    /// address space and frees its frames (shared frames only with the
+    /// last mapper), the integrity plane retires the dead frames' tags
+    /// and quarantine entries and reaps emptied tag pages, and free
+    /// pager slots at the table tail return to the store. Returns the
+    /// number of on-SoC pages reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// [`SentryError::TransitionInFlight`] while a journaled transition
+    /// is open, [`KernelError::UnknownPid`] for bad pids; propagated
+    /// memory errors otherwise.
+    pub fn on_exit(&mut self, pid: Pid) -> Result<u64, SentryError> {
+        self.ensure_no_txn("on_exit")?;
+        let _ = self.kernel.proc(pid)?;
+        self.pager.drop_pid(&mut self.kernel, pid)?;
+        // Frames that die with the process: DRAM-backed frames with no
+        // surviving sharer, plus home frames of on-SoC-resident pages.
+        let mut frames: Vec<u64> = Vec::new();
+        for (_vpn, pte) in self.kernel.procs[&pid].page_table.iter() {
+            let frame = match pte.backing {
+                Backing::Dram(f) => f,
+                Backing::OnSoc(_) => match pte.home_frame {
+                    Some(f) => f,
+                    None => continue,
+                },
+            };
+            let last_mapper = self
+                .kernel
+                .shared_frames
+                .get(&frame)
+                .is_none_or(|s| s.iter().all(|&(p, _)| p == pid));
+            if last_mapper {
+                frames.push(frame);
+            }
+        }
+        self.kernel.exit(pid)?;
+        let reclaimed =
+            self.integrity
+                .release_frames(&mut self.kernel.soc, &mut self.store, &frames)?;
+        let shrunk = self
+            .pager
+            .shrink_free_slots(&mut self.store, &mut self.kernel)?;
+        if self
+            .sweep_cursor
+            .is_some_and(|(cursor_pid, _)| cursor_pid == pid)
+        {
+            self.sweep_cursor = None;
+        }
+        self.sync_pressure();
+        Ok(reclaimed + shrunk)
     }
 
     /// Mark a process sensitive — the settings-menu toggle of §7.
@@ -778,9 +901,12 @@ impl Sentry {
         // batch, PTE left encrypted — and the authentic remainder
         // proceeds: graceful degradation, not a panic.
         if self.integrity.enabled() {
-            let outcomes = self
-                .integrity
-                .verify_frames(&mut self.kernel.soc, &jobs, &mut buf)?;
+            let outcomes = self.integrity.verify_frames(
+                &mut self.kernel.soc,
+                &mut self.store,
+                &jobs,
+                &mut buf,
+            )?;
             if outcomes
                 .iter()
                 .any(|o| matches!(o, VerifyOutcome::Mismatch { .. }))
@@ -1045,6 +1171,18 @@ impl Sentry {
     /// Propagates sweeper errors.
     pub fn scheduler_tick(&mut self) -> Result<SweepReport, SentryError> {
         self.kernel.sched.tick();
+        self.govern_pressure()?;
+        // Shed lever: the background sweeper is elective load — under
+        // High or Critical pressure its decrypt batches would only add
+        // on-SoC traffic while the governor is trying to reclaim, so the
+        // tick skips it until pressure falls back to Normal.
+        if self.config.pressure.enabled && self.store.pressure_level() >= PressureLevel::High {
+            self.store.pressure_mut().note_shed();
+            return Ok(SweepReport {
+                residual_pages: self.residual_encrypted_pages(),
+                ..SweepReport::default()
+            });
+        }
         if self.config.readahead.enabled && self.state == DeviceState::Unlocked {
             self.sweep(self.config.readahead.sweep_budget_pages)
         } else {
@@ -1090,6 +1228,10 @@ impl Sentry {
         // and the pager's eviction sweep belong to this cycle's IV
         // namespace too.
         let epoch = self.lock_epoch + 1;
+        // Spill anchors written during this transition bind to the new
+        // epoch; a replayed old-epoch blob then fails its anchor CMAC.
+        self.integrity.set_epoch(epoch);
+        self.govern_pressure()?;
         let zero_drain_ns = self.kernel.drain_zero_thread()?;
         self.pager.evict_all(
             &mut self.store,
@@ -1335,6 +1477,7 @@ impl Sentry {
             });
         }
         self.kernel.soc.failpoint("unlock.begin")?;
+        self.govern_pressure()?;
         // Screen on ⇒ clocks restored: the eager DMA-region decrypt and
         // everything after it run at Awake accelerator throughput.
         self.kernel.soc.accel.state = AccelPowerState::Awake;
@@ -1376,9 +1519,12 @@ impl Sentry {
         // quarantined out of the batch.
         let mut buf = self.gather_frames(&jobs)?;
         if self.integrity.enabled() && !jobs.is_empty() {
-            let outcomes = self
-                .integrity
-                .verify_frames(&mut self.kernel.soc, &jobs, &mut buf)?;
+            let outcomes = self.integrity.verify_frames(
+                &mut self.kernel.soc,
+                &mut self.store,
+                &jobs,
+                &mut buf,
+            )?;
             if outcomes
                 .iter()
                 .any(|o| matches!(o, VerifyOutcome::Mismatch { .. }))
@@ -1483,6 +1629,7 @@ impl Sentry {
     fn handle_fault(&mut self, fault: &PageFault) -> Result<(), SentryError> {
         self.ensure_no_txn("handle_fault")?;
         self.kernel.soc.failpoint("fault.begin")?;
+        self.govern_pressure()?;
         let sensitive = self.kernel.proc(fault.pid)?.sensitive;
         match self.state {
             DeviceState::Locked => {
@@ -1535,9 +1682,17 @@ impl Sentry {
                         // encrypted DRAM neighbours in the same aligned
                         // window and decrypt them in one batched kernel
                         // call — N first-touch faults become 1.
-                        let cluster = if self.config.readahead.enabled {
+                        let shed_cluster = self.config.pressure.enabled
+                            && self.store.pressure_level() >= PressureLevel::High;
+                        let cluster = if self.config.readahead.enabled && !shed_cluster {
                             self.config.readahead.cluster_pages.max(1)
                         } else {
+                            // Shed lever: under High pressure readahead
+                            // companions are elective — the cluster
+                            // shrinks to the faulting page alone.
+                            if shed_cluster && self.config.readahead.cluster_pages > 1 {
+                                self.store.pressure_mut().note_shed();
+                            }
                             1
                         };
                         let base = fault.vpn - fault.vpn % cluster as u64;
@@ -1788,9 +1943,13 @@ impl Sentry {
             let mut verdict = VerifyOutcome::Ok;
             for &(pid, vpn, epoch) in &mappings {
                 let iv = page_iv(pid, vpn, epoch);
-                verdict = self
-                    .integrity
-                    .verify_one(&mut self.kernel.soc, frame, &iv, &mut page)?;
+                verdict = self.integrity.verify_one(
+                    &mut self.kernel.soc,
+                    &mut self.store,
+                    frame,
+                    &iv,
+                    &mut page,
+                )?;
                 if matches!(verdict, VerifyOutcome::Ok | VerifyOutcome::Untagged) {
                     break;
                 }
@@ -1907,6 +2066,7 @@ impl Sentry {
             self.kernel.soc.mem_read(entry.frame, &mut page)?;
             match self.integrity.verify_one(
                 &mut self.kernel.soc,
+                &mut self.store,
                 entry.frame,
                 &entry.iv,
                 &mut page,

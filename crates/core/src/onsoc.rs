@@ -18,6 +18,7 @@
 
 use crate::config::OnSocBackend;
 use crate::error::SentryError;
+use crate::pressure::{PressureConfig, PressureLevel, PressureTracker};
 use sentry_kernel::layout::{LOCKED_WINDOW_BASE, LOCKED_WINDOW_SIZE};
 use sentry_soc::addr::{IRAM_BASE, IRAM_FIRMWARE_RESERVED, IRAM_SIZE, PAGE_SIZE};
 use sentry_soc::cache::{ALL_WAYS, WAY_BYTES};
@@ -44,16 +45,37 @@ pub struct OnSocStore {
     locked: Vec<LockedWay>,
     locked_mask: u8,
     dma_protected: bool,
+    /// On-SoC bytes consumers claimed *outside* `alloc_page` (the
+    /// locked-L2 backend's journal page and fixed iRAM tag pages),
+    /// charged via [`OnSocStore::charge_external`] so the pressure
+    /// tracker sees every scarce byte.
+    external_bytes: u64,
+    /// The pressure governor over this store's bytes.
+    pressure: PressureTracker,
 }
 
 impl OnSocStore {
-    /// Create a store for `backend`. For iRAM, registers the usable
-    /// range as DMA-protected via TrustZone.
+    /// Create a store for `backend` with the default pressure governor.
+    /// For iRAM, registers the usable range as DMA-protected via
+    /// TrustZone.
     ///
     /// # Errors
     ///
     /// Propagates SoC errors from the TrustZone programming.
     pub fn new(backend: OnSocBackend, soc: &mut Soc) -> Result<Self, SentryError> {
+        OnSocStore::with_pressure(backend, PressureConfig::default(), soc)
+    }
+
+    /// Create a store for `backend` governed by `pressure`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC errors from the TrustZone programming.
+    pub fn with_pressure(
+        backend: OnSocBackend,
+        pressure: PressureConfig,
+        soc: &mut Soc,
+    ) -> Result<Self, SentryError> {
         let mut store = OnSocStore {
             backend,
             free: Vec::new(),
@@ -61,11 +83,26 @@ impl OnSocStore {
             locked: Vec::new(),
             locked_mask: 0,
             dma_protected: false,
+            external_bytes: 0,
+            pressure: PressureTracker::new(pressure, Self::capacity_bytes(backend)),
         };
         if backend == OnSocBackend::Iram {
             store.protect_iram(soc);
         }
         Ok(store)
+    }
+
+    /// Physical capacity of the scarce bytes this store governs: the
+    /// usable iRAM range (which also hosts the journal and, in locked-L2
+    /// mode, the fixed tag pages) plus the way budget when cache locking
+    /// is configured.
+    #[must_use]
+    pub fn capacity_bytes(backend: OnSocBackend) -> u64 {
+        let iram = IRAM_SIZE - IRAM_FIRMWARE_RESERVED;
+        match backend {
+            OnSocBackend::Iram => iram,
+            OnSocBackend::LockedL2 { max_ways } => iram + max_ways as u64 * WAY_BYTES as u64,
+        }
     }
 
     /// The configured backend.
@@ -87,6 +124,61 @@ impl OnSocStore {
             OnSocBackend::Iram => self.iram_next - (IRAM_BASE + IRAM_FIRMWARE_RESERVED),
             OnSocBackend::LockedL2 { .. } => self.locked.len() as u64 * WAY_BYTES as u64,
         }
+    }
+
+    /// On-SoC bytes actually in use: claimed bytes minus the free list,
+    /// plus externally charged pages (journal, fixed tag pages).
+    #[must_use]
+    pub fn in_use_bytes(&self) -> u64 {
+        self.claimed_bytes() - self.free.len() as u64 * PAGE_SIZE + self.external_bytes
+    }
+
+    /// The pressure governor's read side.
+    #[must_use]
+    pub fn pressure(&self) -> &PressureTracker {
+        &self.pressure
+    }
+
+    /// The pressure governor's write side (budget overrides, shed/spill
+    /// counters).
+    pub fn pressure_mut(&mut self) -> &mut PressureTracker {
+        &mut self.pressure
+    }
+
+    /// Current watermark level.
+    #[must_use]
+    pub fn pressure_level(&self) -> PressureLevel {
+        self.pressure.level()
+    }
+
+    /// Re-derive occupancy and watermark level. Called after every
+    /// alloc/free/external charge; also the hook for budget changes.
+    pub fn refresh_pressure(&mut self) {
+        let in_use = self.in_use_bytes();
+        self.pressure.note_usage(in_use);
+    }
+
+    /// Charge one externally claimed on-SoC page (locked-L2 journal or
+    /// fixed tag page) against the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`SentryError::OnSocExhausted`] when the charge would exceed the
+    /// effective budget.
+    pub fn charge_external(&mut self, bytes: u64) -> Result<(), SentryError> {
+        if self.pressure.would_deny(self.in_use_bytes() + bytes) {
+            self.pressure.note_denied();
+            return Err(SentryError::OnSocExhausted);
+        }
+        self.external_bytes += bytes;
+        self.refresh_pressure();
+        Ok(())
+    }
+
+    /// Return externally charged bytes to the budget.
+    pub fn release_external(&mut self, bytes: u64) {
+        self.external_bytes = self.external_bytes.saturating_sub(bytes);
+        self.refresh_pressure();
     }
 
     fn protect_iram(&mut self, soc: &mut Soc) {
@@ -111,17 +203,25 @@ impl OnSocStore {
     /// [`SentryError::OnSocExhausted`] when iRAM (or the configured way
     /// budget) is spent; SoC errors when cache locking is unavailable.
     pub fn alloc_page(&mut self, soc: &mut Soc) -> Result<u64, SentryError> {
+        // Budget gate first: a shrunken budget (fleet chaos, tests)
+        // denies growth even while free pages or unlocked ways remain,
+        // so relief always comes from freeing, shedding, or spilling.
+        if self.pressure.would_deny(self.in_use_bytes() + PAGE_SIZE) {
+            self.pressure.note_denied();
+            return Err(SentryError::OnSocExhausted);
+        }
         if let Some(page) = self.free.pop() {
+            self.refresh_pressure();
             return Ok(page);
         }
-        match self.backend {
+        let page = match self.backend {
             OnSocBackend::Iram => {
                 if self.iram_next + PAGE_SIZE <= IRAM_BASE + IRAM_SIZE {
                     let page = self.iram_next;
                     self.iram_next += PAGE_SIZE;
-                    Ok(page)
+                    page
                 } else {
-                    Err(SentryError::OnSocExhausted)
+                    return Err(SentryError::OnSocExhausted);
                 }
             }
             OnSocBackend::LockedL2 { max_ways } => {
@@ -135,9 +235,11 @@ impl OnSocStore {
                 for i in (1..PAGES_PER_WAY).rev() {
                     self.free.push(window + i * PAGE_SIZE);
                 }
-                Ok(window)
+                window
             }
-        }
+        };
+        self.refresh_pressure();
+        Ok(page)
     }
 
     /// Lock cache way `way` per the §4.5 pseudocode.
@@ -180,6 +282,7 @@ impl OnSocStore {
     pub fn free_page(&mut self, soc: &mut Soc, page: u64) -> Result<(), SentryError> {
         soc.mem_write(page, &[0u8; PAGE_SIZE as usize])?;
         self.free.push(page);
+        self.refresh_pressure();
         Ok(())
     }
 
@@ -202,6 +305,7 @@ impl OnSocStore {
         self.free.clear();
         soc.in_secure_world(|soc| soc.set_cache_alloc_mask(ALL_WAYS))?;
         soc.set_cache_flush_mask(ALL_WAYS);
+        self.refresh_pressure();
         Ok(())
     }
 }
@@ -237,6 +341,40 @@ mod tests {
         // Freed pages can be re-allocated.
         store.free_page(&mut soc, pages[0]).unwrap();
         assert_eq!(store.alloc_page(&mut soc).unwrap(), pages[0]);
+    }
+
+    #[test]
+    fn budget_override_denies_and_relief_restores() {
+        let mut soc = Soc::tegra3_small();
+        let mut store = OnSocStore::new(OnSocBackend::Iram, &mut soc).unwrap();
+        let page = store.alloc_page(&mut soc).unwrap();
+        assert_eq!(store.in_use_bytes(), PAGE_SIZE);
+        store.pressure_mut().set_budget_override(Some(PAGE_SIZE));
+        store.refresh_pressure();
+        assert!(matches!(
+            store.alloc_page(&mut soc),
+            Err(SentryError::OnSocExhausted)
+        ));
+        assert_eq!(store.pressure().stats.denied, 1);
+        // Relief: freeing the page brings usage back under budget.
+        store.free_page(&mut soc, page).unwrap();
+        assert_eq!(store.alloc_page(&mut soc).unwrap(), page);
+    }
+
+    #[test]
+    fn external_charges_count_against_the_budget() {
+        let mut soc = Soc::tegra3_small();
+        let mut store = OnSocStore::new(OnSocBackend::LockedL2 { max_ways: 1 }, &mut soc).unwrap();
+        store.charge_external(PAGE_SIZE).unwrap();
+        assert_eq!(store.in_use_bytes(), PAGE_SIZE);
+        store.pressure_mut().set_budget_override(Some(PAGE_SIZE));
+        store.refresh_pressure();
+        assert!(matches!(
+            store.charge_external(PAGE_SIZE),
+            Err(SentryError::OnSocExhausted)
+        ));
+        store.release_external(PAGE_SIZE);
+        assert_eq!(store.in_use_bytes(), 0);
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct ReadOverlapStats {
     pub fallback_below_threshold: u64,
     /// Fallbacks because the health breaker was open for the accel path.
     pub fallback_breaker_open: u64,
+    /// Keystream precompute passes cut short by the pressure governor's
+    /// fill cap (elective cache growth shed while on-SoC space is
+    /// scarce).
+    pub keystream_fill_capped: u64,
     /// Accelerator descriptors abandoned at the watchdog deadline.
     pub accel_timeouts: u64,
     /// Accelerator descriptors retired with a corrupt status word.
@@ -100,6 +104,10 @@ impl ReadOverlapStats {
 pub struct ReadPipeline {
     config: PipelineConfig,
     cache: KeystreamCache,
+    /// Pressure-governor fill cap: while set, precompute stops growing
+    /// the cache past this many resident sectors (existing entries stay
+    /// usable). `None` leaves the cache's own capacity in charge.
+    fill_cap: Option<usize>,
     /// Bitsliced cipher under the volume key — same key the engine was
     /// given, so its CTR output is byte-identical to the engine's.
     /// `None` until `set_key` runs with the pipeline enabled.
@@ -113,6 +121,7 @@ impl ReadPipeline {
         ReadPipeline {
             config,
             cache: KeystreamCache::new(SECTOR_SIZE, config.keystream_sectors),
+            fill_cap: None,
             bits: None,
             stats: ReadOverlapStats::default(),
         }
@@ -207,6 +216,16 @@ impl DmCrypt {
     pub fn zeroize_keystream(&self) {
         if let Some(p) = self.pipeline.borrow_mut().as_mut() {
             p.cache.rotate_epoch();
+        }
+    }
+
+    /// Install (or clear) the pressure governor's keystream fill cap:
+    /// while set, the precompute lanes stop growing the cache past `cap`
+    /// resident sectors. Entries already cached keep serving hits —
+    /// the cap sheds elective growth, it does not discard keystream.
+    pub fn set_keystream_cap(&self, cap: Option<usize>) {
+        if let Some(p) = self.pipeline.borrow_mut().as_mut() {
+            p.fill_cap = cap;
         }
     }
 
@@ -420,6 +439,10 @@ impl DmCrypt {
                 if budget < ks_cost {
                     break;
                 }
+                if p.fill_cap.is_some_and(|cap| p.cache.len() >= cap) {
+                    p.stats.keystream_fill_capped += 1;
+                    break;
+                }
                 budget -= ks_cost;
                 p.cache.insert(s, ctr_keystream(bits, iv, SECTOR_SIZE));
                 p.stats.precomputed_under_disk += 1;
@@ -498,6 +521,10 @@ impl DmCrypt {
                         continue;
                     }
                     if soc.clock.now_ns() + ks_cost > deadline {
+                        break;
+                    }
+                    if p.fill_cap.is_some_and(|cap| p.cache.len() >= cap) {
+                        p.stats.keystream_fill_capped += 1;
                         break;
                     }
                     p.cache.insert(
@@ -962,6 +989,45 @@ mod tests {
         dm.read(&mut api, &mut soc, &mut disk, 16, &mut back)
             .unwrap();
         assert_eq!(back, data[16 * SECTOR_SIZE..32 * SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn keystream_cap_sheds_fill_without_breaking_reads() {
+        let (mut api, mut soc, mut disk, _) = setup();
+        api.preferred_mut()
+            .unwrap()
+            .set_mode(PageCipherMode::Ctr)
+            .unwrap();
+        let dm = DmCrypt::with_preferred_cipher();
+        dm.enable_pipeline(PipelineConfig::enabled());
+        dm.set_key(&mut api, &mut soc, &[9u8; 16]).unwrap();
+        soc.accel.state = AccelPowerState::Awake;
+
+        let data = vec![0x2Du8; SECTOR_SIZE * 32];
+        dm.write(&mut api, &mut soc, &mut disk, 0, &data).unwrap();
+
+        dm.set_keystream_cap(Some(2));
+        let mut back = vec![0u8; SECTOR_SIZE * 16];
+        dm.read(&mut api, &mut soc, &mut disk, 0, &mut back)
+            .unwrap();
+        assert_eq!(back, data[..16 * SECTOR_SIZE], "capped reads stay correct");
+        assert!(
+            dm.keystream_resident() <= 2,
+            "cache never grows past the cap: {}",
+            dm.keystream_resident()
+        );
+        let (stats, _) = dm.pipeline_stats().unwrap();
+        assert!(stats.keystream_fill_capped > 0, "{stats:?}");
+
+        // Relief: lifting the cap restores elective fill.
+        dm.set_keystream_cap(None);
+        dm.read(&mut api, &mut soc, &mut disk, 16, &mut back)
+            .unwrap();
+        assert_eq!(back, data[16 * SECTOR_SIZE..32 * SECTOR_SIZE]);
+        assert!(
+            dm.keystream_resident() > 2,
+            "uncapped reads refill the cache"
+        );
     }
 
     #[test]

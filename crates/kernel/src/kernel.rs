@@ -70,6 +70,47 @@ impl Kernel {
         pid
     }
 
+    /// Tear down a process: unmap its whole address space, return
+    /// DRAM frames to the dirty queue (they stay there until the
+    /// zeroing thread scrubs them, §7), and drop the pid from the
+    /// scheduler and the shared-frame registry. A shared frame is
+    /// freed only when its last mapper exits. On-SoC backings are
+    /// skipped — the caller (Sentry's teardown path) releases those
+    /// through the pager before calling `exit`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownPid`].
+    pub fn exit(&mut self, pid: Pid) -> Result<(), KernelError> {
+        let proc = self
+            .procs
+            .remove(&pid)
+            .ok_or(KernelError::UnknownPid(pid))?;
+        for (_vpn, pte) in proc.page_table.iter() {
+            let frame = match pte.backing {
+                Backing::Dram(f) => f,
+                // An on-SoC page's slot is the pager's to reclaim, but
+                // its DRAM home frame dies with the process.
+                Backing::OnSoc(_) => match pte.home_frame {
+                    Some(f) => f,
+                    None => continue,
+                },
+            };
+            match self.shared_frames.get_mut(&frame) {
+                Some(sharers) => {
+                    sharers.retain(|&(p, _)| p != pid);
+                    if sharers.is_empty() {
+                        self.shared_frames.remove(&frame);
+                        self.frames.free(frame);
+                    }
+                }
+                None => self.frames.free(frame),
+            }
+        }
+        self.sched.remove(pid);
+        Ok(())
+    }
+
     /// Borrow a process.
     ///
     /// # Errors
@@ -456,6 +497,26 @@ mod tests {
         let mut raw = [0u8; 4];
         k.soc.mem_read(stack + 8, &mut raw).unwrap();
         assert_eq!(u32::from_le_bytes(raw), 0xFEED_BEEF);
+    }
+
+    #[test]
+    fn exit_frees_frames_and_respects_sharing() {
+        let mut k = kernel();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        k.write(a, 0x1000, b"private").unwrap();
+        k.map_shared(a, 9, b, 9).unwrap();
+        let before = k.frames.dirty_count();
+        k.exit(a).unwrap();
+        // The private frame joins the dirty queue; the shared frame is
+        // still pinned by `b`.
+        assert_eq!(k.frames.dirty_count(), before + 1);
+        assert!(k.proc(a).is_err());
+        let mut buf = [0u8; 1];
+        k.read(b, 9 * PAGE_SIZE, &mut buf).unwrap();
+        k.exit(b).unwrap();
+        assert!(k.shared_frames.is_empty());
+        assert_eq!(k.frames.dirty_count(), before + 2);
     }
 
     #[test]

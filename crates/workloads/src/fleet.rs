@@ -39,7 +39,10 @@
 
 use sentry_attacks::tamper::flip_bit;
 use sentry_core::config::{PipelineConfig, ReadaheadConfig};
-use sentry_core::{DeviceState, HealthStats, PageCipherMode, Sentry, SentryConfig, SentryError};
+use sentry_core::{
+    DeviceState, HealthStats, PageCipherMode, PressureLevel, PressureStats, Sentry, SentryConfig,
+    SentryError,
+};
 use sentry_kernel::block::{RamDisk, SECTOR_SIZE};
 use sentry_kernel::crypto_api::{CryptoApi, GenericAesEngine};
 use sentry_kernel::dmcrypt::DmCrypt;
@@ -255,6 +258,11 @@ pub struct EventMix {
     /// rate across a dm-crypt read-back, absorbed by the governor's
     /// bounded retry/backoff.
     pub flaky_disk: u32,
+    /// A memory-pressure squeeze: the on-SoC budget is choked to a few
+    /// pages while a storm of short-lived sensitive processes spawns,
+    /// writes, and exits — the pressure governor must shed/spill and
+    /// the teardown path must return every on-SoC page.
+    pub mem_pressure: u32,
 }
 
 impl Default for EventMix {
@@ -267,6 +275,7 @@ impl Default for EventMix {
             tamper: 4,
             accel_storm: 4,
             flaky_disk: 4,
+            mem_pressure: 6,
         }
     }
 }
@@ -280,6 +289,7 @@ impl EventMix {
             + self.tamper
             + self.accel_storm
             + self.flaky_disk
+            + self.mem_pressure
     }
 }
 
@@ -344,6 +354,17 @@ pub enum FleetEvent {
         /// Matching disk reads between consecutive faults (≥ 2, so a
         /// single retry of the faulted read always lands clean).
         period: u64,
+    },
+    /// Choke the on-SoC budget to `budget_pages` pages, run a storm of
+    /// `spawns` short-lived sensitive processes (spawn → write → exit),
+    /// then lift the budget and re-verify the vault. Allocation denials
+    /// under the squeeze must surface as typed `OnSocExhausted`, never a
+    /// panic; the governor sheds/spills; teardown must leak nothing.
+    MemPressure {
+        /// Pages the on-SoC budget is clamped to during the squeeze.
+        budget_pages: u64,
+        /// Short-lived sensitive processes spawned under the squeeze.
+        spawns: u64,
     },
 }
 
@@ -452,6 +473,13 @@ pub fn event_stream(config: &FleetConfig, index: u64) -> Vec<FleetEvent> {
                 };
             }
             draw -= u64::from(mix.tamper);
+            if draw < u64::from(mix.mem_pressure) {
+                return FleetEvent::MemPressure {
+                    budget_pages: 2 + rng.next_below(6),
+                    spawns: 1 + rng.next_below(3),
+                };
+            }
+            draw -= u64::from(mix.mem_pressure);
             if draw < u64::from(mix.accel_storm) {
                 // 3..=5 read-backs: enough wedged submits to trip the
                 // default breaker (3 failures) inside one storm, plus
@@ -513,6 +541,14 @@ pub struct DeviceOutcome {
     pub accel_storms: u64,
     /// Flaky-disk intervals driven.
     pub flaky_disk_intervals: u64,
+    /// Memory-pressure squeezes driven.
+    pub pressure_events: u64,
+    /// On-SoC pages the teardown path returned across the storms'
+    /// process exits (pager slots shrunk + tag pages reaped).
+    pub exit_reclaimed_pages: u64,
+    /// The device's pressure-governor counters at end of run: watermark
+    /// transitions, sheds, spills/restores, reclaims, typed denials.
+    pub pressure: PressureStats,
     /// Merged health-governor statistics from the device's two
     /// governors (the lifecycle engine's and dm-crypt's): breaker
     /// trips, watchdog timeouts, fallback crypt bytes, time spent
@@ -544,6 +580,9 @@ pub struct Device {
     versions: [u64; SECRET_PAGES as usize],
     quarantined: [bool; SECRET_PAGES as usize],
     io_bursts: u64,
+    /// Keystream-cache cap applied while pressure is ≥ High (from the
+    /// device's `PressureConfig`).
+    keystream_cap_high: usize,
     outcome: DeviceOutcome,
 }
 
@@ -628,6 +667,7 @@ impl Device {
             versions: [0; SECRET_PAGES as usize],
             quarantined: [false; SECRET_PAGES as usize],
             io_bursts: 0,
+            keystream_cap_high: config.sentry.pressure.keystream_cap_high,
             outcome,
         })
     }
@@ -721,7 +761,7 @@ impl Device {
     #[allow(clippy::too_many_lines)]
     pub fn apply(&mut self, event: &FleetEvent) -> Result<(), SentryError> {
         self.outcome.events += 1;
-        match *event {
+        let result = match *event {
             FleetEvent::Churn => {
                 if self.sentry.state() == DeviceState::Unlocked {
                     self.lock()
@@ -926,7 +966,52 @@ impl Device {
                 self.outcome.flaky_disk_intervals += 1;
                 Ok(())
             }
+            FleetEvent::MemPressure {
+                budget_pages,
+                spawns,
+            } => self.mem_pressure(budget_pages, spawns),
+        };
+        // The one shed lever the device (not the Sentry engine) owns:
+        // while the store sits at High or worse, cap elective
+        // keystream-cache fill on the dm-crypt volume; lift the cap the
+        // moment pressure relents.
+        if self.sentry.pressure_level() >= PressureLevel::High {
+            self.dm.set_keystream_cap(Some(self.keystream_cap_high));
+        } else {
+            self.dm.set_keystream_cap(None);
         }
+        result
+    }
+
+    /// The memory-pressure squeeze: clamp the on-SoC budget to
+    /// `budget_pages`, spawn/write/exit `spawns` short-lived sensitive
+    /// processes under the clamp (typed `OnSocExhausted` denials are the
+    /// expected graceful outcome; anything else propagates), then lift
+    /// the budget and verify the vault rode it out byte-identically.
+    fn mem_pressure(&mut self, budget_pages: u64, spawns: u64) -> Result<(), SentryError> {
+        self.sentry
+            .set_onsoc_budget(Some(budget_pages * PAGE_SIZE))?;
+        for n in 0..spawns {
+            let pid = self.sentry.kernel.spawn("storm");
+            self.sentry.mark_sensitive(pid)?;
+            let img = page_image(self.index, SECRET_PAGES + n, budget_pages);
+            match self.sentry.write(pid, 0, &img) {
+                Ok(()) | Err(SentryError::OnSocExhausted) => {}
+                Err(e) => {
+                    // Leave the device in a sane state before surfacing.
+                    self.sentry.on_exit(pid)?;
+                    self.sentry.set_onsoc_budget(None)?;
+                    return Err(e);
+                }
+            }
+            self.outcome.exit_reclaimed_pages += self.sentry.on_exit(pid)?;
+        }
+        self.sentry.set_onsoc_budget(None)?;
+        self.outcome.pressure_events += 1;
+        for vpn in 0..SECRET_PAGES {
+            self.checked_read(vpn)?;
+        }
+        Ok(())
     }
 
     /// Finish the run: return to the unlocked state, audit every
@@ -943,10 +1028,12 @@ impl Device {
         // Fold both governors' views (lifecycle accel + dm-crypt
         // accel/disk) into the outcome's degradation columns.
         self.sentry.sync_health();
+        self.sentry.sync_pressure();
         let now = self.sentry.kernel.soc.clock.now_ns();
         let mut health = self.sentry.stats.health;
         health.merge(&self.dm.health_stats(now));
         self.outcome.health = health;
+        self.outcome.pressure = self.sentry.stats.pressure;
         let mut digest = 0xCBF2_9CE4_8422_2325u64;
         let page_len = usize::try_from(PAGE_SIZE).expect("page fits usize");
         for vpn in 0..SECRET_PAGES {
@@ -1018,12 +1105,16 @@ struct ShardFold {
     io_bytes: u64,
     accel_storms: u64,
     flaky_disk_intervals: u64,
+    pressure_events: u64,
+    exit_reclaimed_pages: u64,
+    pressure: PressureStats,
     health: HealthStats,
     sim_ns: u64,
     setup_sim_ns: u64,
     device_errors: u64,
     digests: Vec<(u64, u64)>,
     degradation: Vec<(u64, u64, u64, u64)>,
+    pressure_columns: Vec<(u64, u64, u64, u64)>,
 }
 
 impl ShardFold {
@@ -1043,6 +1134,9 @@ impl ShardFold {
         self.io_bytes += outcome.io_bytes;
         self.accel_storms += outcome.accel_storms;
         self.flaky_disk_intervals += outcome.flaky_disk_intervals;
+        self.pressure_events += outcome.pressure_events;
+        self.exit_reclaimed_pages += outcome.exit_reclaimed_pages;
+        self.pressure.merge(&outcome.pressure);
         self.health.merge(&outcome.health);
         self.sim_ns += outcome.sim_ns;
         self.setup_sim_ns += outcome.setup_sim_ns;
@@ -1052,6 +1146,12 @@ impl ShardFold {
             outcome.health.trips,
             outcome.health.fallback_crypt_bytes,
             outcome.health.time_degraded_ns,
+        ));
+        self.pressure_columns.push((
+            outcome.index,
+            outcome.pressure.sheds,
+            outcome.pressure.spills,
+            outcome.pressure.denied,
         ));
     }
 }
@@ -1099,6 +1199,14 @@ pub struct FleetReport {
     pub accel_storms: u64,
     /// Flaky-disk intervals driven fleet-wide.
     pub flaky_disk_intervals: u64,
+    /// Memory-pressure squeezes driven fleet-wide.
+    pub pressure_events: u64,
+    /// On-SoC pages returned by process teardown across the fleet.
+    pub exit_reclaimed_pages: u64,
+    /// Merged pressure-governor counters across every device: watermark
+    /// transitions, sheds, encrypted spills/restores, reclaims, typed
+    /// allocation denials.
+    pub pressure: PressureStats,
     /// Merged health-governor statistics across every device's two
     /// governors (lifecycle and dm-crypt): trips, timeouts, fallback
     /// crypt bytes, time degraded, disk retries.
@@ -1108,6 +1216,10 @@ pub struct FleetReport {
     /// ns)` — the fleet report's view of which devices rode out
     /// hardware trouble and for how long.
     pub degradation: Vec<(u64, u64, u64, u64)>,
+    /// Per-device pressure columns, sorted by device index:
+    /// `(index, sheds, spills, denied)` — which devices hit the
+    /// watermarks and what the governor did about it.
+    pub pressure_columns: Vec<(u64, u64, u64, u64)>,
     /// Devices whose run aborted with an unexpected error (gated at
     /// zero).
     pub device_errors: u64,
@@ -1212,6 +1324,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         report.io_bytes += fold.io_bytes;
         report.accel_storms += fold.accel_storms;
         report.flaky_disk_intervals += fold.flaky_disk_intervals;
+        report.pressure_events += fold.pressure_events;
+        report.exit_reclaimed_pages += fold.exit_reclaimed_pages;
+        report.pressure.merge(&fold.pressure);
         report.health.merge(&fold.health);
         report.device_errors += fold.device_errors;
         report.sim_busy_ns += fold.sim_ns;
@@ -1219,9 +1334,11 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         report.setup_sim_ns += fold.setup_sim_ns;
         report.digests.extend(fold.digests);
         report.degradation.extend(fold.degradation);
+        report.pressure_columns.extend(fold.pressure_columns);
     }
     report.digests.sort_unstable();
     report.degradation.sort_unstable();
+    report.pressure_columns.sort_unstable();
     report
 }
 
@@ -1249,6 +1366,12 @@ mod tests {
         // regardless of shard count.
         assert_eq!(one.health, three.health);
         assert_eq!(one.degradation, three.degradation);
+        // So is pressure accounting: watermark transitions, sheds,
+        // spills, and denials are shard-count invariant.
+        assert_eq!(one.pressure, three.pressure);
+        assert_eq!(one.pressure_columns, three.pressure_columns);
+        assert_eq!(one.pressure_events, three.pressure_events);
+        assert_eq!(one.exit_reclaimed_pages, three.exit_reclaimed_pages);
     }
 
     #[test]
@@ -1279,6 +1402,18 @@ mod tests {
         assert!(
             report.degradation.iter().any(|&(_, trips, _, _)| trips > 0),
             "per-device degradation columns show no trips"
+        );
+        // The memory-pressure squeezes must have landed, driven the
+        // governor through its watermarks, and leaked nothing.
+        assert!(report.pressure_events > 0, "no pressure squeeze drawn");
+        assert!(
+            report.pressure.transitions_high > 0,
+            "no squeeze crossed the High watermark: {:?}",
+            report.pressure
+        );
+        assert!(
+            report.exit_reclaimed_pages > 0,
+            "teardown returned no on-SoC pages"
         );
     }
 
